@@ -1,0 +1,131 @@
+//! Breadth-first search via frontier SpMV (the GraphBLAST formulation the
+//! paper benchmarks: BFS is >70 % SpMV on the GPU, Figure 2).
+
+use crate::runtime::{AppRun, Runtime};
+use psim_sparse::Coo;
+use psyncpim_core::isa::BinaryOp;
+
+/// BFS from `source` over the (directed) adjacency matrix `g`.
+/// Returns per-vertex levels (−1 for unreachable) and the run report.
+///
+/// Each iteration: `reached = Gᵀ · frontier` over the (×, max) semiring,
+/// masked by the unvisited set with vector ops, until the frontier drains.
+///
+/// # Panics
+///
+/// Panics if `g` is not square or `source` is out of range.
+pub fn bfs<R: Runtime>(rt: &mut R, g: &Coo, source: usize) -> (Vec<i64>, AppRun) {
+    bfs_bounded(rt, g, source, g.nrows())
+}
+
+/// [`bfs`] with a depth cap (benchmark harnesses cap the level count on
+/// huge-diameter graphs; unvisited vertices stay at −1).
+pub fn bfs_bounded<R: Runtime>(
+    rt: &mut R,
+    g: &Coo,
+    source: usize,
+    max_depth: usize,
+) -> (Vec<i64>, AppRun) {
+    assert_eq!(g.nrows(), g.ncols(), "adjacency must be square");
+    assert!(source < g.nrows());
+    let n = g.nrows();
+    let gt = g.transpose();
+    let before = rt.breakdown();
+
+    let mut levels = vec![-1i64; n];
+    levels[source] = 0;
+    let mut frontier = vec![0.0; n];
+    frontier[source] = 1.0;
+    let mut visited = vec![0.0; n];
+    visited[source] = 1.0;
+    let ones = vec![1.0; n];
+    let zeros = vec![0.0; n];
+
+    let mut iterations = 0usize;
+    for depth in 1..=max_depth.max(1) {
+        iterations += 1;
+        // reached[v] = max over frontier u with edge (u, v) — the
+        // (second, max) semiring keeps the frontier 0/1-valued.
+        let reached = rt.spmv_semiring(&gt, &frontier, BinaryOp::Second, BinaryOp::Max);
+        // Clamp the max-identity (-inf) of untouched rows back to zero.
+        let reached = rt.vv(&reached, &zeros, BinaryOp::Max);
+        // not_visited = 1 - visited; next = reached * not_visited (>0 new).
+        let not_visited = rt.vv(&ones, &visited, BinaryOp::Sub);
+        let next = rt.vv(&reached, &not_visited, BinaryOp::Mul);
+        // Check for termination: any new vertex?
+        let active = rt.dot(&next, &ones);
+        if active <= 0.0 {
+            break;
+        }
+        for (v, &f) in next.iter().enumerate() {
+            if f > 0.0 {
+                levels[v] = depth as i64;
+            }
+        }
+        visited = rt.vv(&visited, &next, BinaryOp::Max);
+        frontier = next;
+    }
+
+    let breakdown = before.delta(&rt.breakdown());
+    (levels, AppRun {
+        breakdown,
+        iterations,
+    })
+}
+
+/// Reference BFS for verification.
+#[must_use]
+pub fn bfs_reference(g: &Coo, source: usize) -> Vec<i64> {
+    let csr = psim_sparse::Csr::from(g);
+    let mut levels = vec![-1i64; g.nrows()];
+    levels[source] = 0;
+    let mut queue = std::collections::VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in csr.row(u) {
+            if levels[v] < 0 {
+                levels[v] = levels[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{GpuRuntime, GpuStack};
+    use psim_baselines::GpuModel;
+    use psim_sparse::gen;
+
+    #[test]
+    fn bfs_matches_reference_on_gpu_runtime() {
+        let g = gen::rmat(128, 4, 5);
+        let mut rt = GpuRuntime::new(GpuModel::rtx3080(), GpuStack::GraphBlast);
+        let (levels, run) = bfs(&mut rt, &g, 0);
+        assert_eq!(levels, bfs_reference(&g, 0));
+        assert!(run.total_s() > 0.0);
+        assert!(run.breakdown.spmv_s > 0.0);
+        assert!(run.iterations >= 1);
+    }
+
+    #[test]
+    fn bfs_on_pim_runtime_matches() {
+        use crate::runtime::PimRuntime;
+        use psim_kernels::PimDevice;
+        let g = gen::rmat(48, 3, 2);
+        let mut rt = PimRuntime::new(PimDevice::tiny(1), psim_sparse::Precision::Fp64);
+        let (levels, _) = bfs(&mut rt, &g, 0);
+        assert_eq!(levels, bfs_reference(&g, 0));
+    }
+
+    #[test]
+    fn isolated_source_terminates_immediately() {
+        let g = Coo::new(8, 8);
+        let mut rt = GpuRuntime::new(GpuModel::rtx3080(), GpuStack::GraphBlast);
+        let (levels, run) = bfs(&mut rt, &g, 3);
+        assert_eq!(levels[3], 0);
+        assert!(levels.iter().filter(|&&l| l >= 0).count() == 1);
+        assert_eq!(run.iterations, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Preconditioned conjugate gradient (P-CG, paper Table II).
+//!
+//! The ILDU preconditioner (paper §VI-D) is factored host-side; each
+//! application is two SpTRSVs plus a diagonal scale — the SpTRSV-major
+//! workload of Figures 2 and 12.
+
+use crate::runtime::{AppRun, Runtime};
+use psim_sparse::ildu::Ildu;
+use psim_sparse::Coo;
+use psyncpim_core::isa::BinaryOp;
+
+/// Result of a solver run.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The approximate solution.
+    pub x: Vec<f64>,
+    /// Final residual norm.
+    pub residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Kernel times and iteration count.
+    pub run: AppRun,
+}
+
+/// Apply the ILDU preconditioner `z = (LDU)⁻¹ r` with runtime kernels.
+pub(crate) fn apply_precond<R: Runtime>(rt: &mut R, f: &Ildu, inv_d: &[f64], r: &[f64]) -> Vec<f64> {
+    let y = rt.sptrsv(&f.l, r);
+    let scaled = rt.vv(&y, inv_d, BinaryOp::Mul);
+    rt.sptrsv(&f.u, &scaled)
+}
+
+/// P-CG on the SPD matrix `a`: solve `A x = b` to relative tolerance `tol`
+/// within `max_iters` iterations.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.nrows()`.
+pub fn pcg<R: Runtime>(
+    rt: &mut R,
+    a: &Coo,
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> SolveResult {
+    assert_eq!(a.nrows(), a.ncols(), "matrix must be square");
+    assert_eq!(b.len(), a.nrows(), "rhs length mismatch");
+    let n = a.nrows();
+    let before = rt.breakdown();
+
+    // Host-side preprocessing (excluded from kernel time by the paper).
+    let f = Ildu::factor(a).expect("square matrix");
+    let inv_d = f.inv_d.clone();
+
+    let mut x = vec![0.0; n];
+    // r = b - A x0 = b.
+    let mut r = b.to_vec();
+    let b_norm = rt.norm2(b).max(f64::MIN_POSITIVE);
+    let mut z = apply_precond(rt, &f, &inv_d, &r);
+    let mut p = z.clone();
+    let mut rz = rt.dot(&r, &z);
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut res_norm = rt.norm2(&r);
+
+    for _ in 0..max_iters {
+        iterations += 1;
+        let q = rt.spmv(a, &p);
+        let pq = rt.dot(&p, &q);
+        if pq.abs() < f64::MIN_POSITIVE {
+            break;
+        }
+        let alpha = rz / pq;
+        rt.axpy(alpha, &p, &mut x);
+        rt.axpy(-alpha, &q, &mut r);
+        res_norm = rt.norm2(&r);
+        if res_norm / b_norm < tol {
+            converged = true;
+            break;
+        }
+        z = apply_precond(rt, &f, &inv_d, &r);
+        let rz_new = rt.dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        // p = z + beta p
+        rt.scal(beta, &mut p);
+        let znew = rt.vv(&p, &z, BinaryOp::Add);
+        p = znew;
+    }
+
+    let breakdown = before.delta(&rt.breakdown());
+    SolveResult {
+        x,
+        residual: res_norm / b_norm,
+        converged,
+        run: AppRun {
+            breakdown,
+            iterations,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{GpuRuntime, GpuStack};
+    use psim_baselines::GpuModel;
+    use psim_sparse::{gen, ildu};
+
+    #[test]
+    fn converges_on_spd_system() {
+        let base = gen::rmat_seeded(120, 4, 8, 55);
+        let a = ildu::make_spd(&base);
+        let x_true = gen::dense_vector(120, 3);
+        let b = a.spmv(&x_true);
+        let mut rt = GpuRuntime::new(GpuModel::rtx3080(), GpuStack::Cuda);
+        let res = pcg(&mut rt, &a, &b, 1e-10, 200);
+        assert!(res.converged, "residual {}", res.residual);
+        for (g, w) in res.x.iter().zip(&x_true) {
+            assert!((g - w).abs() < 1e-6, "{g} vs {w}");
+        }
+        // SpTRSV features in the breakdown (P-CG is SpTRSV-major).
+        assert!(res.run.breakdown.sptrsv_s > 0.0);
+    }
+
+    #[test]
+    fn preconditioning_reduces_iterations() {
+        // Compare with unpreconditioned CG = PCG on the identity precond?
+        // Simplest proxy: PCG must converge in far fewer than n iterations.
+        let base = gen::rmat_seeded(200, 5, 2, 99);
+        let a = ildu::make_spd(&base);
+        let b = vec![1.0; 200];
+        let mut rt = GpuRuntime::new(GpuModel::rtx3080(), GpuStack::Cuda);
+        let res = pcg(&mut rt, &a, &b, 1e-9, 200);
+        assert!(res.converged);
+        assert!(
+            res.run.iterations < 60,
+            "PCG took {} iterations",
+            res.run.iterations
+        );
+    }
+}

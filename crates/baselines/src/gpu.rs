@@ -1,0 +1,194 @@
+//! Calibrated RTX 3080 roofline model.
+//!
+//! The paper's GPU measurements (wall clock, CUDA 11.8) cover four kernel
+//! families. All are bandwidth-bound on the matrices of Table IX, so each
+//! is modeled as `launch/sync overhead + bytes / (peak_bw × efficiency)`:
+//!
+//! * **cuSPARSE CsrMV** — irregular gathers, short rows and per-call
+//!   launch/synchronization overheads keep measured *wall-clock*
+//!   efficiency far below peak on the paper's small-to-mid matrices.
+//!   `spmv_eff` is THE calibration knob of this reproduction (see
+//!   EXPERIMENTS.md): it is set so that the simulated pSyncPIM cube —
+//!   whose per-element cost is fixed by its own microarchitecture (three
+//!   row activations per 8-element batch) — lands at the paper's 1.96×
+//!   geomean. All PIM-vs-PIM ratios (per-bank, 3×, SpaceA, INT8) emerge
+//!   structurally and are not calibrated.
+//! * **cuSPARSE csrsv2 (SpTRSV)** — level-set execution: one device-wide
+//!   sync per level plus the level's traffic. Low per-level parallelism is
+//!   what caps GPU SpTRSV (§III-C).
+//! * **CUDA BLAS-1 vector ops** — streaming, high efficiency, but each op
+//!   pays a kernel launch.
+//! * **GraphBLAST operations** — the paper attributes its large graph-app
+//!   wins to GraphBLAST's C++ template/functor overheads (§VII-E); each
+//!   GraphBLAST op carries a large fixed cost on top of the streaming
+//!   traffic.
+//!
+//! Calibration constants live in [`GpuModel::rtx3080`] and are documented
+//! in EXPERIMENTS.md; shapes (who wins, by how much, where crossovers sit)
+//! are the reproduction target, not absolute microseconds.
+
+use psim_sparse::{LevelSchedule, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Analytical GPU kernel-time model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Peak memory bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Kernel launch + completion sync overhead in seconds.
+    pub launch_s: f64,
+    /// SpMV effective fraction of peak bandwidth.
+    pub spmv_eff: f64,
+    /// SpTRSV effective fraction of peak bandwidth within a level.
+    pub sptrsv_eff: f64,
+    /// Per-level synchronization cost of csrsv2 in seconds.
+    pub level_sync_s: f64,
+    /// Streaming (BLAS-1) effective fraction of peak bandwidth.
+    pub stream_eff: f64,
+    /// Fixed overhead per GraphBLAST operation in seconds (template/functor
+    /// dispatch, buffer management).
+    pub graphblast_op_s: f64,
+    /// SpGEMM effective GFLOP/s (for the TC workload when run with
+    /// GraphBLAST's mxm).
+    pub spgemm_gflops: f64,
+}
+
+impl GpuModel {
+    /// The RTX 3080 used in the paper (760 GB/s).
+    #[must_use]
+    pub fn rtx3080() -> Self {
+        GpuModel {
+            mem_bw: 760e9,
+            launch_s: 12e-6,
+            spmv_eff: 0.06,
+            sptrsv_eff: 0.05,
+            level_sync_s: 8e-6,
+            stream_eff: 0.75,
+            graphblast_op_s: 150e-6,
+            spgemm_gflops: 15.0,
+        }
+    }
+
+    /// Bytes one CSR SpMV moves: matrix (4 B col index + value per nnz +
+    /// row pointers), output, and input-vector traffic with a cache-miss
+    /// expansion factor for the irregular gathers.
+    #[must_use]
+    pub fn spmv_bytes(nnz: usize, nrows: usize, ncols: usize, p: Precision) -> f64 {
+        let vb = p.bytes() as f64;
+        nnz as f64 * (4.0 + vb) + nrows as f64 * (8.0 + vb) + ncols as f64 * vb * 1.5
+    }
+
+    /// cuSPARSE CsrMV wall-clock.
+    #[must_use]
+    pub fn spmv_seconds(&self, nnz: usize, nrows: usize, ncols: usize, p: Precision) -> f64 {
+        // The GPU always runs FP64 storage for these suites (the paper
+        // notes SpaceA/GPU do not exploit INT8) — precision still sizes
+        // the data it must move if the caller asks for it.
+        self.launch_s + Self::spmv_bytes(nnz, nrows, ncols, p) / (self.mem_bw * self.spmv_eff)
+    }
+
+    /// cuSPARSE csrsv2 wall-clock for a triangular solve with the given
+    /// level schedule (row-reordered batching is cuSPARSE's own strategy,
+    /// §I: "the cuSPARSE library uses only the row-reordering technique").
+    #[must_use]
+    pub fn sptrsv_seconds(&self, nnz: usize, n: usize, sched: &LevelSchedule, p: Precision) -> f64 {
+        let vb = p.bytes() as f64;
+        let total_bytes = nnz as f64 * (4.0 + vb) + 2.0 * n as f64 * vb;
+        let levels = sched.num_levels() as f64;
+        self.launch_s + levels * self.level_sync_s + total_bytes / (self.mem_bw * self.sptrsv_eff)
+    }
+
+    /// One CUDA BLAS-1 kernel over `streams` vectors of `n` elements
+    /// (e.g. DAXPY reads 2 and writes 1 → `streams = 3`).
+    #[must_use]
+    pub fn vector_op_seconds(&self, n: usize, streams: usize, p: Precision) -> f64 {
+        let bytes = n as f64 * streams as f64 * p.bytes() as f64;
+        self.launch_s + bytes / (self.mem_bw * self.stream_eff)
+    }
+
+    /// One GraphBLAST operation over `streams` vectors of `n` elements —
+    /// the template/functor overhead dominates for the paper's graphs.
+    #[must_use]
+    pub fn graphblast_op_seconds(&self, n: usize, streams: usize, p: Precision) -> f64 {
+        let bytes = n as f64 * streams as f64 * p.bytes() as f64;
+        self.graphblast_op_s + bytes / (self.mem_bw * self.stream_eff)
+    }
+
+    /// GraphBLAST SpMV (mxv): the CsrMV traffic plus the GraphBLAST fixed
+    /// overhead.
+    #[must_use]
+    pub fn graphblast_spmv_seconds(
+        &self,
+        nnz: usize,
+        nrows: usize,
+        ncols: usize,
+        p: Precision,
+    ) -> f64 {
+        self.graphblast_op_s
+            + Self::spmv_bytes(nnz, nrows, ncols, p) / (self.mem_bw * self.spmv_eff)
+    }
+
+    /// SpGEMM (mxm) time from its multiply-accumulate count.
+    #[must_use]
+    pub fn spgemm_seconds(&self, flops: f64) -> f64 {
+        self.launch_s + flops / (self.spgemm_gflops * 1e9)
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel::rtx3080()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psim_sparse::triangular::{unit_triangular_from, Triangle};
+    use psim_sparse::{gen, Precision};
+
+    #[test]
+    fn spmv_time_scales_with_nnz() {
+        let g = GpuModel::rtx3080();
+        let t1 = g.spmv_seconds(100_000, 10_000, 10_000, Precision::Fp64);
+        let t2 = g.spmv_seconds(1_000_000, 10_000, 10_000, Precision::Fp64);
+        assert!(t2 > 4.0 * t1, "{t1} vs {t2}");
+    }
+
+    #[test]
+    fn tiny_kernels_are_launch_bound() {
+        let g = GpuModel::rtx3080();
+        let t = g.vector_op_seconds(1_000, 2, Precision::Fp64);
+        assert!(t < 2.0 * g.launch_s);
+        assert!(t >= g.launch_s);
+    }
+
+    #[test]
+    fn sptrsv_pays_per_level() {
+        let g = GpuModel::rtx3080();
+        let a = gen::rmat_seeded(500, 5, 1, 3);
+        let t = unit_triangular_from(&a, Triangle::Lower).unwrap();
+        let sched = LevelSchedule::analyze(&t);
+        let secs = g.sptrsv_seconds(t.nnz(), 500, &sched, Precision::Fp64);
+        assert!(secs > sched.num_levels() as f64 * g.level_sync_s);
+    }
+
+    #[test]
+    fn graphblast_overhead_dominates_small_vectors() {
+        let g = GpuModel::rtx3080();
+        let cuda = g.vector_op_seconds(100_000, 3, Precision::Fp64);
+        let gb = g.graphblast_op_seconds(100_000, 3, Precision::Fp64);
+        assert!(gb > 5.0 * cuda, "GraphBLAST {gb} vs CUDA {cuda}");
+    }
+
+    #[test]
+    fn spmv_efficiency_well_below_peak() {
+        let g = GpuModel::rtx3080();
+        // Effective SpMV bandwidth must be spmv_eff of peak.
+        let nnz = 10_000_000usize;
+        let bytes = GpuModel::spmv_bytes(nnz, 1_000_000, 1_000_000, Precision::Fp64);
+        let t = g.spmv_seconds(nnz, 1_000_000, 1_000_000, Precision::Fp64);
+        let eff = bytes / t / g.mem_bw;
+        assert!(eff < 0.1 && eff > 0.03, "eff = {eff}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Comparison baselines for the pSyncPIM evaluation.
+//!
+//! The paper compares against an NVIDIA RTX 3080 (CUDA 11.8, cuSPARSE,
+//! GraphBLAST), the SpaceA asynchronous PIM accelerator, and the per-bank
+//! PIM control mode. Real GPU hardware and the SpaceA RTL are not
+//! reproducible here, so this crate provides **calibrated analytical
+//! models** (see DESIGN.md §3): every kernel the paper measures on the GPU
+//! is memory-bandwidth-bound, so a roofline with measured-efficiency
+//! factors and per-launch overheads reproduces the rankings and crossover
+//! points the paper reports. The per-bank baseline is *not* a model — it
+//! runs on the real simulator via [`psyncpim_core::ExecMode::PerBank`].
+
+pub mod gpu;
+pub mod spacea;
+pub mod spgemm_accel;
+
+pub use gpu::GpuModel;
+pub use spacea::SpaceAModel;
+pub use spgemm_accel::SpgemmAccel;

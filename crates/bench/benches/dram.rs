@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the DRAM channel scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psim_dram::{Channel, CmdKind, HbmConfig, Scope};
+
+fn bench_allbank_stream(c: &mut Criterion) {
+    let cfg = HbmConfig::default();
+    c.bench_function("dram/allbank-row-stream", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(&cfg);
+            let mut now = 0u64;
+            for row in 0..64u32 {
+                if row > 0 {
+                    now = ch
+                        .issue_earliest(Scope::AllBanks, CmdKind::Pre, now)
+                        .unwrap()
+                        .issue_cycle;
+                }
+                now = ch
+                    .issue_earliest(Scope::AllBanks, CmdKind::Act { row }, now)
+                    .unwrap()
+                    .issue_cycle;
+                for col in 0..32u32 {
+                    now = ch
+                        .issue_earliest(Scope::AllBanks, CmdKind::Rd { col }, now)
+                        .unwrap()
+                        .issue_cycle;
+                }
+            }
+            now
+        });
+    });
+}
+
+fn bench_perbank_interleave(c: &mut Criterion) {
+    let cfg = HbmConfig::default();
+    c.bench_function("dram/perbank-interleave", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(&cfg);
+            let mut now = 0u64;
+            for i in 0..256usize {
+                let scope = Scope::OneBank {
+                    bg: i % 4,
+                    ba: (i / 4) % 4,
+                };
+                let open = ch.bank(i % 4, (i / 4) % 4).open_row();
+                if open.is_some() {
+                    now = ch.issue_earliest(scope, CmdKind::Pre, now).unwrap().issue_cycle;
+                }
+                now = ch
+                    .issue_earliest(scope, CmdKind::Act { row: (i % 64) as u32 }, now)
+                    .unwrap()
+                    .issue_cycle;
+                now = ch
+                    .issue_earliest(scope, CmdKind::Rd { col: 0 }, now)
+                    .unwrap()
+                    .issue_cycle;
+            }
+            now
+        });
+    });
+}
+
+criterion_group!(benches, bench_allbank_stream, bench_perbank_interleave);
+criterion_main!(benches);

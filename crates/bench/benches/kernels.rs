@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the simulated kernels themselves (how
+//! fast the *simulator* runs — useful when iterating on engine internals;
+//! the paper's figures come from the `fig*` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psim_kernels::blas1::Blas1Pim;
+use psim_kernels::{PimDevice, SpmvPim, SptrsvPim};
+use psim_sparse::triangular::{unit_triangular_from, Triangle};
+use psim_sparse::{gen, Precision};
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/spmv");
+    for (label, a) in [
+        ("rmat-2k", gen::rmat(2048, 6, 1)),
+        ("banded-2k", gen::banded_fem(2048, 24, 6, 2)),
+        ("hubs-2k", gen::web_hubs(2048, 12_288, 3)),
+    ] {
+        let x = gen::dense_vector(a.ncols(), 4);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &a, |b, a| {
+            let runner = SpmvPim::new(PimDevice::tiny(2), Precision::Fp64);
+            b.iter(|| runner.run(a, &x).expect("spmv"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmv_precisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/spmv-precision");
+    let a = gen::rmat(2048, 6, 9);
+    let x = vec![1.0; 2048];
+    for p in [Precision::Int8, Precision::Fp32, Precision::Fp64] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let runner = SpmvPim::new(PimDevice::tiny(2), p);
+            b.iter(|| runner.run(&a, &x).expect("spmv"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sptrsv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/sptrsv");
+    group.sample_size(10);
+    let a = gen::banded_fem(1024, 16, 4, 5);
+    let t = unit_triangular_from(&a, Triangle::Lower).expect("square");
+    let b_vec = gen::dense_vector(1024, 6);
+    group.bench_function("banded-1k", |b| {
+        let solver = SptrsvPim::new(PimDevice::tiny(2));
+        b.iter(|| solver.run(&t, &b_vec).expect("sptrsv"));
+    });
+    group.finish();
+}
+
+fn bench_blas1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/blas1");
+    let x = gen::dense_vector(8192, 7);
+    let y = gen::dense_vector(8192, 8);
+    let runner = Blas1Pim::new(PimDevice::tiny(2), Precision::Fp64);
+    group.bench_function("daxpy-8k", |b| {
+        b.iter(|| runner.daxpy(2.0, &x, &y).expect("daxpy"));
+    });
+    group.bench_function("ddot-8k", |b| {
+        b.iter(|| runner.ddot(&x, &y).expect("ddot"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_spmv_precisions, bench_sptrsv, bench_blas1);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the host-side preprocessing: matrix
+//! partitioning/compression, level analysis and ILDU factorization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psim_sparse::partition::{BankPartition, DistPolicy, PartitionConfig};
+use psim_sparse::triangular::{unit_triangular_from, Triangle};
+use psim_sparse::{gen, ildu, LevelSchedule, Precision};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prep/partition");
+    for (label, a) in [
+        ("rmat-16k", gen::rmat(16_384, 8, 1)),
+        ("banded-16k", gen::banded_fem(16_384, 64, 8, 2)),
+    ] {
+        for policy in [DistPolicy::RoundRobin, DistPolicy::LeastLoaded] {
+            let cfg = PartitionConfig {
+                num_banks: 256,
+                row_bytes: 1024,
+                precision: Precision::Fp64,
+                policy,
+                compress: true,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{policy:?}")),
+                &a,
+                |b, a| {
+                    b.iter(|| BankPartition::build(a, cfg));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_level_schedule(c: &mut Criterion) {
+    let a = gen::banded_fem(32_768, 32, 6, 3);
+    let t = unit_triangular_from(&a, Triangle::Lower).expect("square");
+    c.bench_function("prep/level-schedule-32k", |b| {
+        b.iter(|| LevelSchedule::analyze(&t));
+    });
+}
+
+fn bench_ildu(c: &mut Criterion) {
+    let base = gen::rmat(2_048, 6, 4);
+    let a = ildu::make_spd(&base);
+    c.bench_function("prep/ildu-2k", |b| {
+        b.iter(|| ildu::Ildu::factor(&a).expect("factor"));
+    });
+}
+
+criterion_group!(benches, bench_partition, bench_level_schedule, bench_ildu);
+criterion_main!(benches);

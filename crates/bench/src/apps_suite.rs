@@ -1,0 +1,140 @@
+//! Shared application measurements for Figures 2, 11 and 12.
+
+use psim_apps::runtime::{GpuRuntime, GpuStack, PimRuntime, Runtime};
+use psim_apps::tc::{triangle_count, TcBackend};
+use psim_apps::{bfs, bicgstab, cc, cg, pagerank, sssp, AppRun};
+use psim_baselines::{GpuModel, SpgemmAccel};
+use psim_kernels::PimDevice;
+use psim_sparse::suite::{with_tag, MatrixSpec, Tag};
+use psim_sparse::{ildu, Coo, Precision};
+
+/// The seven Table II applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    /// Breadth-first search.
+    Bfs,
+    /// Connected components.
+    Cc,
+    /// PageRank.
+    Pr,
+    /// Single-source shortest paths.
+    Sssp,
+    /// Triangle counting.
+    Tc,
+    /// Preconditioned BiCGStab.
+    PBcgs,
+    /// Preconditioned conjugate gradient.
+    PCg,
+}
+
+impl App {
+    /// All applications in Table II order.
+    pub const ALL: [App; 7] = [
+        App::Bfs,
+        App::Cc,
+        App::Pr,
+        App::Sssp,
+        App::Tc,
+        App::PBcgs,
+        App::PCg,
+    ];
+
+    /// Display abbreviation (Table II).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Bfs => "BFS",
+            App::Cc => "CC",
+            App::Pr => "PR",
+            App::Sssp => "SSSP",
+            App::Tc => "TC",
+            App::PBcgs => "P-BCGS",
+            App::PCg => "P-CG",
+        }
+    }
+
+    /// The Table IX matrices this application runs on.
+    #[must_use]
+    pub fn matrices(self) -> Vec<&'static MatrixSpec> {
+        match self {
+            App::Bfs | App::Cc | App::Pr | App::Sssp | App::Tc => with_tag(Tag::Graphs),
+            App::PBcgs => with_tag(Tag::SpTrsv),
+            App::PCg => with_tag(Tag::Pcg),
+        }
+    }
+}
+
+/// Backend an application run targets.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// The GPU model with the stack the paper uses for this app family.
+    Gpu,
+    /// The simulated pSyncPIM device (TC adds the SpGEMM accelerator).
+    Pim(PimDevice),
+}
+
+/// Generate the operand for an app: graph apps use the raw adjacency,
+/// solvers an SPD/ILDU-friendly system derived from it.
+#[must_use]
+pub fn operand(app: App, spec: &MatrixSpec, scale: f64, cap_dim: usize) -> Coo {
+    let capped_scale = scale.min(cap_dim as f64 / spec.dim as f64);
+    let a = spec.generate(capped_scale);
+    match app {
+        App::PCg | App::PBcgs => ildu::make_spd(&a),
+        _ => a,
+    }
+}
+
+/// Run one application on one matrix; returns the kernel-time report.
+///
+/// # Panics
+///
+/// Panics if a simulated kernel fails.
+#[must_use]
+pub fn run_app(app: App, a: &Coo, backend: &Backend) -> AppRun {
+    let solver_iters = 12;
+    match (app, backend) {
+        (App::Tc, Backend::Gpu) => triangle_count(a, &TcBackend::Gpu(GpuModel::rtx3080())).1,
+        (App::Tc, Backend::Pim(device)) => {
+            triangle_count(
+                a,
+                &TcBackend::AccelPlusPim(SpgemmAccel::innersp(), device.clone()),
+            )
+            .1
+        }
+        (_, Backend::Gpu) => {
+            let stack = match app {
+                App::PCg | App::PBcgs => GpuStack::Cuda,
+                _ => GpuStack::GraphBlast,
+            };
+            let mut rt = GpuRuntime::new(GpuModel::rtx3080(), stack);
+            drive(app, a, &mut rt, solver_iters)
+        }
+        (_, Backend::Pim(device)) => {
+            let mut rt = PimRuntime::new(device.clone(), Precision::Fp64);
+            drive(app, a, &mut rt, solver_iters)
+        }
+    }
+}
+
+fn drive<R: Runtime>(app: App, a: &Coo, rt: &mut R, solver_iters: usize) -> AppRun {
+    // Iteration caps keep huge-diameter graphs (roadNet-style) tractable;
+    // the per-iteration kernel mix — what Figures 2/11/12 report — is
+    // stationary after the first rounds.
+    let graph_rounds = 30;
+    match app {
+        App::Bfs => bfs::bfs_bounded(rt, a, 0, graph_rounds).1,
+        App::Cc => cc::connected_components_bounded(rt, a, graph_rounds).1,
+        App::Pr => pagerank::pagerank(rt, a, 1e-6, 20).1,
+        App::Sssp => sssp::sssp_bounded(rt, a, 0, graph_rounds).1,
+        App::PCg => {
+            let b = vec![1.0; a.nrows()];
+            cg::pcg(rt, a, &b, 1e-8, solver_iters).run
+        }
+        App::PBcgs => {
+            let b = vec![1.0; a.nrows()];
+            bicgstab::pbicgstab(rt, a, &b, 1e-8, solver_iters).run
+        }
+        App::Tc => unreachable!("TC handled by run_app"),
+    }
+}

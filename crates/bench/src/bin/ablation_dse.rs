@@ -1,0 +1,119 @@
+//! Architecture design-space exploration around the paper's fixed choices:
+//!
+//! * **DRAM row size** (the paper's 1 KB row bounds submatrix dimensions,
+//!   §V: "the dimension of submatrices should not overflow the size of one
+//!   memory row") — sweep 512 B … 4 KB and watch partitions, external
+//!   traffic and kernel time move.
+//! * **Bank count** (the paper's 256 PUs/cube; the 3× configuration is the
+//!   paper's only scaling point) — sweep 64 … 512 banks at constant
+//!   per-bank bandwidth.
+
+use psim_bench::{human_row, tsv_row, Args};
+use psim_dram::HbmConfig;
+use psim_kernels::{PimDevice, SpmvPim};
+use psim_sparse::suite::by_name;
+use psim_sparse::{gen, Precision};
+use psyncpim_core::ExecMode;
+
+fn device_with(num_cols: usize, channels: usize) -> PimDevice {
+    let mut hbm = HbmConfig::default();
+    hbm.num_cols = num_cols; // row size = num_cols * 16 B
+    hbm.num_pseudo_channels = channels;
+    PimDevice {
+        hbm,
+        mode: ExecMode::AllBank,
+        cubes: 1,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = by_name(args.only.as_deref().unwrap_or("pwtk")).expect("matrix");
+    let a = spec.generate(args.scale);
+    let x = gen::dense_vector(a.ncols(), 13);
+    println!(
+        "# Design-space exploration on {} (dim {}, nnz {})",
+        spec.name,
+        a.nrows(),
+        a.nnz()
+    );
+
+    println!("\n[DRAM row size sweep, 256 banks]");
+    human_row(
+        &args,
+        &[
+            "row size".into(),
+            "submatrices".into(),
+            "waves".into(),
+            "ext KiB".into(),
+            "time us".into(),
+        ],
+    );
+    for num_cols in [32usize, 64, 128, 256] {
+        let device = device_with(num_cols, 16);
+        let row_bytes = device.hbm.row_bytes();
+        let r = SpmvPim::new(device, Precision::Fp64)
+            .run(&a, &x)
+            .expect("spmv");
+        human_row(
+            &args,
+            &[
+                format!("{row_bytes} B"),
+                r.stats.num_submatrices.to_string(),
+                r.waves.to_string(),
+                format!("{:.1}", r.run.external_bytes as f64 / 1024.0),
+                format!("{:.2}", r.run.total_s() * 1e6),
+            ],
+        );
+        tsv_row(
+            "dse-rowsize",
+            &[
+                row_bytes.to_string(),
+                r.stats.num_submatrices.to_string(),
+                r.waves.to_string(),
+                r.run.external_bytes.to_string(),
+                r.run.total_s().to_string(),
+            ],
+        );
+    }
+
+    println!("\n[bank count sweep, 1 KB rows]");
+    human_row(
+        &args,
+        &[
+            "banks".into(),
+            "banks used".into(),
+            "imbalance".into(),
+            "rounds".into(),
+            "time us".into(),
+        ],
+    );
+    for channels in [4usize, 8, 16, 32] {
+        let device = device_with(64, channels);
+        let banks = device.total_banks();
+        let r = SpmvPim::new(device, Precision::Fp64)
+            .run(&a, &x)
+            .expect("spmv");
+        human_row(
+            &args,
+            &[
+                banks.to_string(),
+                r.stats.banks_used.to_string(),
+                format!("{:.2}", r.stats.imbalance()),
+                r.run.rounds.to_string(),
+                format!("{:.2}", r.run.total_s() * 1e6),
+            ],
+        );
+        tsv_row(
+            "dse-banks",
+            &[
+                banks.to_string(),
+                r.stats.banks_used.to_string(),
+                r.stats.imbalance().to_string(),
+                r.run.rounds.to_string(),
+                r.run.total_s().to_string(),
+            ],
+        );
+    }
+    println!("\npaper anchor points: 1 KB rows (SV), 256 banks/cube with a 3x-cube scaling study (SVII-B)");
+}

@@ -1,0 +1,58 @@
+//! Format-footprint ablation (paper §IV-C / §VIII): COO vs bitmap storage
+//! across the density spectrum, at the HPC (<1 %) and neural-network
+//! (10–50 %) operating points.
+
+use psim_bench::{human_row, tsv_row, Args};
+use psim_sparse::bitmap::{bitmap_crossover_density, BitmapMatrix};
+use psim_sparse::{gen, Precision};
+
+fn main() {
+    let args = Args::parse();
+    let n = 1024usize;
+    println!("# Format ablation — COO vs bitmap footprint ({n} x {n})");
+    println!(
+        "model crossover density: {:.3}% (positions/8 = nnz * 8)",
+        bitmap_crossover_density(Precision::Fp64) * 100.0
+    );
+    human_row(
+        &args,
+        &[
+            "density".into(),
+            "precision".into(),
+            "COO KiB".into(),
+            "bitmap KiB".into(),
+            "winner".into(),
+        ],
+    );
+    for density in [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.3, 0.5] {
+        let nnz = ((n * n) as f64 * density) as usize;
+        let mut a = gen::erdos_renyi(n, n, nnz, density.to_bits());
+        a.coalesce();
+        let bm = BitmapMatrix::try_from(&a).expect("coalesced");
+        for p in [Precision::Fp64, Precision::Int8] {
+            let coo = a.storage_bytes(p);
+            let bit = bm.storage_bytes(p);
+            let winner = if bit < coo { "bitmap" } else { "COO" };
+            human_row(
+                &args,
+                &[
+                    format!("{:.2}%", density * 100.0),
+                    p.to_string(),
+                    format!("{:.1}", coo as f64 / 1024.0),
+                    format!("{:.1}", bit as f64 / 1024.0),
+                    winner.to_string(),
+                ],
+            );
+            tsv_row(
+                "ablation-format",
+                &[
+                    density.to_string(),
+                    p.to_string(),
+                    coo.to_string(),
+                    bit.to_string(),
+                ],
+            );
+        }
+    }
+    println!("\npaper: COO for <1% HPC matrices; bitmap for 10-50% NN layers (SIV-C, SVIII)");
+}

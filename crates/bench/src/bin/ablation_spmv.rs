@@ -1,0 +1,160 @@
+//! Ablations of the SpMV design choices the paper argues for (DESIGN.md):
+//!
+//! 1. **Matrix compression** (§V, Figure 6): naive full-column-range
+//!    distribution vs compressed — external traffic and end-to-end time.
+//! 2. **Distribution policy**: the paper's replication-minimizing
+//!    round-robin vs a load-balance-greedy placement (the §VII-B
+//!    `bcsstk32` trade-off).
+//! 3. **Value precision**: FP64 vs INT8 on the two matrices the paper
+//!    runs natively at INT8.
+
+use psim_bench::{fmt_x, human_row, tsv_row, Args};
+use psim_kernels::{PimDevice, SpmvPim};
+use psim_sparse::partition::DistPolicy;
+use psim_sparse::suite::{by_name, with_tag, Tag};
+use psim_sparse::{gen, Precision};
+
+fn main() {
+    let args = Args::parse();
+    println!("# SpMV ablations (scale {})", args.scale);
+
+    // --- 1. compression ------------------------------------------------
+    println!("\n[compression ablation: naive vs compressed distribution]");
+    human_row(
+        &args,
+        &[
+            "matrix".into(),
+            "naive ext B".into(),
+            "comp ext B".into(),
+            "traffic cut".into(),
+            "time gain".into(),
+        ],
+    );
+    for spec in with_tag(Tag::SpMv).into_iter().take(6) {
+        if !args.selects(spec) {
+            continue;
+        }
+        let a = spec.generate(args.scale);
+        let x = gen::dense_vector(a.ncols(), 3);
+        let mut on = SpmvPim::new(PimDevice::psync_1x(), Precision::Fp64);
+        let mut off = on.clone();
+        on.compress = true;
+        off.compress = false;
+        let ron = on.run(&a, &x).expect("compressed");
+        let roff = off.run(&a, &x).expect("naive");
+        human_row(
+            &args,
+            &[
+                spec.name.to_string(),
+                roff.run.external_bytes.to_string(),
+                ron.run.external_bytes.to_string(),
+                fmt_x(roff.run.external_bytes as f64 / ron.run.external_bytes.max(1) as f64),
+                fmt_x(roff.run.total_s() / ron.run.total_s()),
+            ],
+        );
+        tsv_row(
+            "ablation-compress",
+            &[
+                spec.name.to_string(),
+                roff.run.external_bytes.to_string(),
+                ron.run.external_bytes.to_string(),
+                roff.run.total_s().to_string(),
+                ron.run.total_s().to_string(),
+            ],
+        );
+    }
+
+    // --- 2. distribution policy ----------------------------------------
+    println!("\n[placement ablation: round-robin vs least-loaded]");
+    human_row(
+        &args,
+        &[
+            "matrix".into(),
+            "RR imbalance".into(),
+            "LL imbalance".into(),
+            "RR time".into(),
+            "LL time".into(),
+        ],
+    );
+    for name in ["bcsstk32", "webbase-1M", "Stanford"] {
+        let spec = by_name(name).expect("known matrix");
+        if !args.selects(spec) {
+            continue;
+        }
+        let a = spec.generate(args.scale);
+        let x = gen::dense_vector(a.ncols(), 5);
+        let mut rr = SpmvPim::new(PimDevice::psync_1x(), Precision::Fp64);
+        rr.policy = DistPolicy::RoundRobin;
+        let mut ll = rr.clone();
+        ll.policy = DistPolicy::LeastLoaded;
+        let r1 = rr.run(&a, &x).expect("rr");
+        let r2 = ll.run(&a, &x).expect("ll");
+        human_row(
+            &args,
+            &[
+                name.to_string(),
+                format!("{:.2}", r1.stats.imbalance()),
+                format!("{:.2}", r2.stats.imbalance()),
+                format!("{:.3e}", r1.run.total_s()),
+                format!("{:.3e}", r2.run.total_s()),
+            ],
+        );
+        tsv_row(
+            "ablation-policy",
+            &[
+                name.to_string(),
+                r1.stats.imbalance().to_string(),
+                r2.stats.imbalance().to_string(),
+                r1.run.total_s().to_string(),
+                r2.run.total_s().to_string(),
+            ],
+        );
+    }
+
+    // --- 3. precision ---------------------------------------------------
+    println!("\n[precision ablation on the paper's INT8 matrices]");
+    human_row(
+        &args,
+        &[
+            "matrix".into(),
+            "FP64 time".into(),
+            "INT8 time".into(),
+            "INT8 gain".into(),
+            "ext traffic cut".into(),
+        ],
+    );
+    for name in ["soc-sign-epinions", "Stanford"] {
+        let spec = by_name(name).expect("known matrix");
+        if !args.selects(spec) {
+            continue;
+        }
+        let a = spec.generate(args.scale);
+        let x = vec![1.0; a.ncols()];
+        let f = SpmvPim::new(PimDevice::psync_1x(), Precision::Fp64)
+            .run(&a, &x)
+            .expect("fp64");
+        let i = SpmvPim::new(PimDevice::psync_1x(), Precision::Int8)
+            .run(&a, &x)
+            .expect("int8");
+        human_row(
+            &args,
+            &[
+                name.to_string(),
+                format!("{:.3e}", f.run.total_s()),
+                format!("{:.3e}", i.run.total_s()),
+                fmt_x(f.run.total_s() / i.run.total_s()),
+                fmt_x(f.run.external_bytes as f64 / i.run.external_bytes.max(1) as f64),
+            ],
+        );
+        tsv_row(
+            "ablation-precision",
+            &[
+                name.to_string(),
+                f.run.total_s().to_string(),
+                i.run.total_s().to_string(),
+                f.run.external_bytes.to_string(),
+                i.run.external_bytes.to_string(),
+            ],
+        );
+    }
+}

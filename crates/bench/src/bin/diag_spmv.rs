@@ -1,0 +1,36 @@
+//! Diagnostic: where does pSyncPIM SpMV time go? (Not a paper figure.)
+
+use psim_bench::Args;
+use psim_kernels::{PimDevice, SpmvPim};
+use psim_sparse::suite::by_name;
+use psim_sparse::{gen, Precision};
+
+fn main() {
+    let args = Args::parse();
+    let name = args.only.as_deref().unwrap_or("pwtk");
+    let spec = by_name(name).expect("matrix name");
+    let a = spec.generate(args.scale);
+    let x = gen::dense_vector(a.ncols(), 7);
+    println!("matrix {name} dim {} nnz {}", a.nrows(), a.nnz());
+    for (label, dev) in [
+        ("psync1x", PimDevice::psync_1x()),
+        ("psync3x", PimDevice::psync_3x()),
+    ] {
+        let r = SpmvPim::new(dev, Precision::Fp64).run(&a, &x).unwrap();
+        let st = r.stats;
+        println!(
+            "{label}: total {:.3e}s kernel {:.3e}s host {:.3e}s waves {} phases {} rounds {} cmds {} ext {}B",
+            r.run.total_s(), r.run.kernel_s, r.run.host_s, r.waves, r.run.phases, r.run.rounds,
+            r.run.commands, r.run.external_bytes
+        );
+        println!(
+            "  partition: subs {} banks_used {} max_bank_nnz {} imbalance {:.2} repl {}",
+            st.num_submatrices, st.banks_used, st.max_bank_nnz, st.imbalance(), st.input_replication
+        );
+        println!(
+            "  ns/nnz = {:.3}, kernel ns/cmd = {:.2}",
+            r.run.total_s() * 1e9 / a.nnz() as f64,
+            r.run.kernel_s * 1e9 / r.run.commands as f64
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 2: GPU execution-time breakdown of the seven applications into
+//! SpGEMM / SpTRSV / SpMV / Vector kernel families.
+//!
+//! Paper reference points: BFS and PR are >70 % SpMV; CC and SSSP are
+//! vector-dominated; TC is >98 % SpGEMM; the solvers are SpTRSV-heavy.
+
+use psim_apps::Breakdown;
+use psim_bench::apps_suite::{operand, run_app, App, Backend};
+use psim_bench::{human_row, tsv_row, Args};
+
+fn main() {
+    let mut args = Args::parse();
+    // Figure 2 is GPU-model-only (cheap): run closer to paper scale so the
+    // kernel-family balance reflects the real matrix sizes.
+    args.scale = args.scale.max(0.5);
+    let cap_dim = 150_000;
+    let per_app_matrices = 3;
+    println!(
+        "# Figure 2 — GPU kernel-time breakdown (scale {}, dim cap {cap_dim})",
+        args.scale
+    );
+    human_row(
+        &args,
+        &[
+            "app".into(),
+            "SpGEMM %".into(),
+            "SpTRSV %".into(),
+            "SpMV %".into(),
+            "Vector %".into(),
+        ],
+    );
+    for app in App::ALL {
+        let mut agg = Breakdown::default();
+        for spec in app.matrices().into_iter().take(per_app_matrices) {
+            if !args.selects(spec) {
+                continue;
+            }
+            let a = operand(app, spec, args.scale, cap_dim);
+            let run = run_app(app, &a, &Backend::Gpu);
+            agg.spmv_s += run.breakdown.spmv_s;
+            agg.sptrsv_s += run.breakdown.sptrsv_s;
+            agg.vector_s += run.breakdown.vector_s;
+            agg.spgemm_s += run.breakdown.spgemm_s;
+        }
+        let f = agg.fractions();
+        human_row(
+            &args,
+            &[
+                app.name().to_string(),
+                format!("{:.1}", f[3] * 100.0),
+                format!("{:.1}", f[1] * 100.0),
+                format!("{:.1}", f[0] * 100.0),
+                format!("{:.1}", f[2] * 100.0),
+            ],
+        );
+        tsv_row(
+            "fig02",
+            &[
+                app.name().to_string(),
+                f[3].to_string(),
+                f[1].to_string(),
+                f[0].to_string(),
+                f[2].to_string(),
+            ],
+        );
+    }
+    println!();
+    println!("paper shape: BFS/PR SpMV-major; CC/SSSP vector-major; TC SpGEMM >98%; solvers SpTRSV-heavy");
+}

@@ -1,0 +1,56 @@
+//! Figure 3: memory commands required for SpMV in per-bank mode,
+//! normalized to all-bank mode. Paper: 2.74× on average.
+
+use psim_bench::spmv_suite::SpmvMeasurement;
+use psim_bench::{human_row, mean, tsv_row, Args};
+use psim_sparse::suite::{with_tag, Tag};
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "# Figure 3 — per-bank / all-bank SpMV command ratio (scale {})",
+        args.scale
+    );
+    human_row(
+        &args,
+        &[
+            "matrix".into(),
+            "AB cmds".into(),
+            "PB cmds".into(),
+            "ratio".into(),
+        ],
+    );
+    let mut ratios = Vec::new();
+    for spec in with_tag(Tag::SpMv) {
+        if !args.selects(spec) {
+            continue;
+        }
+        let m = SpmvMeasurement::run(spec, args.scale);
+        let r = m.command_ratio();
+        ratios.push(r);
+        human_row(
+            &args,
+            &[
+                m.name.to_string(),
+                m.psync.run.commands.to_string(),
+                m.perbank.run.commands.to_string(),
+                format!("{r:.2}"),
+            ],
+        );
+        tsv_row(
+            "fig03",
+            &[
+                m.name.to_string(),
+                m.psync.run.commands.to_string(),
+                m.perbank.run.commands.to_string(),
+                r.to_string(),
+            ],
+        );
+    }
+    println!();
+    println!(
+        "mean command ratio: {:.2}x (paper: 2.74x)",
+        mean(&ratios)
+    );
+    tsv_row("fig03-mean", &[mean(&ratios).to_string()]);
+}

@@ -1,0 +1,74 @@
+//! Figure 8: SpMV speedup of pSyncPIM over the RTX 3080 GPU model, with
+//! the per-bank baseline, SpaceA and the 3× configuration.
+//!
+//! Paper reference points: pSyncPIM 1× = 1.96× GPU (geomean), 3× = 4.43×;
+//! per-bank ≈ pSync/6.26; pSync ≈ 0.56× SpaceA.
+
+use psim_bench::spmv_suite::SpmvMeasurement;
+use psim_bench::{fmt_x, geomean, human_row, tsv_row, Args};
+use psim_sparse::suite::{with_tag, Tag};
+
+fn main() {
+    let args = Args::parse();
+    println!("# Figure 8 — SpMV speedup vs GPU (scale {})", args.scale);
+    human_row(
+        &args,
+        &[
+            "matrix".into(),
+            "nnz".into(),
+            "per-bank".into(),
+            "SpaceA".into(),
+            "pSync 1x".into(),
+            "pSync 3x".into(),
+        ],
+    );
+    let mut s1 = Vec::new();
+    let mut s3 = Vec::new();
+    let mut spb = Vec::new();
+    let mut ssa = Vec::new();
+    for spec in with_tag(Tag::SpMv) {
+        if !args.selects(spec) {
+            continue;
+        }
+        let m = SpmvMeasurement::run(spec, args.scale);
+        s1.push(m.speedup_1x());
+        s3.push(m.speedup_3x());
+        spb.push(m.speedup_perbank());
+        ssa.push(m.speedup_spacea());
+        human_row(
+            &args,
+            &[
+                m.name.to_string(),
+                m.nnz.to_string(),
+                fmt_x(m.speedup_perbank()),
+                fmt_x(m.speedup_spacea()),
+                fmt_x(m.speedup_1x()),
+                fmt_x(m.speedup_3x()),
+            ],
+        );
+        tsv_row(
+            "fig08",
+            &[
+                m.name.to_string(),
+                m.nnz.to_string(),
+                m.speedup_perbank().to_string(),
+                m.speedup_spacea().to_string(),
+                m.speedup_1x().to_string(),
+                m.speedup_3x().to_string(),
+            ],
+        );
+    }
+    let (g1, g3, gpb, gsa) = (geomean(&s1), geomean(&s3), geomean(&spb), geomean(&ssa));
+    println!();
+    println!("geomean speedups vs GPU:");
+    println!("  per-bank   {:>8}   (paper: pSync/6.26 = ~0.31x)", fmt_x(gpb));
+    println!("  SpaceA     {:>8}   (paper: pSync/0.56 = ~3.50x)", fmt_x(gsa));
+    println!("  pSync 1x   {:>8}   (paper: 1.96x)", fmt_x(g1));
+    println!("  pSync 3x   {:>8}   (paper: 4.43x)", fmt_x(g3));
+    println!("  pSync/SpaceA ratio {:.2} (paper: 0.56)", g1 / gsa.max(1e-30));
+    println!("  pSync/per-bank     {:.2} (paper: 6.26)", g1 / gpb.max(1e-30));
+    tsv_row(
+        "fig08-geomean",
+        &[gpb.to_string(), gsa.to_string(), g1.to_string(), g3.to_string()],
+    );
+}

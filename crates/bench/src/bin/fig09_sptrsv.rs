@@ -1,0 +1,88 @@
+//! Figure 9: SpTRSV speedup of pSyncPIM over cuSPARSE (GPU model), lower
+//! and upper triangles. Paper: 3.53× geomean, with `parabolic_fem` below
+//! 1× (hyper-sparse near-diagonal blocks, little row dependency).
+
+use psim_baselines::GpuModel;
+use psim_bench::{fmt_x, geomean, human_row, tsv_row, Args};
+use psim_kernels::{PimDevice, SptrsvPim};
+use psim_sparse::level::reorder_to_lower;
+use psim_sparse::suite::{with_tag, Tag};
+use psim_sparse::triangular::{unit_triangular_from, Triangle};
+use psim_sparse::{gen, LevelSchedule, Precision};
+
+fn main() {
+    let args = Args::parse();
+    println!("# Figure 9 — SpTRSV speedup vs cuSPARSE (scale {})", args.scale);
+    let gpu = GpuModel::rtx3080();
+    let mut all = Vec::new();
+    for (label, triangle) in [("lower", Triangle::Lower), ("upper", Triangle::Upper)] {
+        println!("\n[{label} triangular]");
+        human_row(
+            &args,
+            &[
+                "matrix".into(),
+                "nnz".into(),
+                "levels".into(),
+                "speedup".into(),
+            ],
+        );
+        let mut speedups = Vec::new();
+        for spec in with_tag(Tag::SpTrsv) {
+            if !args.selects(spec) {
+                continue;
+            }
+            let a = spec.generate(args.scale);
+            let t = unit_triangular_from(&a, triangle).expect("square");
+            let sched = LevelSchedule::analyze(&t);
+            let gpu_s = gpu.sptrsv_seconds(t.nnz(), t.dim(), &sched, Precision::Fp64);
+
+            // Host preprocessing: level reordering (paper §VI-D).
+            let (reordered, perm) = reorder_to_lower(&t);
+            let b = gen::dense_vector(t.dim(), 0xB0);
+            let pb: Vec<f64> = perm.iter().map(|&old| b[old]).collect();
+            let solver = SptrsvPim::new(PimDevice::psync_1x());
+            let res = solver.run(&reordered, &pb).expect("pim sptrsv");
+
+            // Verify against the reference solve.
+            let want = t.solve_colwise(&b).expect("reference");
+            for (new, &old) in perm.iter().enumerate() {
+                let diff = (res.x[new] - want[old]).abs();
+                assert!(
+                    diff < 1e-6 * want[old].abs().max(1.0),
+                    "{}: row {old} differs by {diff}",
+                    spec.name
+                );
+            }
+
+            let speedup = gpu_s / res.run.total_s();
+            speedups.push(speedup);
+            all.push(speedup);
+            human_row(
+                &args,
+                &[
+                    spec.name.to_string(),
+                    t.nnz().to_string(),
+                    sched.num_levels().to_string(),
+                    fmt_x(speedup),
+                ],
+            );
+            tsv_row(
+                "fig09",
+                &[
+                    label.to_string(),
+                    spec.name.to_string(),
+                    t.nnz().to_string(),
+                    sched.num_levels().to_string(),
+                    speedup.to_string(),
+                ],
+            );
+        }
+        println!("  geomean ({label}): {}", fmt_x(geomean(&speedups)));
+    }
+    println!();
+    println!(
+        "overall geomean: {} (paper: 3.53x)",
+        fmt_x(geomean(&all))
+    );
+    tsv_row("fig09-geomean", &[geomean(&all).to_string()]);
+}

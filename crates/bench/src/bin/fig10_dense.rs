@@ -1,0 +1,101 @@
+//! Figure 10: dense BLAS kernel throughput, per-bank PIM vs pSyncPIM, at
+//! INT8 and FP64. Paper: pSyncPIM ≈ 9.6× per-bank on average.
+
+use psim_bench::{geomean, human_row, tsv_row, Args};
+use psim_kernels::blas1::Blas1Pim;
+use psim_kernels::gemv::Gemv;
+use psim_kernels::PimDevice;
+use psim_sparse::{gen, Precision};
+
+fn main() {
+    let args = Args::parse();
+    // Vector length scales with --scale; DGEMV dimension likewise.
+    let n = ((2_000_000.0 * args.scale) as usize).clamp(8_192, 4_000_000);
+    let gemv_dim = ((1_024.0 * (args.scale * 50.0).sqrt()) as usize).clamp(64, 2048);
+    println!("# Figure 10 — dense BLAS throughput (vector n = {n}, DGEMV {gemv_dim}x{gemv_dim})");
+    human_row(
+        &args,
+        &[
+            "kernel".into(),
+            "precision".into(),
+            "PB Gelem/s".into(),
+            "pSync Gelem/s".into(),
+            "speedup".into(),
+        ],
+    );
+
+    let x = gen::dense_vector(n, 1);
+    let y = gen::dense_vector(n, 2);
+    let a = gen::dense_vector(gemv_dim * gemv_dim, 3);
+    let xg = gen::dense_vector(gemv_dim, 4);
+    let mut ratios = Vec::new();
+
+    for precision in [Precision::Int8, Precision::Fp64] {
+        for kernel in ["DCOPY", "DSCAL", "DAXPY", "DDOT", "DGEMV"] {
+            let time_on = |device: PimDevice| -> (f64, f64) {
+                // (seconds, elements processed)
+                match kernel {
+                    "DCOPY" => {
+                        let r = Blas1Pim::new(device, precision).dcopy(&x).expect("dcopy");
+                        (r.run.total_s(), n as f64)
+                    }
+                    "DSCAL" => {
+                        let r = Blas1Pim::new(device, precision)
+                            .dscal(1.5, &x)
+                            .expect("dscal");
+                        (r.run.total_s(), n as f64)
+                    }
+                    "DAXPY" => {
+                        let r = Blas1Pim::new(device, precision)
+                            .daxpy(2.0, &x, &y)
+                            .expect("daxpy");
+                        (r.run.total_s(), 2.0 * n as f64)
+                    }
+                    "DDOT" => {
+                        let r = Blas1Pim::new(device, precision).ddot(&x, &y).expect("ddot");
+                        (r.run.total_s(), 2.0 * n as f64)
+                    }
+                    "DGEMV" => {
+                        let r = Gemv::new(device, precision)
+                            .dgemv(&a, gemv_dim, gemv_dim, &xg)
+                            .expect("dgemv");
+                        (r.run.total_s(), 2.0 * (gemv_dim * gemv_dim) as f64)
+                    }
+                    other => unreachable!("unknown kernel {other}"),
+                }
+            };
+            let (pb_s, ops) = time_on(PimDevice::per_bank());
+            let (ab_s, _) = time_on(PimDevice::psync_1x());
+            let pb_tput = ops / pb_s / 1e9;
+            let ab_tput = ops / ab_s / 1e9;
+            let ratio = ab_tput / pb_tput;
+            ratios.push(ratio);
+            human_row(
+                &args,
+                &[
+                    kernel.to_string(),
+                    precision.to_string(),
+                    format!("{pb_tput:.3}"),
+                    format!("{ab_tput:.3}"),
+                    format!("{ratio:.2}x"),
+                ],
+            );
+            tsv_row(
+                "fig10",
+                &[
+                    kernel.to_string(),
+                    precision.to_string(),
+                    pb_tput.to_string(),
+                    ab_tput.to_string(),
+                    ratio.to_string(),
+                ],
+            );
+        }
+    }
+    println!();
+    println!(
+        "geomean pSync/per-bank speedup: {:.2}x (paper: 9.6x average)",
+        geomean(&ratios)
+    );
+    tsv_row("fig10-geomean", &[geomean(&ratios).to_string()]);
+}

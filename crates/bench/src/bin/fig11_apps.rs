@@ -1,0 +1,82 @@
+//! Figure 11: end-to-end application speedup of pSyncPIM over the GPU.
+//! Paper: graphs 51.6× geomean; linear solvers 2.2× geomean.
+
+use psim_bench::apps_suite::{operand, run_app, App, Backend};
+use psim_bench::{fmt_x, geomean, human_row, tsv_row, Args};
+use psim_kernels::PimDevice;
+
+fn main() {
+    let args = Args::parse();
+    // Graph apps stay small (each PIM kernel is fully simulated); the
+    // solvers run larger so multi-chunk levels shape the SpTRSV cost as
+    // they do at paper scale.
+    let cap_dim_graphs = 1_200;
+    let cap_dim_solvers = 4_000;
+    let per_app_matrices = 2;
+    println!(
+        "# Figure 11 — application speedup vs GPU (scale {}, caps {cap_dim_graphs}/{cap_dim_solvers})",
+        args.scale
+    );
+    human_row(&args, &["app".into(), "GPU s".into(), "PIM s".into(), "speedup".into()]);
+    let device = PimDevice::psync_1x();
+    let mut graph_speedups = Vec::new();
+    let mut solver_speedups = Vec::new();
+    for app in App::ALL {
+        let mut gpu_s = 0.0;
+        let mut pim_s = 0.0;
+        for spec in app.matrices().into_iter().take(per_app_matrices) {
+            if !args.selects(spec) {
+                continue;
+            }
+            let cap = match app {
+                App::PCg | App::PBcgs => cap_dim_solvers,
+                _ => cap_dim_graphs,
+            };
+            let a = operand(app, spec, args.scale, cap);
+            gpu_s += run_app(app, &a, &Backend::Gpu).total_s();
+            pim_s += run_app(app, &a, &Backend::Pim(device.clone())).total_s();
+        }
+        if pim_s <= 0.0 {
+            continue;
+        }
+        let speedup = gpu_s / pim_s;
+        match app {
+            App::PCg | App::PBcgs => solver_speedups.push(speedup),
+            _ => graph_speedups.push(speedup),
+        }
+        human_row(
+            &args,
+            &[
+                app.name().to_string(),
+                format!("{gpu_s:.3e}"),
+                format!("{pim_s:.3e}"),
+                fmt_x(speedup),
+            ],
+        );
+        tsv_row(
+            "fig11",
+            &[
+                app.name().to_string(),
+                gpu_s.to_string(),
+                pim_s.to_string(),
+                speedup.to_string(),
+            ],
+        );
+    }
+    println!();
+    println!(
+        "graph apps geomean:   {} (paper: 51.6x)",
+        fmt_x(geomean(&graph_speedups))
+    );
+    println!(
+        "linear solver geomean: {} (paper: 2.2x)",
+        fmt_x(geomean(&solver_speedups))
+    );
+    tsv_row(
+        "fig11-geomean",
+        &[
+            geomean(&graph_speedups).to_string(),
+            geomean(&solver_speedups).to_string(),
+        ],
+    );
+}

@@ -1,0 +1,81 @@
+//! Figure 12: kernel-time breakdown of each application on GPU vs
+//! pSyncPIM — showing where the PIM wins come from (vector-op overheads
+//! collapse; SpMV accelerates; SpTRSV stays serialized but faster).
+
+use psim_apps::Breakdown;
+use psim_bench::apps_suite::{operand, run_app, App, Backend};
+use psim_bench::{human_row, tsv_row, Args};
+use psim_kernels::PimDevice;
+
+fn main() {
+    let args = Args::parse();
+    // Graph apps stay small (each PIM kernel is fully simulated); the
+    // solvers run larger so multi-chunk levels shape the SpTRSV cost as
+    // they do at paper scale.
+    let cap_dim_graphs = 1_200;
+    let cap_dim_solvers = 4_000;
+    let per_app_matrices = 2;
+    println!(
+        "# Figure 12 — kernel breakdown GPU vs pSyncPIM (scale {}, caps {cap_dim_graphs}/{cap_dim_solvers})",
+        args.scale
+    );
+    human_row(
+        &args,
+        &[
+            "app/device".into(),
+            "SpGEMM %".into(),
+            "SpTRSV %".into(),
+            "SpMV %".into(),
+            "Vector %".into(),
+            "total s".into(),
+        ],
+    );
+    let device = PimDevice::psync_1x();
+    for app in App::ALL {
+        for (label, backend) in [
+            ("GPU", Backend::Gpu),
+            ("PIM", Backend::Pim(device.clone())),
+        ] {
+            let mut agg = Breakdown::default();
+            for spec in app.matrices().into_iter().take(per_app_matrices) {
+                if !args.selects(spec) {
+                    continue;
+                }
+                let cap = match app {
+                App::PCg | App::PBcgs => cap_dim_solvers,
+                _ => cap_dim_graphs,
+            };
+            let a = operand(app, spec, args.scale, cap);
+                let run = run_app(app, &a, &backend);
+                agg.spmv_s += run.breakdown.spmv_s;
+                agg.sptrsv_s += run.breakdown.sptrsv_s;
+                agg.vector_s += run.breakdown.vector_s;
+                agg.spgemm_s += run.breakdown.spgemm_s;
+            }
+            let f = agg.fractions();
+            human_row(
+                &args,
+                &[
+                    format!("{} ({label})", app.name()),
+                    format!("{:.1}", f[3] * 100.0),
+                    format!("{:.1}", f[1] * 100.0),
+                    format!("{:.1}", f[0] * 100.0),
+                    format!("{:.1}", f[2] * 100.0),
+                    format!("{:.3e}", agg.total_s()),
+                ],
+            );
+            tsv_row(
+                "fig12",
+                &[
+                    app.name().to_string(),
+                    label.to_string(),
+                    f[3].to_string(),
+                    f[1].to_string(),
+                    f[0].to_string(),
+                    f[2].to_string(),
+                    agg.total_s().to_string(),
+                ],
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 13: Triangle Counting with the SpGEMM accelerator, alone vs
+//! conjugated with pSyncPIM. Paper: offloading the SpMV kernels to PIM
+//! gives a 2.0× boost over the accelerator-only configuration.
+
+use psim_apps::tc::{triangle_count, TcBackend};
+use psim_baselines::SpgemmAccel;
+use psim_bench::{fmt_x, geomean, human_row, tsv_row, Args};
+use psim_kernels::PimDevice;
+use psim_sparse::suite::{with_tag, Tag};
+
+fn main() {
+    let args = Args::parse();
+    let cap_dim = 20_000;
+    println!(
+        "# Figure 13 — TC: accelerator-only vs accelerator + pSyncPIM (scale {})",
+        args.scale
+    );
+    human_row(
+        &args,
+        &[
+            "matrix".into(),
+            "triangles".into(),
+            "accel-only s".into(),
+            "accel+PIM s".into(),
+            "speedup".into(),
+        ],
+    );
+    let acc = SpgemmAccel::innersp();
+    let device = PimDevice::psync_1x();
+    let mut speedups = Vec::new();
+    for spec in with_tag(Tag::Graphs) {
+        if !args.selects(spec) {
+            continue;
+        }
+        let scale = args.scale.min(cap_dim as f64 / spec.dim as f64);
+        let g = spec.generate(scale);
+        let (t, only) = triangle_count(&g, &TcBackend::AccelOnly(acc));
+        let (_, plus) = triangle_count(&g, &TcBackend::AccelPlusPim(acc, device.clone()));
+        let speedup = only.total_s() / plus.total_s();
+        speedups.push(speedup);
+        human_row(
+            &args,
+            &[
+                spec.name.to_string(),
+                t.to_string(),
+                format!("{:.3e}", only.total_s()),
+                format!("{:.3e}", plus.total_s()),
+                fmt_x(speedup),
+            ],
+        );
+        tsv_row(
+            "fig13",
+            &[
+                spec.name.to_string(),
+                t.to_string(),
+                only.total_s().to_string(),
+                plus.total_s().to_string(),
+                speedup.to_string(),
+            ],
+        );
+    }
+    println!();
+    println!(
+        "geomean accel+PIM speedup over accel-only: {} (paper: 2.0x)",
+        fmt_x(geomean(&speedups))
+    );
+    tsv_row("fig13-geomean", &[geomean(&speedups).to_string()]);
+}

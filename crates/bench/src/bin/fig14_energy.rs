@@ -1,0 +1,58 @@
+//! Figure 14: SpMV energy, per-bank PIM vs pSyncPIM. Paper: pSyncPIM is
+//! 2.67× more energy-efficient on average and stays under 5 W.
+
+use psim_bench::spmv_suite::SpmvMeasurement;
+use psim_bench::{human_row, mean, tsv_row, Args};
+use psim_sparse::suite::{with_tag, Tag};
+
+fn main() {
+    let args = Args::parse();
+    println!("# Figure 14 — SpMV energy, per-bank vs pSyncPIM (scale {})", args.scale);
+    human_row(
+        &args,
+        &[
+            "matrix".into(),
+            "PB mJ".into(),
+            "pSync mJ".into(),
+            "ratio".into(),
+            "pSync W".into(),
+        ],
+    );
+    let mut ratios = Vec::new();
+    let mut watts = Vec::new();
+    for spec in with_tag(Tag::SpMv) {
+        if !args.selects(spec) {
+            continue;
+        }
+        let m = SpmvMeasurement::run(spec, args.scale);
+        let ratio = m.energy_ratio();
+        let w = m.psync.run.energy_j / m.psync.run.kernel_s.max(1e-30);
+        ratios.push(ratio);
+        watts.push(w);
+        human_row(
+            &args,
+            &[
+                m.name.to_string(),
+                format!("{:.4}", m.perbank.run.energy_j * 1e3),
+                format!("{:.4}", m.psync.run.energy_j * 1e3),
+                format!("{ratio:.2}x"),
+                format!("{w:.2}"),
+            ],
+        );
+        tsv_row(
+            "fig14",
+            &[
+                m.name.to_string(),
+                m.perbank.run.energy_j.to_string(),
+                m.psync.run.energy_j.to_string(),
+                ratio.to_string(),
+                w.to_string(),
+            ],
+        );
+    }
+    println!();
+    println!("mean energy ratio PB/pSync: {:.2}x (paper: 2.67x)", mean(&ratios));
+    let max_w = watts.iter().copied().fold(0.0f64, f64::max);
+    println!("max pSyncPIM power: {max_w:.2} W (paper: <= 5.0 W)");
+    tsv_row("fig14-mean", &[mean(&ratios).to_string(), max_w.to_string()]);
+}

@@ -1,0 +1,137 @@
+//! Consolidate the `#TSV` rows that the figure binaries emit into one
+//! markdown report (headline numbers plus per-figure tables).
+//!
+//! ```sh
+//! for b in fig03_commands fig08_spmv fig09_sptrsv; do
+//!     cargo run --release -p psim-bench --bin $b > results/$b.txt; done
+//! cargo run --release -p psim-bench --bin report -- results > REPORT.md
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
+    let rows = collect_tsv(Path::new(&dir));
+    if rows.is_empty() {
+        eprintln!("no #TSV rows found under {dir}; run the fig* binaries first");
+        std::process::exit(1);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "# pSyncPIM reproduction report\n");
+    let _ = writeln!(out, "Generated from `{dir}/*.txt`.\n");
+
+    headline(&mut out, &rows);
+    per_figure(&mut out, &rows);
+    print!("{out}");
+}
+
+/// tag -> list of field rows.
+fn collect_tsv(dir: &Path) -> BTreeMap<String, Vec<Vec<String>>> {
+    let mut rows: BTreeMap<String, Vec<Vec<String>>> = BTreeMap::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return rows;
+    };
+    for entry in entries.flatten() {
+        let Ok(text) = fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        for line in text.lines() {
+            let mut fields = line.split('\t');
+            if fields.next() != Some("#TSV") {
+                continue;
+            }
+            let Some(tag) = fields.next() else { continue };
+            rows.entry(tag.to_string())
+                .or_default()
+                .push(fields.map(str::to_string).collect());
+        }
+    }
+    rows
+}
+
+fn get1(rows: &BTreeMap<String, Vec<Vec<String>>>, tag: &str, idx: usize) -> Option<f64> {
+    rows.get(tag)?.last()?.get(idx)?.parse().ok()
+}
+
+fn headline(out: &mut String, rows: &BTreeMap<String, Vec<Vec<String>>>) {
+    let _ = writeln!(out, "## Headline vs paper\n");
+    let _ = writeln!(out, "| metric | paper | measured |");
+    let _ = writeln!(out, "|---|---|---|");
+    let mut row = |name: &str, paper: &str, v: Option<f64>| {
+        if let Some(v) = v {
+            let _ = writeln!(out, "| {name} | {paper} | {v:.2} |");
+        }
+    };
+    row("SpMV speedup vs GPU, 1x (geomean)", "1.96x", get1(rows, "fig08-geomean", 2));
+    row("SpMV speedup vs GPU, 3x", "4.43x", get1(rows, "fig08-geomean", 3));
+    row("SpMV per-bank vs GPU", "~0.31x", get1(rows, "fig08-geomean", 0));
+    row("SpaceA vs GPU", "~3.5x", get1(rows, "fig08-geomean", 1));
+    row("SpTRSV speedup vs cuSPARSE (geomean)", "3.53x", get1(rows, "fig09-geomean", 0));
+    row("dense BLAS pSync/per-bank (geomean)", "9.6x", get1(rows, "fig10-geomean", 0));
+    row("graph apps vs GPU (geomean)", "51.6x", get1(rows, "fig11-geomean", 0));
+    row("linear solvers vs GPU (geomean)", "2.2x", get1(rows, "fig11-geomean", 1));
+    row("TC accel+PIM / accel-only (geomean)", "2.0x", get1(rows, "fig13-geomean", 0));
+    row("energy per-bank / pSync (mean)", "2.67x", get1(rows, "fig14-mean", 0));
+    row("PB/AB command ratio (mean)", "2.74x", get1(rows, "fig03-mean", 0));
+    let _ = writeln!(out);
+}
+
+fn per_figure(out: &mut String, rows: &BTreeMap<String, Vec<Vec<String>>>) {
+    let tables: &[(&str, &str, &[&str])] = &[
+        (
+            "fig03",
+            "Figure 3 — SpMV memory commands, per-bank vs all-bank",
+            &["matrix", "AB cmds", "PB cmds", "ratio"],
+        ),
+        (
+            "fig08",
+            "Figure 8 — SpMV speedups over the GPU model",
+            &["matrix", "nnz", "per-bank", "SpaceA", "pSync 1x", "pSync 3x"],
+        ),
+        (
+            "fig09",
+            "Figure 9 — SpTRSV speedups over cuSPARSE",
+            &["triangle", "matrix", "nnz", "levels", "speedup"],
+        ),
+        (
+            "fig10",
+            "Figure 10 — dense BLAS throughput (Gelem/s)",
+            &["kernel", "precision", "per-bank", "pSync", "speedup"],
+        ),
+        (
+            "fig11",
+            "Figure 11 — application speedups",
+            &["app", "GPU s", "PIM s", "speedup"],
+        ),
+        (
+            "fig13",
+            "Figure 13 — TC with the SpGEMM accelerator",
+            &["matrix", "triangles", "accel-only s", "accel+PIM s", "speedup"],
+        ),
+        (
+            "fig14",
+            "Figure 14 — SpMV energy",
+            &["matrix", "PB J", "pSync J", "ratio", "pSync W"],
+        ),
+    ];
+    for (tag, title, header) in tables {
+        let Some(data) = rows.get(*tag) else { continue };
+        let _ = writeln!(out, "## {title}\n");
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        let _ = writeln!(out, "|{}", "---|".repeat(header.len()));
+        for r in data {
+            let cells: Vec<String> = r
+                .iter()
+                .map(|c| match c.parse::<f64>() {
+                    Ok(v) if c.contains('.') || c.contains('e') => format!("{v:.3}"),
+                    _ => c.clone(),
+                })
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        let _ = writeln!(out);
+    }
+}

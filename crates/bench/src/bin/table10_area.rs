@@ -1,0 +1,17 @@
+//! Table X: area comparison of HBM-PIM, SpaceA and pSyncPIM.
+
+use psyncpim_core::area::table_x;
+
+fn main() {
+    println!("# Table X — area comparison");
+    println!(
+        "{:<18} {:>6} {:>12} {:>16} {:>10} {:>10}",
+        "design", "tech", "total mm^2", "stacks", "PE mm^2", "capacity"
+    );
+    for row in table_x() {
+        println!(
+            "{:<18} {:>6} {:>12.2} {:>16} {:>10.3} {:>8.0}GB",
+            row.name, row.tech, row.total_mm2, row.stacks, row.pe_mm2, row.capacity_gb
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Tables VII and VIII: the memory and processing-unit configuration.
+
+use psim_dram::HbmConfig;
+use psim_sparse::Precision;
+
+fn main() {
+    let c = HbmConfig::default();
+    println!("# Table VII — memory configuration");
+    println!("protocol                 HBM2");
+    println!("bank groups              {}", c.num_bankgroups);
+    println!("banks per group          {}", c.banks_per_group);
+    println!("memory rows              {}", c.num_rows);
+    println!("memory columns           {}", c.num_cols);
+    println!("row size                 {} B", c.row_bytes());
+    println!("stacks                   {}", c.num_stacks);
+    println!("pseudo-channels          {}", c.num_pseudo_channels);
+    println!("address mapping          rorabgbachco (rank 0 bits)");
+    println!("clock                    {:.0} MHz", c.clock_hz / 1e6);
+    println!(
+        "external / internal BW   {:.0} GB/s / {:.0} TB/s",
+        c.external_bw / 1e9,
+        c.internal_bw / 1e12
+    );
+    println!(
+        "capacity                 {} GB",
+        c.capacity_bytes() / (1024 * 1024 * 1024)
+    );
+    println!(
+        "timing (cycles)          tRCD {} tRP {} tRAS {} tCCD_S {} tCCD_L {} tRRD_S {} tRRD_L {} tFAW {} RL {} WL {}",
+        c.timing.t_rcd,
+        c.timing.t_rp,
+        c.timing.t_ras,
+        c.timing.t_ccd_s,
+        c.timing.t_ccd_l,
+        c.timing.t_rrd_s,
+        c.timing.t_rrd_l,
+        c.timing.t_faw,
+        c.timing.rl,
+        c.timing.wl
+    );
+
+    println!();
+    println!("# Table VIII — processing unit (per bank)");
+    println!("datapath width           32 B");
+    print!("ALU lanes               ");
+    for p in Precision::ALL {
+        print!(" {p}:{}", p.lanes());
+    }
+    println!();
+    println!("clock                    250 MHz");
+    println!("instruction registers    4 B x 32");
+    println!("scalar register          16 B");
+    println!("dense vector registers   32 B x 3");
+    println!("sparse vector queues     192 B x 3 (3 x 64 B sub-queues)");
+    println!("processing units / cube  {}", c.total_banks());
+}

@@ -1,0 +1,160 @@
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale <f>` — matrix dimension scale relative to Table IX
+//!   (default 0.1 regenerates each figure in seconds-to-minutes; the
+//!   average row degree — the property pSyncPIM's behaviour depends on —
+//!   is preserved under scaling, and ratios converge toward the paper's
+//!   as the scale rises),
+//! * `--full` — paper-scale matrices (slow: hours),
+//! * `--only <name>` — restrict to one matrix,
+//! * `--tsv` — machine-readable output only.
+//!
+//! Output convention: a human-readable table on stdout plus `#TSV`-prefixed
+//! machine rows, so `grep '^#TSV' | cut -f2-` feeds plotting scripts.
+
+use psim_sparse::suite::MatrixSpec;
+use std::fmt::Display;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Matrix scale (1.0 = Table IX dimensions).
+    pub scale: f64,
+    /// Restrict to one matrix name.
+    pub only: Option<String>,
+    /// Machine-readable output only.
+    pub tsv_only: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 0.1,
+            only: None,
+            tsv_only: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parse `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn parse() -> Args {
+        let mut args = Args::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    args.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a positive float");
+                }
+                "--full" => args.scale = 1.0,
+                "--only" => args.only = it.next(),
+                "--tsv" => args.tsv_only = true,
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale f | --full] [--only matrix] [--tsv]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other}; try --help"),
+            }
+        }
+        args
+    }
+
+    /// Whether a spec is selected by `--only`.
+    #[must_use]
+    pub fn selects(&self, spec: &MatrixSpec) -> bool {
+        self.only.as_deref().is_none_or(|n| n == spec.name)
+    }
+}
+
+/// Geometric mean of positive values (the paper's summary statistic).
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    let positives: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+    if positives.is_empty() {
+        return 0.0;
+    }
+    (positives.iter().map(|v| v.ln()).sum::<f64>() / positives.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Print one machine-readable row.
+pub fn tsv_row<D: Display>(tag: &str, fields: &[D]) {
+    let joined = fields
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\t");
+    println!("#TSV\t{tag}\t{joined}");
+}
+
+/// Print a right-aligned human table row unless `--tsv`.
+pub fn human_row(args: &Args, cols: &[String]) {
+    if args.tsv_only {
+        return;
+    }
+    let rendered: Vec<String> = cols
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if i == 0 {
+                format!("{c:<22}")
+            } else {
+                format!("{c:>12}")
+            }
+        })
+        .collect();
+    println!("{}", rendered.join(" "));
+}
+
+/// Format a speedup like the paper's figures.
+#[must_use]
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_matches_hand_value() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(geomean(&[0.0, -1.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn default_args() {
+        let a = Args::default();
+        assert_eq!(a.scale, 0.1);
+        assert!(a.selects(psim_sparse::suite::by_name("pwtk").unwrap()));
+    }
+}
+
+pub mod spmv_suite;
+pub mod apps_suite;

@@ -1,0 +1,115 @@
+//! Shared SpMV measurement used by Figures 3, 8 and 14.
+
+use psim_baselines::{GpuModel, SpaceAModel};
+use psim_kernels::spmv::SpmvResult;
+use psim_kernels::{PimDevice, SpmvPim};
+use psim_sparse::suite::MatrixSpec;
+use psim_sparse::{gen, Coo};
+
+/// All SpMV systems measured on one matrix.
+#[derive(Debug, Clone)]
+pub struct SpmvMeasurement {
+    /// Matrix name.
+    pub name: &'static str,
+    /// Generated instance shape.
+    pub dim: usize,
+    /// Generated instance non-zeros.
+    pub nnz: usize,
+    /// GPU (cuSPARSE) model seconds.
+    pub gpu_s: f64,
+    /// SpaceA model seconds.
+    pub spacea_s: f64,
+    /// pSyncPIM 1× run.
+    pub psync: SpmvResult,
+    /// pSyncPIM 3× run.
+    pub psync3: SpmvResult,
+    /// Per-bank baseline run.
+    pub perbank: SpmvResult,
+}
+
+impl SpmvMeasurement {
+    /// Measure one Table IX matrix at `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulated kernel fails (a bug, not an input error).
+    #[must_use]
+    pub fn run(spec: &MatrixSpec, scale: f64) -> SpmvMeasurement {
+        let a = spec.generate(scale);
+        Self::run_matrix(spec.name, &a, spec.precision)
+    }
+
+    /// Measure an arbitrary matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulated kernel fails.
+    #[must_use]
+    pub fn run_matrix(
+        name: &'static str,
+        a: &Coo,
+        precision: psim_sparse::Precision,
+    ) -> SpmvMeasurement {
+        let x = gen::dense_vector(a.ncols(), 0xF1);
+        let gpu = GpuModel::rtx3080();
+        // The paper matches external bandwidth: GPU is compared against
+        // the 3x config for the headline, 1x reported alongside.
+        let gpu_s = gpu.spmv_seconds(a.nnz(), a.nrows(), a.ncols(), psim_sparse::Precision::Fp64);
+        let spacea_s = SpaceAModel::hmc_256().spmv_seconds(a);
+        let psync = SpmvPim::new(PimDevice::psync_1x(), precision)
+            .run(a, &x)
+            .expect("psync 1x spmv");
+        let psync3 = SpmvPim::new(PimDevice::psync_3x(), precision)
+            .run(a, &x)
+            .expect("psync 3x spmv");
+        let perbank = SpmvPim::new(PimDevice::per_bank(), precision)
+            .run(a, &x)
+            .expect("per-bank spmv");
+        SpmvMeasurement {
+            name,
+            dim: a.nrows(),
+            nnz: a.nnz(),
+            gpu_s,
+            spacea_s,
+            psync,
+            psync3,
+            perbank,
+        }
+    }
+
+    /// Speedup of pSyncPIM 1× over the GPU.
+    #[must_use]
+    pub fn speedup_1x(&self) -> f64 {
+        self.gpu_s / self.psync.run.total_s()
+    }
+
+    /// Speedup of pSyncPIM 3× over the GPU.
+    #[must_use]
+    pub fn speedup_3x(&self) -> f64 {
+        self.gpu_s / self.psync3.run.total_s()
+    }
+
+    /// Speedup of the per-bank baseline over the GPU.
+    #[must_use]
+    pub fn speedup_perbank(&self) -> f64 {
+        self.gpu_s / self.perbank.run.total_s()
+    }
+
+    /// Speedup of SpaceA over the GPU.
+    #[must_use]
+    pub fn speedup_spacea(&self) -> f64 {
+        self.gpu_s / self.spacea_s
+    }
+
+    /// Per-bank / all-bank command-count ratio (Figure 3).
+    #[must_use]
+    pub fn command_ratio(&self) -> f64 {
+        self.perbank.run.commands as f64 / self.psync.run.commands as f64
+    }
+
+    /// Energy ratio per-bank / pSyncPIM (Figure 14).
+    #[must_use]
+    pub fn energy_ratio(&self) -> f64 {
+        self.perbank.run.energy_j / self.psync.run.energy_j
+    }
+}

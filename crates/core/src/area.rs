@@ -1,0 +1,112 @@
+//! Area model (paper §VII-F, Table X).
+//!
+//! The paper derives the processing-unit area from the Samsung HBM-PIM
+//! silicon report: 0.967 mm² per unit, 32 units per die (30.94 mm²), plus
+//! 38.05 mm² of banks and TSVs, for a 68.99 mm² total across 8 PIM stacks.
+
+use serde::{Deserialize, Serialize};
+
+/// Area breakdown of a PIM die/stack configuration in mm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// One processing unit.
+    pub pu_mm2: f64,
+    /// Processing units per die.
+    pub pus_per_die: usize,
+    /// Banks + TSV + periphery per die-stack.
+    pub rest_mm2: f64,
+}
+
+impl Default for AreaModel {
+    /// The pSyncPIM numbers of Table X.
+    fn default() -> Self {
+        AreaModel {
+            pu_mm2: 0.967,
+            pus_per_die: 32,
+            rest_mm2: 38.05,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Total processing-element area.
+    #[must_use]
+    pub fn pe_area_mm2(&self) -> f64 {
+        self.pu_mm2 * self.pus_per_die as f64
+    }
+
+    /// Total area.
+    #[must_use]
+    pub fn total_mm2(&self) -> f64 {
+        self.pe_area_mm2() + self.rest_mm2
+    }
+}
+
+/// One row of Table X for printing comparisons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaRow {
+    /// Design name.
+    pub name: &'static str,
+    /// Baseline memory technology.
+    pub tech: &'static str,
+    /// Total area in mm².
+    pub total_mm2: f64,
+    /// Stack configuration description.
+    pub stacks: &'static str,
+    /// Processing-element area in mm².
+    pub pe_mm2: f64,
+    /// Capacity in GB.
+    pub capacity_gb: f64,
+}
+
+/// The comparison rows of Table X.
+#[must_use]
+pub fn table_x() -> Vec<AreaRow> {
+    let psync = AreaModel::default();
+    vec![
+        AreaRow {
+            name: "Samsung HBM-PIM",
+            tech: "HBM",
+            total_mm2: 84.4,
+            stacks: "4 PIM + 4 HBM",
+            pe_mm2: 22.8,
+            capacity_gb: 6.0,
+        },
+        AreaRow {
+            name: "SpaceA",
+            tech: "HMC",
+            total_mm2: 48.0,
+            stacks: "8 PIM",
+            pe_mm2: 2.333,
+            capacity_gb: 8.0,
+        },
+        AreaRow {
+            name: "pSyncPIM",
+            tech: "HBM",
+            total_mm2: psync.total_mm2(),
+            stacks: "8 PIM",
+            pe_mm2: psync.pe_area_mm2(),
+            capacity_gb: 4.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_totals() {
+        let m = AreaModel::default();
+        assert!((m.pe_area_mm2() - 30.944).abs() < 1e-3);
+        assert!((m.total_mm2() - 68.99).abs() < 0.01);
+    }
+
+    #[test]
+    fn table_has_three_designs() {
+        let t = table_x();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[2].name, "pSyncPIM");
+        assert!((t[2].total_mm2 - 68.99).abs() < 0.01);
+    }
+}

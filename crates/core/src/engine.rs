@@ -1,0 +1,619 @@
+//! The partially synchronous execution engine.
+//!
+//! The engine couples the DRAM channel timing model with the processing
+//! units. In **all-bank** mode (the pSyncPIM contribution) the host derives
+//! a per-iteration command schedule from the kernel program and replays it:
+//! every column command is broadcast to all banks of a pseudo-channel and
+//! offered to every PU; row activations are shared ("reads and writes on
+//! rows of all banks are synchronized", §I); the next command may not issue
+//! until the slowest busy PU has drained (lockstep back-pressure); the loop
+//! repeats until every PU has exited (CEXIT). In **per-bank** mode each
+//! bank receives its own command stream through the shared, 2-command-per-
+//! cycle channel bus — the baseline of Figures 3 and 8.
+//!
+//! Channels execute independently; the cube's wall-clock is the slowest
+//! channel. Modeling notes (see DESIGN.md §8): the engine tracks open rows
+//! with its own non-stalling cursor per program slot (banks that predicate
+//! off catch up within later iterations of the same rows), and host
+//! completion detection is modeled as one MRS status poll per iteration.
+
+use crate::error::CoreError;
+use crate::isa::Program;
+use crate::memory::{BankMemory, Binding};
+use crate::pu::{ProcessingUnit, DRAM_CYCLES_PER_PU_CYCLE};
+use crate::stats::PuStats;
+use psim_dram::{Channel, ChannelStats, CmdKind, EnergyModel, EnergyStats, HbmConfig, IssueError, Scope};
+use serde::{Deserialize, Serialize};
+
+/// All-bank (pSyncPIM) vs per-bank (PB baseline) execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// One command drives every bank in a channel (AB-PIM).
+    AllBank,
+    /// Each bank is driven individually over the shared command bus.
+    PerBank,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Memory organization and timing.
+    pub hbm: HbmConfig,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Energy model for the report.
+    pub energy: EnergyModel,
+    /// Safety bound on kernel loop iterations per channel.
+    pub max_rounds: u64,
+    /// Record every issued DRAM command into [`RunReport::trace`]
+    /// (debug/visualization; memory-hungry on long kernels).
+    pub record_trace: bool,
+    /// Model periodic refresh (all-bank mode): every tREFI the engine
+    /// precharges, issues an all-bank REF and reopens lazily — the
+    /// bandwidth tax real DRAM pays. Off by default (kernel windows
+    /// between refreshes, as DRAMsim3-based studies commonly evaluate).
+    pub refresh: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            hbm: HbmConfig::default(),
+            mode: ExecMode::AllBank,
+            energy: EnergyModel::default(),
+            max_rounds: 50_000_000,
+            record_trace: false,
+            refresh: false,
+        }
+    }
+}
+
+/// One issued DRAM command, as recorded when
+/// [`EngineConfig::record_trace`] is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Pseudo-channel the command went to.
+    pub channel: usize,
+    /// Issue cycle (channel-local DRAM command clock).
+    pub cycle: u64,
+    /// Command scope.
+    pub scope: Scope,
+    /// The command.
+    pub cmd: CmdKind,
+}
+
+/// Issue a command, optionally recording it.
+fn issue_traced(
+    channel: &mut Channel,
+    trace: &mut Option<Vec<TraceEvent>>,
+    ch: usize,
+    scope: Scope,
+    cmd: CmdKind,
+    from: u64,
+) -> Result<psim_dram::Issued, IssueError> {
+    let issued = channel.issue_earliest(scope, cmd, from)?;
+    if let Some(events) = trace {
+        events.push(TraceEvent {
+            channel: ch,
+            cycle: issued.issue_cycle,
+            scope,
+            cmd,
+        });
+    }
+    Ok(issued)
+}
+
+/// Result of one kernel execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Wall-clock in DRAM command cycles (max over channels).
+    pub dram_cycles: u64,
+    /// Wall-clock in seconds.
+    pub seconds: f64,
+    /// Command counters summed over channels.
+    pub commands: ChannelStats,
+    /// Kernel loop iterations of the slowest channel.
+    pub rounds: u64,
+    /// Merged PU counters (exit_round keeps the last PU to finish).
+    pub pu: PuStats,
+    /// Energy accounting.
+    pub energy: EnergyStats,
+    /// Per-channel cycle counts.
+    pub per_channel_cycles: Vec<u64>,
+    /// Number of PUs that performed at least one productive memory op.
+    pub active_pus: usize,
+    /// Issued-command trace (empty unless [`EngineConfig::record_trace`]).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl RunReport {
+    /// Data actually moved through the banks, in bytes (bursts × burst
+    /// size).
+    #[must_use]
+    pub fn data_bytes(&self, cfg: &HbmConfig) -> u64 {
+        self.commands.bank_bursts * cfg.burst_bytes as u64
+    }
+
+    /// Achieved internal bandwidth in bytes/second.
+    #[must_use]
+    pub fn achieved_bandwidth(&self, cfg: &HbmConfig) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.data_bytes(cfg) as f64 / self.seconds
+    }
+
+    /// Fraction of the cube's internal bandwidth actually used — the
+    /// lockstep/row-thrash efficiency the paper's design trades for JEDEC
+    /// compatibility.
+    #[must_use]
+    pub fn internal_utilization(&self, cfg: &HbmConfig) -> f64 {
+        self.achieved_bandwidth(cfg) / cfg.internal_bw
+    }
+}
+
+/// The pSyncPIM cube: processing units + bank memories + channel models.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: EngineConfig,
+    mems: Vec<BankMemory>,
+    pus: Vec<ProcessingUnit>,
+    program: Option<Program>,
+    bindings: Vec<Option<Binding>>,
+}
+
+impl Engine {
+    /// Build a cube for the configuration.
+    #[must_use]
+    pub fn new(cfg: EngineConfig) -> Self {
+        let banks = cfg.hbm.total_banks();
+        let row_bytes = cfg.hbm.row_bytes();
+        Engine {
+            mems: (0..banks).map(|_| BankMemory::new(row_bytes)).collect(),
+            pus: (0..banks).map(|_| ProcessingUnit::new()).collect(),
+            program: None,
+            bindings: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Total banks (= PUs).
+    #[must_use]
+    pub fn num_banks(&self) -> usize {
+        self.mems.len()
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// A bank's memory.
+    #[must_use]
+    pub fn mem(&self, bank: usize) -> &BankMemory {
+        &self.mems[bank]
+    }
+
+    /// A bank's memory, mutably (host-side data placement).
+    pub fn mem_mut(&mut self, bank: usize) -> &mut BankMemory {
+        &mut self.mems[bank]
+    }
+
+    /// A bank's processing unit.
+    #[must_use]
+    pub fn pu(&self, bank: usize) -> &ProcessingUnit {
+        &self.pus[bank]
+    }
+
+    /// A bank's processing unit, mutably.
+    pub fn pu_mut(&mut self, bank: usize) -> &mut ProcessingUnit {
+        &mut self.pus[bank]
+    }
+
+    /// Program the same kernel into every PU. Region ids are per-bank, so
+    /// every bank must have allocated its regions in the same order (the
+    /// paper's equal-rows-per-bank layout).
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding validation failures.
+    pub fn load_kernel<B: Into<Binding>>(
+        &mut self,
+        program: Program,
+        bindings: Vec<Option<B>>,
+    ) -> Result<(), CoreError> {
+        let bindings: Vec<Option<Binding>> =
+            bindings.into_iter().map(|o| o.map(Into::into)).collect();
+        for pu in &mut self.pus {
+            pu.load_kernel(program.clone(), bindings.clone())?;
+        }
+        self.program = Some(program);
+        self.bindings = bindings;
+        Ok(())
+    }
+
+    /// Seed every PU's scalar register (e.g. α for AXPY).
+    pub fn set_srf_all(&mut self, v: f64) {
+        for pu in &mut self.pus {
+            pu.set_srf(v);
+        }
+    }
+
+    /// Execute the loaded kernel to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Execution`] if no kernel is loaded or the round bound
+    /// is exceeded (kernel never exits).
+    pub fn run(&mut self) -> Result<RunReport, CoreError> {
+        let program = self
+            .program
+            .clone()
+            .ok_or_else(|| CoreError::Execution("no kernel loaded".to_string()))?;
+        let schedule = program.command_schedule()?;
+        let banks_per_channel = self.cfg.hbm.banks_per_channel();
+        let channels = self.cfg.hbm.num_pseudo_channels;
+
+        let mut per_channel_cycles = Vec::with_capacity(channels);
+        let mut commands = ChannelStats::default();
+        let mut max_rounds_seen = 0u64;
+        let mut trace: Vec<TraceEvent> = Vec::new();
+
+        for ch in 0..channels {
+            let lo = ch * banks_per_channel;
+            let hi = lo + banks_per_channel;
+            let (cycles, stats, rounds, ch_trace) = match self.cfg.mode {
+                ExecMode::AllBank => self.run_channel_allbank(&program, &schedule, ch, lo, hi)?,
+                ExecMode::PerBank => self.run_channel_perbank(&program, &schedule, ch, lo, hi)?,
+            };
+            per_channel_cycles.push(cycles);
+            commands.merge(&stats);
+            max_rounds_seen = max_rounds_seen.max(rounds);
+            if let Some(mut t) = ch_trace {
+                trace.append(&mut t);
+            }
+        }
+
+        let dram_cycles = per_channel_cycles.iter().copied().max().unwrap_or(0);
+        let seconds = dram_cycles as f64 * self.cfg.hbm.cycle_seconds();
+
+        let mut pu_stats = PuStats::new();
+        let mut active_pus = 0usize;
+        let mut lane_op_energy = 0.0;
+        for pu in &self.pus {
+            let s = pu.stats();
+            if s.mem_ops > 0 {
+                active_pus += 1;
+            }
+            lane_op_energy += self.cfg.energy.pu_op_energy_pj(8, s.lane_ops);
+            pu_stats.merge(s);
+        }
+
+        let mut energy = EnergyStats::default();
+        energy.dram_pj = self.cfg.energy.dram_energy_pj(&commands, 0);
+        energy.pu_pj = lane_op_energy;
+        energy.background_pj = self.cfg.energy.background_pj(seconds, active_pus);
+
+        Ok(RunReport {
+            dram_cycles,
+            seconds,
+            commands,
+            rounds: max_rounds_seen,
+            pu: pu_stats,
+            energy,
+            per_channel_cycles,
+            active_pus,
+            trace,
+        })
+    }
+
+    /// Element width/advance for the engine's open-row cursor at a slot.
+    fn slot_advance(ins: &crate::isa::Instruction) -> (usize, usize) {
+        use crate::isa::{Instruction as I, Operand};
+        match *ins {
+            I::Dmov {
+                dst: Operand::Srf, ..
+            }
+            | I::Dmov {
+                src: Operand::Srf, ..
+            } => (8, 1),
+            I::Dmov { precision, .. } | I::SpMov { precision, .. } => {
+                (precision.bytes(), precision.lanes())
+            }
+            I::GthSct {
+                dst: Operand::Bank,
+                ..
+            } => (8, 0), // scatter is random within the open row
+            I::GthSct { precision, .. } => (precision.bytes(), precision.lanes()),
+            I::SpFw { precision, .. } => (precision.bytes(), 3 * precision.lanes()),
+            // Gathers/accumulates address randomly within their (single-row)
+            // region; the cursor stays at the region head.
+            I::IndMov { .. } | I::SpVdv { .. } => (8, 0),
+            _ => (8, 0),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_channel_allbank(
+        &mut self,
+        program: &Program,
+        schedule: &[usize],
+        ch: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Result<(u64, ChannelStats, u64, Option<Vec<TraceEvent>>), CoreError> {
+        let mut channel = Channel::new(&self.cfg.hbm);
+        let mut trace: Option<Vec<TraceEvent>> = self.cfg.record_trace.then(Vec::new);
+        let row_bytes = self.cfg.hbm.row_bytes();
+        let col_bytes = self.cfg.hbm.col_bytes;
+        let mut now: u64 = 0;
+
+        // Mode switching (SB→AB→AB-PIM) + CRF programming as MRS commands.
+        let setup_cmds = 2 * psim_dram::mode::SWITCH_SEQUENCE_LEN + program.len();
+        for _ in 0..setup_cmds {
+            now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Mrs, now)
+                .map_err(|e| CoreError::Execution(e.to_string()))?
+                .issue_cycle;
+        }
+
+        for b in lo..hi {
+            self.pus[b].run_free(&mut self.mems[b]);
+        }
+
+        let t_refi = self.cfg.hbm.timing.t_refi;
+        let mut next_refresh = now + t_refi;
+        let mut cursors: Vec<usize> = (0..program.len())
+            .map(|slot| self.bindings.get(slot).copied().flatten().map_or(0, |b| b.offset))
+            .collect();
+        let mut open_row: Option<u32> = None;
+        let mut rounds = 0u64;
+        // Read-latency depth the command pipeline hides: PU consumption of
+        // burst k overlaps issue of burst k+1.
+        let pipeline = self.cfg.hbm.timing.rl + 1;
+        let mut pu_free: u64 = 0;
+
+        'outer: loop {
+            if (lo..hi).all(|b| self.pus[b].exited()) {
+                break;
+            }
+            rounds += 1;
+            if rounds > self.cfg.max_rounds {
+                return Err(CoreError::Execution(format!(
+                    "kernel exceeded {} rounds without exiting",
+                    self.cfg.max_rounds
+                )));
+            }
+            for &slot in schedule {
+                if self.cfg.refresh && now >= next_refresh {
+                    if open_row.is_some() {
+                        now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Pre, now)
+                            .map_err(|e| CoreError::Execution(e.to_string()))?
+                            .issue_cycle;
+                        open_row = None;
+                    }
+                    now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Ref, now)
+                        .map_err(|e| CoreError::Execution(e.to_string()))?
+                        .issue_cycle;
+                    next_refresh = now + t_refi;
+                }
+                let ins = &program[slot];
+                let binding = self.bindings[slot].expect("validated at load");
+                let region_id = binding.region;
+                let (elem_bytes, natural) = Self::slot_advance(ins);
+                let advance = binding.stride.unwrap_or(natural);
+                // Engine-side open-row bookkeeping uses bank `lo`'s layout;
+                // all banks allocate regions identically (equal rows/bank).
+                let region = self.mems[lo].region(region_id);
+                let byte_off = cursors[slot] * elem_bytes;
+                let want_row = region.start_row() + (byte_off / row_bytes) as u32;
+                if open_row != Some(want_row) {
+                    if open_row.is_some() {
+                        now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Pre, now)
+                            .map_err(|e| CoreError::Execution(e.to_string()))?
+                            .issue_cycle;
+                    }
+                    now = issue_traced(
+                        &mut channel,
+                        &mut trace,
+                        ch,
+                        Scope::AllBanks,
+                        CmdKind::Act { row: want_row },
+                        now,
+                    )
+                    .map_err(|e| CoreError::Execution(e.to_string()))?
+                    .issue_cycle;
+                    open_row = Some(want_row);
+                }
+                let col = ((byte_off % row_bytes) / col_bytes) as u32;
+                let kind = if ins.writes_bank() {
+                    CmdKind::Wr { col }
+                } else {
+                    CmdKind::Rd { col }
+                };
+                let issued = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, kind, now)
+                    .map_err(|e| CoreError::Execution(e.to_string()))?;
+                now = issued.issue_cycle;
+
+                let mut max_busy = 0u64;
+                for b in lo..hi {
+                    let was_exited = self.pus[b].exited();
+                    let rep = self.pus[b].on_command(slot, &mut self.mems[b]);
+                    max_busy = max_busy.max(rep.pu_cycles);
+                    if !was_exited && self.pus[b].exited() {
+                        self.pus[b].mark_exit_round(rounds);
+                    }
+                }
+                // Lockstep back-pressure with pipelining: the slowest PU
+                // consumes burst k while burst k+1 is in flight; only a PU
+                // that falls behind the read latency stalls the bus.
+                pu_free = pu_free.max(issued.data_cycle) + max_busy * DRAM_CYCLES_PER_PU_CYCLE;
+                now = now.max(pu_free.saturating_sub(pipeline));
+                cursors[slot] += advance;
+
+                if (lo..hi).all(|b| self.pus[b].exited()) {
+                    break 'outer;
+                }
+            }
+            // Host completion poll (one MRS status read per iteration).
+            now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Mrs, now)
+                .map_err(|e| CoreError::Execution(e.to_string()))?
+                .issue_cycle;
+        }
+        if open_row.is_some() {
+            now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Pre, now)
+                .map_err(|e| CoreError::Execution(e.to_string()))?
+                .issue_cycle;
+        }
+        // Switch back to SB mode.
+        for _ in 0..2 * psim_dram::mode::SWITCH_SEQUENCE_LEN {
+            now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Mrs, now)
+                .map_err(|e| CoreError::Execution(e.to_string()))?
+                .issue_cycle;
+        }
+        Ok((now, *channel.stats(), rounds, trace))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_channel_perbank(
+        &mut self,
+        program: &Program,
+        schedule: &[usize],
+        ch: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Result<(u64, ChannelStats, u64, Option<Vec<TraceEvent>>), CoreError> {
+        let mut channel = Channel::new(&self.cfg.hbm);
+        let mut trace: Option<Vec<TraceEvent>> = self.cfg.record_trace.then(Vec::new);
+        let row_bytes = self.cfg.hbm.row_bytes();
+        let col_bytes = self.cfg.hbm.col_bytes;
+        let nbanks = hi - lo;
+        let banks_per_group = self.cfg.hbm.banks_per_group;
+
+        // Per-bank setup: each bank's CRF is programmed individually.
+        let mut now: u64 = 0;
+        let setup_cmds = (2 * psim_dram::mode::SWITCH_SEQUENCE_LEN + program.len()) * nbanks;
+        for i in 0..setup_cmds {
+            let b = i % nbanks;
+            let scope = Scope::OneBank {
+                bg: b / banks_per_group,
+                ba: b % banks_per_group,
+            };
+            now = issue_traced(&mut channel, &mut trace, ch, scope, CmdKind::Mrs, now)
+                .map_err(|e| CoreError::Execution(e.to_string()))?
+                .issue_cycle;
+        }
+
+        struct BankCtl {
+            sched_idx: usize,
+            rounds: u64,
+            cursors: Vec<usize>,
+            open_row: Option<u32>,
+            ready: u64,
+            pu_free: u64,
+        }
+        let init_cursors: Vec<usize> = (0..program.len())
+            .map(|slot| self.bindings.get(slot).copied().flatten().map_or(0, |b| b.offset))
+            .collect();
+        let pipeline = self.cfg.hbm.timing.rl + 1;
+        let mut ctls: Vec<BankCtl> = (0..nbanks)
+            .map(|_| BankCtl {
+                sched_idx: 0,
+                rounds: 0,
+                cursors: init_cursors.clone(),
+                open_row: None,
+                ready: now,
+                pu_free: 0,
+            })
+            .collect();
+        for b in lo..hi {
+            self.pus[b].run_free(&mut self.mems[b]);
+        }
+
+        let mut floor = now;
+        let mut max_rounds = 0u64;
+        loop {
+            let mut any_active = false;
+            for i in 0..nbanks {
+                let bank = lo + i;
+                if self.pus[bank].exited() {
+                    continue;
+                }
+                any_active = true;
+                let ctl = &mut ctls[i];
+                if ctl.rounds > self.cfg.max_rounds {
+                    return Err(CoreError::Execution(format!(
+                        "per-bank kernel exceeded {} rounds",
+                        self.cfg.max_rounds
+                    )));
+                }
+                let slot = schedule[ctl.sched_idx];
+                let ins = &program[slot];
+                let binding = self.bindings[slot].expect("validated at load");
+                let region_id = binding.region;
+                let (elem_bytes, natural) = Self::slot_advance(ins);
+                let advance = binding.stride.unwrap_or(natural);
+                let region = self.mems[bank].region(region_id);
+                let byte_off = ctl.cursors[slot] * elem_bytes;
+                let want_row = region.start_row() + (byte_off / row_bytes) as u32;
+                let scope = Scope::OneBank {
+                    bg: i / banks_per_group,
+                    ba: i % banks_per_group,
+                };
+                let mut t = ctl.ready.max(floor);
+                if ctl.open_row != Some(want_row) {
+                    if ctl.open_row.is_some() {
+                        t = issue_traced(&mut channel, &mut trace, ch, scope, CmdKind::Pre, t)
+                            .map_err(|e| CoreError::Execution(e.to_string()))?
+                            .issue_cycle;
+                    }
+                    t = issue_traced(
+                        &mut channel,
+                        &mut trace,
+                        ch,
+                        scope,
+                        CmdKind::Act { row: want_row },
+                        t,
+                    )
+                    .map_err(|e| CoreError::Execution(e.to_string()))?
+                    .issue_cycle;
+                    ctl.open_row = Some(want_row);
+                }
+                let col = ((byte_off % row_bytes) / col_bytes) as u32;
+                let kind = if ins.writes_bank() {
+                    CmdKind::Wr { col }
+                } else {
+                    CmdKind::Rd { col }
+                };
+                let issued = issue_traced(&mut channel, &mut trace, ch, scope, kind, t)
+                    .map_err(|e| CoreError::Execution(e.to_string()))?;
+                floor = floor.max(issued.issue_cycle);
+
+                let rep = self.pus[bank].on_command(slot, &mut self.mems[bank]);
+                ctl.pu_free =
+                    ctl.pu_free.max(issued.data_cycle) + rep.pu_cycles * DRAM_CYCLES_PER_PU_CYCLE;
+                ctl.ready = issued
+                    .issue_cycle
+                    .max(ctl.pu_free.saturating_sub(pipeline));
+                ctl.cursors[slot] += advance;
+                ctl.sched_idx += 1;
+                if ctl.sched_idx == schedule.len() {
+                    ctl.sched_idx = 0;
+                    ctl.rounds += 1;
+                    max_rounds = max_rounds.max(ctl.rounds);
+                }
+                if self.pus[bank].exited() {
+                    self.pus[bank].mark_exit_round(ctl.rounds);
+                }
+            }
+            if !any_active {
+                break;
+            }
+        }
+        let end = ctls.iter().map(|c| c.ready).max().unwrap_or(floor).max(floor);
+        Ok((end, *channel.stats(), max_rounds, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests;

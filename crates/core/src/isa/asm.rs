@@ -1,0 +1,428 @@
+//! Text assembler/disassembler for pSyncPIM kernels.
+//!
+//! The paper's kernels are "hand-coded PIM assembly" (§VIII); this module
+//! gives them a readable surface syntax. One instruction per line;
+//! `;` or `#` starts a comment. Operands: `BANK`, `SRF`, `DRF0..2`,
+//! `SPVQ0..2`. Precisions: `INT8..INT64`, `FP16..FP64`. Examples:
+//!
+//! ```text
+//! ; Algorithm 2 (SpMV inner loop)
+//! SPMOV  SPVQ0, BANK, ROW, FP64
+//! SPMOV  SPVQ0, BANK, COL, FP64
+//! SPMOV  SPVQ0, BANK, VAL, FP64
+//! INDMOV SRF, SPVQ0, FP64
+//! SSPV   SPVQ1, SPVQ0, MUL, FP64
+//! SPVDV  BANK, SPVQ1, BANK, ADD, UNION, FP64
+//! CEXIT  SPVQ0
+//! JUMP   0, 0, 0
+//! ```
+
+use super::{
+    BinaryOp, Identity, Instruction, Operand, Program, SetMode, SubQueue,
+};
+use crate::error::CoreError;
+use psim_sparse::Precision;
+
+/// Assemble text into a [`Program`].
+///
+/// # Errors
+///
+/// [`CoreError::Asm`] with a line number for any syntax problem, plus the
+/// usual program-validation errors.
+pub fn assemble(text: &str) -> Result<Program, CoreError> {
+    let mut instrs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        instrs.push(parse_line(line, lineno + 1)?);
+    }
+    Program::new(instrs)
+}
+
+/// Render a program back to canonical assembly text.
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for ins in program.instructions() {
+        out.push_str(&render(ins));
+        out.push('\n');
+    }
+    out
+}
+
+fn render(ins: &Instruction) -> String {
+    match *ins {
+        Instruction::Nop => "NOP".to_string(),
+        Instruction::Jump {
+            target,
+            order,
+            count,
+        } => format!("JUMP {target}, {order}, {count}"),
+        Instruction::Exit => "EXIT".to_string(),
+        Instruction::CExit { queue } => format!("CEXIT SPVQ{queue}"),
+        Instruction::Dmov {
+            dst,
+            src,
+            precision,
+        } => format!("DMOV {dst}, {src}, {precision}"),
+        Instruction::IndMov {
+            dst,
+            idx_queue,
+            precision,
+        } => format!("INDMOV {dst}, SPVQ{idx_queue}, {precision}"),
+        Instruction::SpMov {
+            dst,
+            src,
+            sub,
+            precision,
+        } => format!("SPMOV {dst}, {src}, {sub}, {precision}"),
+        Instruction::SpFw { src, precision } => format!("SPFW SPVQ{src}, {precision}"),
+        Instruction::GthSct {
+            dst,
+            src,
+            identity,
+            precision,
+        } => format!("GTHSCT {dst}, {src}, {}, {precision}", identity_name(identity)),
+        Instruction::Sdv {
+            dst,
+            src,
+            op,
+            precision,
+        } => format!("SDV {dst}, {src}, {op}, {precision}"),
+        Instruction::SSpv {
+            dst,
+            src,
+            op,
+            precision,
+        } => format!("SSPV {dst}, {src}, {op}, {precision}"),
+        Instruction::Reduce {
+            src,
+            op,
+            precision,
+        } => format!("REDUCE {src}, {op}, {precision}"),
+        Instruction::Dvdv {
+            dst,
+            src0,
+            src1,
+            op,
+            precision,
+        } => format!("DVDV {dst}, {src0}, {src1}, {op}, {precision}"),
+        Instruction::SpVdv {
+            dst,
+            src0,
+            src1,
+            op,
+            set,
+            precision,
+        } => format!(
+            "SPVDV {dst}, {src0}, {src1}, {op}, {}, {precision}",
+            set_name(set)
+        ),
+        Instruction::SpVSpv {
+            dst,
+            src0,
+            src1,
+            op,
+            set,
+            precision,
+        } => format!(
+            "SPVSPV {dst}, {src0}, {src1}, {op}, {}, {precision}",
+            set_name(set)
+        ),
+    }
+}
+
+fn identity_name(i: Identity) -> &'static str {
+    match i {
+        Identity::Zero => "ZERO",
+        Identity::One => "ONE",
+        Identity::NegInf => "NEGINF",
+        Identity::PosInf => "POSINF",
+    }
+}
+
+fn set_name(s: SetMode) -> &'static str {
+    match s {
+        SetMode::Intersection => "INTER",
+        SetMode::Union => "UNION",
+    }
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Instruction, CoreError> {
+    let err = |msg: String| CoreError::Asm { line: lineno, msg };
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r),
+        None => (line, ""),
+    };
+    let args: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let mnemonic = mnemonic.to_ascii_uppercase();
+
+    let want = |n: usize| -> Result<(), CoreError> {
+        if args.len() != n {
+            Err(err(format!("{mnemonic} expects {n} operands, got {}", args.len())))
+        } else {
+            Ok(())
+        }
+    };
+
+    let operand = |s: &str| -> Result<Operand, CoreError> {
+        match s.to_ascii_uppercase().as_str() {
+            "BANK" => Ok(Operand::Bank),
+            "SRF" => Ok(Operand::Srf),
+            "DRF0" => Ok(Operand::Drf(0)),
+            "DRF1" => Ok(Operand::Drf(1)),
+            "DRF2" => Ok(Operand::Drf(2)),
+            "SPVQ0" => Ok(Operand::SpVq(0)),
+            "SPVQ1" => Ok(Operand::SpVq(1)),
+            "SPVQ2" => Ok(Operand::SpVq(2)),
+            other => Err(err(format!("unknown operand '{other}'"))),
+        }
+    };
+    let queue = |s: &str| -> Result<u8, CoreError> {
+        match operand(s)? {
+            Operand::SpVq(i) => Ok(i),
+            _ => Err(err(format!("'{s}' must be a sparse vector queue"))),
+        }
+    };
+    let precision = |s: &str| -> Result<Precision, CoreError> {
+        match s.to_ascii_uppercase().as_str() {
+            "INT8" => Ok(Precision::Int8),
+            "INT16" => Ok(Precision::Int16),
+            "INT32" => Ok(Precision::Int32),
+            "INT64" => Ok(Precision::Int64),
+            "FP16" => Ok(Precision::Fp16),
+            "FP32" => Ok(Precision::Fp32),
+            "FP64" => Ok(Precision::Fp64),
+            other => Err(err(format!("unknown precision '{other}'"))),
+        }
+    };
+    let binop = |s: &str| -> Result<BinaryOp, CoreError> {
+        match s.to_ascii_uppercase().as_str() {
+            "ADD" => Ok(BinaryOp::Add),
+            "SUB" => Ok(BinaryOp::Sub),
+            "MUL" => Ok(BinaryOp::Mul),
+            "MIN" => Ok(BinaryOp::Min),
+            "MAX" => Ok(BinaryOp::Max),
+            "FST" => Ok(BinaryOp::First),
+            "SND" => Ok(BinaryOp::Second),
+            "RSUB" => Ok(BinaryOp::RSub),
+            other => Err(err(format!("unknown binary op '{other}'"))),
+        }
+    };
+    let subq = |s: &str| -> Result<SubQueue, CoreError> {
+        match s.to_ascii_uppercase().as_str() {
+            "ROW" => Ok(SubQueue::Row),
+            "COL" => Ok(SubQueue::Col),
+            "VAL" => Ok(SubQueue::Val),
+            "ALL" => Ok(SubQueue::All),
+            other => Err(err(format!("unknown sub-queue '{other}'"))),
+        }
+    };
+    let setmode = |s: &str| -> Result<SetMode, CoreError> {
+        match s.to_ascii_uppercase().as_str() {
+            "INTER" | "INTERSECTION" => Ok(SetMode::Intersection),
+            "UNION" => Ok(SetMode::Union),
+            other => Err(err(format!("unknown set mode '{other}'"))),
+        }
+    };
+    let identity = |s: &str| -> Result<Identity, CoreError> {
+        match s.to_ascii_uppercase().as_str() {
+            "ZERO" => Ok(Identity::Zero),
+            "ONE" => Ok(Identity::One),
+            "NEGINF" => Ok(Identity::NegInf),
+            "POSINF" => Ok(Identity::PosInf),
+            other => Err(err(format!("unknown identity '{other}'"))),
+        }
+    };
+    let int = |s: &str| -> Result<u16, CoreError> {
+        s.parse().map_err(|e| err(format!("bad integer '{s}': {e}")))
+    };
+
+    Ok(match mnemonic.as_str() {
+        "NOP" => {
+            want(0)?;
+            Instruction::Nop
+        }
+        "JUMP" => {
+            want(3)?;
+            Instruction::Jump {
+                target: int(args[0])? as u8,
+                order: int(args[1])? as u8,
+                count: int(args[2])?,
+            }
+        }
+        "EXIT" => {
+            want(0)?;
+            Instruction::Exit
+        }
+        "CEXIT" => {
+            want(1)?;
+            Instruction::CExit {
+                queue: queue(args[0])?,
+            }
+        }
+        "DMOV" => {
+            want(3)?;
+            Instruction::Dmov {
+                dst: operand(args[0])?,
+                src: operand(args[1])?,
+                precision: precision(args[2])?,
+            }
+        }
+        "INDMOV" => {
+            want(3)?;
+            Instruction::IndMov {
+                dst: operand(args[0])?,
+                idx_queue: queue(args[1])?,
+                precision: precision(args[2])?,
+            }
+        }
+        "SPMOV" => {
+            want(4)?;
+            Instruction::SpMov {
+                dst: operand(args[0])?,
+                src: operand(args[1])?,
+                sub: subq(args[2])?,
+                precision: precision(args[3])?,
+            }
+        }
+        "SPFW" => {
+            want(2)?;
+            Instruction::SpFw {
+                src: queue(args[0])?,
+                precision: precision(args[1])?,
+            }
+        }
+        "GTHSCT" => {
+            want(4)?;
+            Instruction::GthSct {
+                dst: operand(args[0])?,
+                src: operand(args[1])?,
+                identity: identity(args[2])?,
+                precision: precision(args[3])?,
+            }
+        }
+        "SDV" => {
+            want(4)?;
+            Instruction::Sdv {
+                dst: operand(args[0])?,
+                src: operand(args[1])?,
+                op: binop(args[2])?,
+                precision: precision(args[3])?,
+            }
+        }
+        "SSPV" => {
+            want(4)?;
+            Instruction::SSpv {
+                dst: operand(args[0])?,
+                src: operand(args[1])?,
+                op: binop(args[2])?,
+                precision: precision(args[3])?,
+            }
+        }
+        "REDUCE" => {
+            want(3)?;
+            Instruction::Reduce {
+                src: operand(args[0])?,
+                op: binop(args[1])?,
+                precision: precision(args[2])?,
+            }
+        }
+        "DVDV" => {
+            want(5)?;
+            Instruction::Dvdv {
+                dst: operand(args[0])?,
+                src0: operand(args[1])?,
+                src1: operand(args[2])?,
+                op: binop(args[3])?,
+                precision: precision(args[4])?,
+            }
+        }
+        "SPVDV" => {
+            want(6)?;
+            Instruction::SpVdv {
+                dst: operand(args[0])?,
+                src0: operand(args[1])?,
+                src1: operand(args[2])?,
+                op: binop(args[3])?,
+                set: setmode(args[4])?,
+                precision: precision(args[5])?,
+            }
+        }
+        "SPVSPV" => {
+            want(6)?;
+            Instruction::SpVSpv {
+                dst: operand(args[0])?,
+                src0: operand(args[1])?,
+                src1: operand(args[2])?,
+                op: binop(args[3])?,
+                set: setmode(args[4])?,
+                precision: precision(args[5])?,
+            }
+        }
+        other => return Err(err(format!("unknown mnemonic '{other}'"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPMV_ASM: &str = r"
+; Algorithm 2 (SpMV inner loop)
+SPMOV  SPVQ0, BANK, ROW, FP64
+SPMOV  SPVQ0, BANK, COL, FP64
+SPMOV  SPVQ0, BANK, VAL, FP64
+INDMOV SRF, SPVQ0, FP64
+SSPV   SPVQ1, SPVQ0, MUL, FP64
+SPVDV  BANK, SPVQ1, BANK, ADD, UNION, FP64
+CEXIT  SPVQ0
+JUMP   0, 0, 0
+";
+
+    #[test]
+    fn assembles_algorithm_2() {
+        let p = assemble(SPMV_ASM).unwrap();
+        assert_eq!(p.len(), 8);
+        assert!(p.is_conditional_loop());
+        // 3 queue loads + 1 gather + 1 scatter-accumulate per iteration.
+        assert_eq!(p.command_schedule().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn disassemble_assemble_roundtrip() {
+        let p = assemble(SPMV_ASM).unwrap();
+        let text = disassemble(&p);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = assemble("NOP\nBOGUS X\n").unwrap_err();
+        match err {
+            CoreError::Asm { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_arity_and_operands() {
+        assert!(assemble("DMOV DRF0, BANK").is_err());
+        assert!(assemble("CEXIT DRF0").is_err());
+        assert!(assemble("SDV DRF0, DRF1, BOGUS, FP64").is_err());
+        assert!(assemble("DMOV DRF0, BANK, FP128").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = assemble("# header\n\nNOP ; trailing\nEXIT\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+}

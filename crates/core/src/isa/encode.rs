@@ -1,0 +1,544 @@
+//! Binary encoding of the ISA (paper Figure 5).
+//!
+//! Every instruction is 4 bytes. B-format field layout:
+//! `OpCode[31:28] Dst[27:25] Src0[24:22] Src1[21:19] Value[18:15]
+//! Binary[14:11] S[10] Idx[9:8] Idnt[7:6]`; C-format:
+//! `OpCode[31:28] Imm0[23:16] Order[15:10] Imm1[9:0]`.
+
+use super::{
+    precision_code, precision_from_code, BinaryOp, Identity, Instruction, Operand, SetMode,
+    SubQueue,
+};
+use crate::error::CoreError;
+
+// Opcode assignments (4 bits, 15 instructions + unused 15).
+const OP_NOP: u32 = 0;
+const OP_JUMP: u32 = 1;
+const OP_EXIT: u32 = 2;
+const OP_CEXIT: u32 = 3;
+const OP_DMOV: u32 = 4;
+const OP_INDMOV: u32 = 5;
+const OP_SPMOV: u32 = 6;
+const OP_SPFW: u32 = 7;
+const OP_GTHSCT: u32 = 8;
+const OP_SDV: u32 = 9;
+const OP_SSPV: u32 = 10;
+const OP_REDUCE: u32 = 11;
+const OP_DVDV: u32 = 12;
+const OP_SPVDV: u32 = 13;
+const OP_SPVSPV: u32 = 14;
+
+#[allow(clippy::too_many_arguments)]
+fn b_format(
+    op: u32,
+    dst: u32,
+    src0: u32,
+    src1: u32,
+    value: u32,
+    binary: u32,
+    s: u32,
+    idx: u32,
+    idnt: u32,
+) -> u32 {
+    (op << 28)
+        | (dst << 25)
+        | (src0 << 22)
+        | (src1 << 19)
+        | (value << 15)
+        | (binary << 11)
+        | (s << 10)
+        | (idx << 8)
+        | (idnt << 6)
+}
+
+fn c_format(op: u32, imm0: u32, order: u32, imm1: u32) -> u32 {
+    (op << 28) | (imm0 << 16) | (order << 10) | imm1
+}
+
+impl Instruction {
+    /// Encode to the 32-bit machine word.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Encode`] when an immediate exceeds its field width.
+    pub fn encode(&self) -> Result<u32, CoreError> {
+        Ok(match *self {
+            Instruction::Nop => c_format(OP_NOP, 0, 0, 0),
+            Instruction::Jump {
+                target,
+                order,
+                count,
+            } => {
+                if order >= 32 {
+                    return Err(CoreError::Encode(format!("jump ORDER {order} >= 32")));
+                }
+                if count >= 1024 {
+                    return Err(CoreError::Encode(format!("jump count {count} >= 1024")));
+                }
+                c_format(OP_JUMP, u32::from(target), u32::from(order), u32::from(count))
+            }
+            Instruction::Exit => c_format(OP_EXIT, 0, 0, 0),
+            Instruction::CExit { queue } => {
+                if queue >= 3 {
+                    return Err(CoreError::Encode(format!("CEXIT queue {queue} >= 3")));
+                }
+                c_format(OP_CEXIT, 0, 0, u32::from(queue))
+            }
+            Instruction::Dmov {
+                dst,
+                src,
+                precision,
+            } => b_format(
+                OP_DMOV,
+                dst.code(),
+                src.code(),
+                0,
+                precision_code(precision),
+                0,
+                0,
+                0,
+                0,
+            ),
+            Instruction::IndMov {
+                dst,
+                idx_queue,
+                precision,
+            } => {
+                if idx_queue >= 3 {
+                    return Err(CoreError::Encode(format!("IndMOV queue {idx_queue} >= 3")));
+                }
+                b_format(
+                    OP_INDMOV,
+                    dst.code(),
+                    Operand::Bank.code(),
+                    Operand::SpVq(idx_queue).code(),
+                    precision_code(precision),
+                    0,
+                    0,
+                    0,
+                    0,
+                )
+            }
+            Instruction::SpMov {
+                dst,
+                src,
+                sub,
+                precision,
+            } => b_format(
+                OP_SPMOV,
+                dst.code(),
+                src.code(),
+                0,
+                precision_code(precision),
+                0,
+                0,
+                sub.code(),
+                0,
+            ),
+            Instruction::SpFw { src, precision } => {
+                if src >= 3 {
+                    return Err(CoreError::Encode(format!("SpFW queue {src} >= 3")));
+                }
+                b_format(
+                    OP_SPFW,
+                    Operand::Bank.code(),
+                    Operand::SpVq(src).code(),
+                    0,
+                    precision_code(precision),
+                    0,
+                    0,
+                    0,
+                    0,
+                )
+            }
+            Instruction::GthSct {
+                dst,
+                src,
+                identity,
+                precision,
+            } => b_format(
+                OP_GTHSCT,
+                dst.code(),
+                src.code(),
+                0,
+                precision_code(precision),
+                0,
+                0,
+                SubQueue::All.code(),
+                identity.code(),
+            ),
+            Instruction::Sdv {
+                dst,
+                src,
+                op,
+                precision,
+            } => b_format(
+                OP_SDV,
+                dst.code(),
+                src.code(),
+                Operand::Srf.code(),
+                precision_code(precision),
+                op.code(),
+                0,
+                0,
+                0,
+            ),
+            Instruction::SSpv {
+                dst,
+                src,
+                op,
+                precision,
+            } => b_format(
+                OP_SSPV,
+                dst.code(),
+                src.code(),
+                Operand::Srf.code(),
+                precision_code(precision),
+                op.code(),
+                0,
+                0,
+                0,
+            ),
+            Instruction::Reduce {
+                src,
+                op,
+                precision,
+            } => b_format(
+                OP_REDUCE,
+                Operand::Srf.code(),
+                src.code(),
+                0,
+                precision_code(precision),
+                op.code(),
+                0,
+                0,
+                0,
+            ),
+            Instruction::Dvdv {
+                dst,
+                src0,
+                src1,
+                op,
+                precision,
+            } => b_format(
+                OP_DVDV,
+                dst.code(),
+                src0.code(),
+                src1.code(),
+                precision_code(precision),
+                op.code(),
+                0,
+                0,
+                0,
+            ),
+            Instruction::SpVdv {
+                dst,
+                src0,
+                src1,
+                op,
+                set,
+                precision,
+            } => b_format(
+                OP_SPVDV,
+                dst.code(),
+                src0.code(),
+                src1.code(),
+                precision_code(precision),
+                op.code(),
+                set.code(),
+                0,
+                0,
+            ),
+            Instruction::SpVSpv {
+                dst,
+                src0,
+                src1,
+                op,
+                set,
+                precision,
+            } => b_format(
+                OP_SPVSPV,
+                dst.code(),
+                src0.code(),
+                src1.code(),
+                precision_code(precision),
+                op.code(),
+                set.code(),
+                0,
+                0,
+            ),
+        })
+    }
+
+    /// Decode a 32-bit machine word.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Decode`] when the word is not a valid instruction.
+    pub fn decode(word: u32) -> Result<Instruction, CoreError> {
+        let op = word >> 28;
+        let dst = (word >> 25) & 7;
+        let src0 = (word >> 22) & 7;
+        let src1 = (word >> 19) & 7;
+        let value = (word >> 15) & 15;
+        let binary = (word >> 11) & 15;
+        let s = (word >> 10) & 1;
+        let idx = (word >> 8) & 3;
+        let idnt = (word >> 6) & 3;
+        let imm0 = (word >> 16) & 0xff;
+        let order = (word >> 10) & 0x3f;
+        let imm1 = word & 0x3ff;
+
+        let operand = |code: u32, what: &str| {
+            Operand::from_code(code)
+                .ok_or_else(|| CoreError::Decode(word, format!("bad {what} operand {code}")))
+        };
+        let precision = || {
+            precision_from_code(value)
+                .ok_or_else(|| CoreError::Decode(word, format!("bad precision {value}")))
+        };
+        let bop = || {
+            BinaryOp::from_code(binary)
+                .ok_or_else(|| CoreError::Decode(word, format!("bad binary op {binary}")))
+        };
+
+        Ok(match op {
+            OP_NOP => Instruction::Nop,
+            OP_JUMP => Instruction::Jump {
+                target: imm0 as u8,
+                order: order as u8,
+                count: imm1 as u16,
+            },
+            OP_EXIT => Instruction::Exit,
+            OP_CEXIT => Instruction::CExit {
+                queue: (imm1 & 3) as u8,
+            },
+            OP_DMOV => Instruction::Dmov {
+                dst: operand(dst, "dst")?,
+                src: operand(src0, "src")?,
+                precision: precision()?,
+            },
+            OP_INDMOV => {
+                let q = operand(src1, "index queue")?;
+                let Operand::SpVq(idx_queue) = q else {
+                    return Err(CoreError::Decode(word, "IndMOV src1 must be SpVQ".into()));
+                };
+                Instruction::IndMov {
+                    dst: operand(dst, "dst")?,
+                    idx_queue,
+                    precision: precision()?,
+                }
+            }
+            OP_SPMOV => Instruction::SpMov {
+                dst: operand(dst, "dst")?,
+                src: operand(src0, "src")?,
+                sub: SubQueue::from_code(idx)
+                    .ok_or_else(|| CoreError::Decode(word, "bad sub-queue".into()))?,
+                precision: precision()?,
+            },
+            OP_SPFW => {
+                let q = operand(src0, "src queue")?;
+                let Operand::SpVq(src) = q else {
+                    return Err(CoreError::Decode(word, "SpFW src must be SpVQ".into()));
+                };
+                Instruction::SpFw {
+                    src,
+                    precision: precision()?,
+                }
+            }
+            OP_GTHSCT => Instruction::GthSct {
+                dst: operand(dst, "dst")?,
+                src: operand(src0, "src")?,
+                identity: Identity::from_code(idnt),
+                precision: precision()?,
+            },
+            OP_SDV => Instruction::Sdv {
+                dst: operand(dst, "dst")?,
+                src: operand(src0, "src")?,
+                op: bop()?,
+                precision: precision()?,
+            },
+            OP_SSPV => Instruction::SSpv {
+                dst: operand(dst, "dst")?,
+                src: operand(src0, "src")?,
+                op: bop()?,
+                precision: precision()?,
+            },
+            OP_REDUCE => Instruction::Reduce {
+                src: operand(src0, "src")?,
+                op: bop()?,
+                precision: precision()?,
+            },
+            OP_DVDV => Instruction::Dvdv {
+                dst: operand(dst, "dst")?,
+                src0: operand(src0, "src0")?,
+                src1: operand(src1, "src1")?,
+                op: bop()?,
+                precision: precision()?,
+            },
+            OP_SPVDV => Instruction::SpVdv {
+                dst: operand(dst, "dst")?,
+                src0: operand(src0, "src0")?,
+                src1: operand(src1, "src1")?,
+                op: bop()?,
+                set: SetMode::from_code(s),
+                precision: precision()?,
+            },
+            OP_SPVSPV => Instruction::SpVSpv {
+                dst: operand(dst, "dst")?,
+                src0: operand(src0, "src0")?,
+                src1: operand(src1, "src1")?,
+                op: bop()?,
+                set: SetMode::from_code(s),
+                precision: precision()?,
+            },
+            other => return Err(CoreError::Decode(word, format!("unknown opcode {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psim_sparse::Precision;
+
+    fn all_instructions() -> Vec<Instruction> {
+        use Instruction as I;
+        let p = Precision::Fp64;
+        vec![
+            I::Nop,
+            I::Jump {
+                target: 3,
+                order: 5,
+                count: 100,
+            },
+            I::Exit,
+            I::CExit { queue: 1 },
+            I::Dmov {
+                dst: Operand::Drf(0),
+                src: Operand::Bank,
+                precision: p,
+            },
+            I::IndMov {
+                dst: Operand::Drf(1),
+                idx_queue: 0,
+                precision: Precision::Int8,
+            },
+            I::SpMov {
+                dst: Operand::SpVq(2),
+                src: Operand::Bank,
+                sub: SubQueue::Col,
+                precision: Precision::Fp32,
+            },
+            I::SpFw {
+                src: 1,
+                precision: p,
+            },
+            I::GthSct {
+                dst: Operand::SpVq(0),
+                src: Operand::Bank,
+                identity: Identity::NegInf,
+                precision: p,
+            },
+            I::Sdv {
+                dst: Operand::Drf(2),
+                src: Operand::Drf(0),
+                op: BinaryOp::Mul,
+                precision: p,
+            },
+            I::SSpv {
+                dst: Operand::SpVq(1),
+                src: Operand::SpVq(0),
+                op: BinaryOp::Mul,
+                precision: Precision::Int16,
+            },
+            I::Reduce {
+                src: Operand::Drf(0),
+                op: BinaryOp::Add,
+                precision: p,
+            },
+            I::Dvdv {
+                dst: Operand::Drf(0),
+                src0: Operand::Drf(1),
+                src1: Operand::Drf(2),
+                op: BinaryOp::Max,
+                precision: Precision::Int64,
+            },
+            I::SpVdv {
+                dst: Operand::Bank,
+                src0: Operand::SpVq(1),
+                src1: Operand::Bank,
+                op: BinaryOp::Add,
+                set: SetMode::Union,
+                precision: p,
+            },
+            I::SpVSpv {
+                dst: Operand::SpVq(2),
+                src0: Operand::SpVq(0),
+                src1: Operand::SpVq(1),
+                op: BinaryOp::Min,
+                set: SetMode::Intersection,
+                precision: Precision::Fp16,
+            },
+        ]
+    }
+
+    #[test]
+    fn all_15_instructions_roundtrip() {
+        let instrs = all_instructions();
+        assert_eq!(instrs.len(), 15, "the ISA has exactly 15 instructions");
+        for i in instrs {
+            let word = i.encode().unwrap();
+            let back = Instruction::decode(word).unwrap();
+            assert_eq!(back, i, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn immediates_are_range_checked() {
+        assert!(Instruction::Jump {
+            target: 0,
+            order: 32,
+            count: 0
+        }
+        .encode()
+        .is_err());
+        assert!(Instruction::Jump {
+            target: 0,
+            order: 0,
+            count: 1024
+        }
+        .encode()
+        .is_err());
+        assert!(Instruction::CExit { queue: 3 }.encode().is_err());
+        assert!(Instruction::SpFw {
+            src: 5,
+            precision: Precision::Fp64
+        }
+        .encode()
+        .is_err());
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(Instruction::decode(0xF000_0000).is_err());
+    }
+
+    #[test]
+    fn bad_precision_rejected() {
+        // DMOV with Value field = 15.
+        let word = (4u32 << 28) | (15 << 15);
+        assert!(Instruction::decode(word).is_err());
+    }
+
+    #[test]
+    fn distinct_words() {
+        let mut words: Vec<u32> = all_instructions()
+            .iter()
+            .map(|i| i.encode().unwrap())
+            .collect();
+        words.sort_unstable();
+        words.dedup();
+        assert_eq!(words.len(), 15);
+    }
+}

@@ -1,0 +1,618 @@
+//! The pSyncPIM instruction set (paper §IV-D, Figure 5, Tables IV–VI).
+//!
+//! Fifteen instructions in two 4-byte formats:
+//!
+//! * **B format** (binary/data movement): `OpCode[31:28] Dst[27:25]
+//!   Src0[24:22] Src1[21:19] Value[18:15] Binary[14:11] S[10] Idx[9:8]
+//!   Idnt[7:6] Unused[5:0]`
+//! * **C format** (control): `OpCode[31:28] Unused[27:24] Imm0[23:16]
+//!   Order[15:10] Imm1[9:0]`
+//!
+//! Data movement: `DMOV`, `IndMOV`, `SpMOV`, `SpFW`, `GthSct` (Table V).
+//! Binary ops: `SDV`, `SSpV`, `Reduce`, `DVDV`, `SpVDV`, `SpVSpV`
+//! (Table VI). Control: `NOP`, `JUMP`, `EXIT`, `CEXIT`.
+
+mod asm;
+mod encode;
+pub(crate) mod program;
+
+pub use asm::{assemble, disassemble};
+pub use program::Program;
+
+use psim_sparse::Precision;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A register/queue operand (3-bit encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// The memory bank (through the open row).
+    Bank,
+    /// The 16 B scalar register.
+    Srf,
+    /// Dense vector register 0–2 (32 B each).
+    Drf(u8),
+    /// Sparse vector queue 0–2 (192 B each, three sub-queues).
+    SpVq(u8),
+}
+
+impl Operand {
+    /// 3-bit encoding.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            Operand::Bank => 0,
+            Operand::Srf => 1,
+            Operand::Drf(i) => 2 + u32::from(i),
+            Operand::SpVq(i) => 5 + u32::from(i),
+        }
+    }
+
+    /// Decode from the 3-bit field.
+    #[must_use]
+    pub fn from_code(code: u32) -> Option<Operand> {
+        match code {
+            0 => Some(Operand::Bank),
+            1 => Some(Operand::Srf),
+            2..=4 => Some(Operand::Drf((code - 2) as u8)),
+            5..=7 => Some(Operand::SpVq((code - 5) as u8)),
+            _ => None,
+        }
+    }
+
+    /// Whether this operand touches the bank (makes an instruction a
+    /// memory instruction).
+    #[must_use]
+    pub fn is_bank(self) -> bool {
+        matches!(self, Operand::Bank)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Bank => f.write_str("BANK"),
+            Operand::Srf => f.write_str("SRF"),
+            Operand::Drf(i) => write!(f, "DRF{i}"),
+            Operand::SpVq(i) => write!(f, "SPVQ{i}"),
+        }
+    }
+}
+
+/// The arithmetic selected by the Binary field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// pass the first operand (copy/select)
+    First,
+    /// pass the second operand
+    Second,
+    /// `b - a` (reverse subtract; used when operand order is fixed by the
+    /// datapath, e.g. the SpTRSV update `x -= scale * v`)
+    RSub,
+}
+
+impl BinaryOp {
+    /// Apply to two scalars.
+    #[must_use]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Min => a.min(b),
+            BinaryOp::Max => a.max(b),
+            BinaryOp::First => a,
+            BinaryOp::Second => b,
+            BinaryOp::RSub => b - a,
+        }
+    }
+
+    /// 4-bit encoding.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            BinaryOp::Add => 0,
+            BinaryOp::Sub => 1,
+            BinaryOp::Mul => 2,
+            BinaryOp::Min => 3,
+            BinaryOp::Max => 4,
+            BinaryOp::First => 5,
+            BinaryOp::Second => 6,
+            BinaryOp::RSub => 7,
+        }
+    }
+
+    /// Decode from the 4-bit field.
+    #[must_use]
+    pub fn from_code(code: u32) -> Option<BinaryOp> {
+        Some(match code {
+            0 => BinaryOp::Add,
+            1 => BinaryOp::Sub,
+            2 => BinaryOp::Mul,
+            3 => BinaryOp::Min,
+            4 => BinaryOp::Max,
+            5 => BinaryOp::First,
+            6 => BinaryOp::Second,
+            7 => BinaryOp::RSub,
+            _ => return None,
+        })
+    }
+
+    /// The identity element (for reductions / union padding).
+    #[must_use]
+    pub fn identity(self) -> f64 {
+        match self {
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::RSub => 0.0,
+            BinaryOp::Mul => 1.0,
+            BinaryOp::Min => f64::INFINITY,
+            BinaryOp::Max => f64::NEG_INFINITY,
+            BinaryOp::First | BinaryOp::Second => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinaryOp::Add => "ADD",
+            BinaryOp::Sub => "SUB",
+            BinaryOp::Mul => "MUL",
+            BinaryOp::Min => "MIN",
+            BinaryOp::Max => "MAX",
+            BinaryOp::First => "FST",
+            BinaryOp::Second => "SND",
+            BinaryOp::RSub => "RSUB",
+        })
+    }
+}
+
+/// Sub-queue selector of a sparse vector queue (the Idx field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubQueue {
+    /// Row-index sub-queue.
+    Row,
+    /// Column-index sub-queue.
+    Col,
+    /// Value sub-queue.
+    Val,
+    /// All three (Gather/Scatter use every sub-queue).
+    All,
+}
+
+impl SubQueue {
+    /// 2-bit encoding.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            SubQueue::Row => 0,
+            SubQueue::Col => 1,
+            SubQueue::Val => 2,
+            SubQueue::All => 3,
+        }
+    }
+
+    /// Decode.
+    #[must_use]
+    pub fn from_code(code: u32) -> Option<SubQueue> {
+        Some(match code {
+            0 => SubQueue::Row,
+            1 => SubQueue::Col,
+            2 => SubQueue::Val,
+            3 => SubQueue::All,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for SubQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SubQueue::Row => "ROW",
+            SubQueue::Col => "COL",
+            SubQueue::Val => "VAL",
+            SubQueue::All => "ALL",
+        })
+    }
+}
+
+/// Union vs intersection semantics of the index calculator (the S field,
+/// paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SetMode {
+    /// Index-matching elements only (ExTensor-style skipping).
+    Intersection,
+    /// Union of patterns; the missing side contributes the identity.
+    Union,
+}
+
+impl SetMode {
+    /// 1-bit encoding.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            SetMode::Intersection => 0,
+            SetMode::Union => 1,
+        }
+    }
+
+    /// Decode.
+    #[must_use]
+    pub fn from_code(code: u32) -> SetMode {
+        if code == 0 {
+            SetMode::Intersection
+        } else {
+            SetMode::Union
+        }
+    }
+}
+
+/// Identity element selector (the Idnt field, used by Gather/Scatter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Identity {
+    /// 0
+    Zero,
+    /// 1
+    One,
+    /// −∞
+    NegInf,
+    /// +∞
+    PosInf,
+}
+
+impl Identity {
+    /// The value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        match self {
+            Identity::Zero => 0.0,
+            Identity::One => 1.0,
+            Identity::NegInf => f64::NEG_INFINITY,
+            Identity::PosInf => f64::INFINITY,
+        }
+    }
+
+    /// 2-bit encoding.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            Identity::Zero => 0,
+            Identity::One => 1,
+            Identity::NegInf => 2,
+            Identity::PosInf => 3,
+        }
+    }
+
+    /// Decode.
+    #[must_use]
+    pub fn from_code(code: u32) -> Identity {
+        match code & 3 {
+            0 => Identity::Zero,
+            1 => Identity::One,
+            2 => Identity::NegInf,
+            _ => Identity::PosInf,
+        }
+    }
+}
+
+/// Encode a precision into the 4-bit Value field.
+#[must_use]
+pub fn precision_code(p: Precision) -> u32 {
+    match p {
+        Precision::Int8 => 0,
+        Precision::Int16 => 1,
+        Precision::Int32 => 2,
+        Precision::Int64 => 3,
+        Precision::Fp16 => 4,
+        Precision::Fp32 => 5,
+        Precision::Fp64 => 6,
+    }
+}
+
+/// Decode the Value field.
+#[must_use]
+pub fn precision_from_code(code: u32) -> Option<Precision> {
+    Some(match code {
+        0 => Precision::Int8,
+        1 => Precision::Int16,
+        2 => Precision::Int32,
+        3 => Precision::Int64,
+        4 => Precision::Fp16,
+        5 => Precision::Fp32,
+        6 => Precision::Fp64,
+        _ => return None,
+    })
+}
+
+/// A decoded pSyncPIM instruction (the 15 of paper §IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// No operation.
+    Nop,
+    /// Backward/forward jump with a per-ORDER loop counter: the jump is
+    /// taken `count` times, then falls through and the counter resets
+    /// (supports nested loops, paper §IV-F).
+    Jump {
+        /// Target instruction index.
+        target: u8,
+        /// Loop id selecting one of the 32 loop counters.
+        order: u8,
+        /// Times to take the jump before falling through. `count == 0`
+        /// jumps unconditionally (the infinite loop of Algorithm 2).
+        count: u16,
+    },
+    /// Unconditional kernel termination.
+    Exit,
+    /// Conditional exit: terminate once the designated sparse vector queue
+    /// is empty / has produced the −1 sentinel (paper §IV-D, §V).
+    CExit {
+        /// The queue whose exhaustion terminates the kernel (0–2).
+        queue: u8,
+    },
+    /// Move one 32 B dense vector between bank and a DRF (Table V: DMOV).
+    Dmov {
+        /// Destination.
+        dst: Operand,
+        /// Source.
+        src: Operand,
+        /// Element precision.
+        precision: Precision,
+    },
+    /// Read scalars from the bank at the addresses held in a sparse
+    /// queue's column sub-queue — the SpMV vector gather (Table V: IndMOV).
+    IndMov {
+        /// Destination (SRF or a DRF receiving the gathered values).
+        dst: Operand,
+        /// The queue providing indices.
+        idx_queue: u8,
+        /// Element precision.
+        precision: Precision,
+    },
+    /// Move one 32 B block of one sub-queue between bank and a sparse
+    /// vector queue (Table V: SpMOV).
+    SpMov {
+        /// Destination.
+        dst: Operand,
+        /// Source.
+        src: Operand,
+        /// Which sub-queue.
+        sub: SubQueue,
+        /// Element precision.
+        precision: Precision,
+    },
+    /// Force-write a sparse queue's remaining contents to the bank
+    /// (Table V: SpFW).
+    SpFw {
+        /// Source queue.
+        src: u8,
+        /// Element precision.
+        precision: Precision,
+    },
+    /// Transform between dense and sparse vectors (Table V: GthSct).
+    /// Bank→queue gathers the non-identity elements of a dense region;
+    /// queue→bank scatters.
+    GthSct {
+        /// Destination.
+        dst: Operand,
+        /// Source.
+        src: Operand,
+        /// Identity element defining "zero".
+        identity: Identity,
+        /// Element precision.
+        precision: Precision,
+    },
+    /// Scalar ⊙ dense vector → dense vector (Table VI: SDV).
+    Sdv {
+        /// Destination DRF.
+        dst: Operand,
+        /// Dense source DRF.
+        src: Operand,
+        /// Operation.
+        op: BinaryOp,
+        /// Element precision.
+        precision: Precision,
+    },
+    /// Scalar ⊙ sparse vector → sparse vector (Table VI: SSpV).
+    SSpv {
+        /// Destination queue.
+        dst: Operand,
+        /// Source queue.
+        src: Operand,
+        /// Operation.
+        op: BinaryOp,
+        /// Element precision.
+        precision: Precision,
+    },
+    /// Iterated reduction of a dense vector into the SRF (Table VI).
+    Reduce {
+        /// Source DRF.
+        src: Operand,
+        /// Operation.
+        op: BinaryOp,
+        /// Element precision.
+        precision: Precision,
+    },
+    /// Element-wise dense ⊙ dense → dense (Table VI: DVDV).
+    Dvdv {
+        /// Destination DRF.
+        dst: Operand,
+        /// First source.
+        src0: Operand,
+        /// Second source.
+        src1: Operand,
+        /// Operation.
+        op: BinaryOp,
+        /// Element precision.
+        precision: Precision,
+    },
+    /// Sparse ⊙ dense (Table VI: SpVDV). With `dst == Bank` this is the
+    /// scatter-accumulate into the open output row that SpMV/SpTRSV use.
+    SpVdv {
+        /// Destination.
+        dst: Operand,
+        /// Sparse source queue.
+        src0: Operand,
+        /// Dense source.
+        src1: Operand,
+        /// Operation.
+        op: BinaryOp,
+        /// Union or intersection.
+        set: SetMode,
+        /// Element precision.
+        precision: Precision,
+    },
+    /// Element-wise sparse ⊙ sparse → sparse (Table VI: SpVSpV).
+    SpVSpv {
+        /// Destination queue.
+        dst: Operand,
+        /// First source queue.
+        src0: Operand,
+        /// Second source queue.
+        src1: Operand,
+        /// Operation.
+        op: BinaryOp,
+        /// Union or intersection.
+        set: SetMode,
+        /// Element precision.
+        precision: Precision,
+    },
+}
+
+impl Instruction {
+    /// Whether execution of this instruction consumes a DRAM column command
+    /// (i.e. it has a `Bank` operand).
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        match self {
+            Instruction::Dmov { dst, src, .. } => dst.is_bank() || src.is_bank(),
+            Instruction::IndMov { .. } => true,
+            Instruction::SpMov { dst, src, .. } => dst.is_bank() || src.is_bank(),
+            Instruction::SpFw { .. } => true,
+            Instruction::GthSct { dst, src, .. } => dst.is_bank() || src.is_bank(),
+            Instruction::SpVdv { dst, src1, .. } => dst.is_bank() || src1.is_bank(),
+            _ => false,
+        }
+    }
+
+    /// Whether the bank access (if any) writes to the bank.
+    #[must_use]
+    pub fn writes_bank(&self) -> bool {
+        match self {
+            Instruction::Dmov { dst, .. }
+            | Instruction::SpMov { dst, .. }
+            | Instruction::GthSct { dst, .. } => dst.is_bank(),
+            Instruction::SpFw { .. } => true,
+            Instruction::SpVdv { dst, .. } => dst.is_bank(),
+            _ => false,
+        }
+    }
+
+    /// Whether this is a control (C-format) instruction.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Nop
+                | Instruction::Jump { .. }
+                | Instruction::Exit
+                | Instruction::CExit { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_codes_roundtrip() {
+        for code in 0..8 {
+            let op = Operand::from_code(code).unwrap();
+            assert_eq!(op.code(), code);
+        }
+        assert!(Operand::from_code(8).is_none());
+    }
+
+    #[test]
+    fn binary_ops_apply() {
+        assert_eq!(BinaryOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinaryOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinaryOp::RSub.apply(2.0, 3.0), 1.0);
+        assert_eq!(BinaryOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinaryOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(BinaryOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(BinaryOp::First.apply(2.0, 3.0), 2.0);
+        assert_eq!(BinaryOp::Second.apply(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn binary_identities() {
+        assert_eq!(BinaryOp::Add.identity(), 0.0);
+        assert_eq!(BinaryOp::Mul.identity(), 1.0);
+        assert_eq!(BinaryOp::Min.identity(), f64::INFINITY);
+        assert_eq!(BinaryOp::Max.identity(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binary_codes_roundtrip() {
+        for code in 0..8 {
+            let op = BinaryOp::from_code(code).unwrap();
+            assert_eq!(op.code(), code);
+        }
+        assert!(BinaryOp::from_code(15).is_none());
+    }
+
+    #[test]
+    fn memory_classification() {
+        use psim_sparse::Precision::Fp64;
+        let load = Instruction::Dmov {
+            dst: Operand::Drf(0),
+            src: Operand::Bank,
+            precision: Fp64,
+        };
+        assert!(load.is_memory());
+        assert!(!load.writes_bank());
+        let store = Instruction::Dmov {
+            dst: Operand::Bank,
+            src: Operand::Drf(0),
+            precision: Fp64,
+        };
+        assert!(store.writes_bank());
+        let compute = Instruction::Dvdv {
+            dst: Operand::Drf(0),
+            src0: Operand::Drf(1),
+            src1: Operand::Drf(2),
+            op: BinaryOp::Add,
+            precision: Fp64,
+        };
+        assert!(!compute.is_memory());
+        assert!(Instruction::Exit.is_control());
+    }
+
+    #[test]
+    fn precision_codes_roundtrip() {
+        for p in Precision::ALL {
+            assert_eq!(precision_from_code(precision_code(p)), Some(p));
+        }
+        assert!(precision_from_code(9).is_none());
+    }
+
+    #[test]
+    fn identity_values() {
+        assert_eq!(Identity::Zero.value(), 0.0);
+        assert_eq!(Identity::One.value(), 1.0);
+        assert!(Identity::NegInf.value().is_infinite());
+        for c in 0..4 {
+            assert_eq!(Identity::from_code(c).code(), c);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Execution statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-processing-unit counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PuStats {
+    /// Instructions retired (including control).
+    pub instructions: u64,
+    /// Memory instructions executed (commands consumed productively).
+    pub mem_ops: u64,
+    /// Commands received while predicated off / out of phase / exited.
+    pub predicated_off: u64,
+    /// VALU lane-operations performed (one per element touched).
+    pub lane_ops: u64,
+    /// PU cycles spent busy.
+    pub busy_cycles: u64,
+    /// The round (loop iteration) in which this PU exited; `u64::MAX`
+    /// while still running.
+    pub exit_round: u64,
+}
+
+impl PuStats {
+    /// Fresh counters.
+    #[must_use]
+    pub fn new() -> Self {
+        PuStats {
+            exit_round: u64::MAX,
+            ..Default::default()
+        }
+    }
+
+    /// Merge another PU's counters (for aggregate reporting; `exit_round`
+    /// keeps the maximum, i.e. the last PU to finish).
+    pub fn merge(&mut self, other: &PuStats) {
+        self.instructions += other.instructions;
+        self.mem_ops += other.mem_ops;
+        self.predicated_off += other.predicated_off;
+        self.lane_ops += other.lane_ops;
+        self.busy_cycles += other.busy_cycles;
+        self.exit_round = match (self.exit_round, other.exit_round) {
+            (u64::MAX, r) | (r, u64::MAX) => r,
+            (a, b) => a.max(b),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_has_unset_exit() {
+        assert_eq!(PuStats::new().exit_round, u64::MAX);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = PuStats {
+            instructions: 5,
+            exit_round: 3,
+            ..Default::default()
+        };
+        let b = PuStats {
+            instructions: 7,
+            exit_round: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.instructions, 12);
+        assert_eq!(a.exit_round, 9);
+        let mut c = PuStats::new();
+        c.merge(&a);
+        assert_eq!(c.exit_round, 9);
+    }
+}

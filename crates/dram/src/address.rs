@@ -1,0 +1,175 @@
+//! Physical address mapping.
+//!
+//! Table VII specifies the `rorabgbachco` mapping (row : rank : bank group :
+//! bank : channel : column, most- to least-significant; rank is 0 bits).
+//! Only single-bank (SB) host accesses use linear addresses — the PIM
+//! engine drives channels with explicit (row, column) commands — but the
+//! mapping matters for where the host places vectors and matrices.
+
+use crate::config::HbmConfig;
+use serde::{Deserialize, Serialize};
+
+/// A decoded physical location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodedAddress {
+    /// Pseudo-channel.
+    pub channel: usize,
+    /// Bank group within the channel.
+    pub bankgroup: usize,
+    /// Bank within the group.
+    pub bank: usize,
+    /// Row.
+    pub row: usize,
+    /// Column address.
+    pub col: usize,
+}
+
+/// The `rorabgbachco` address mapping of Table VII.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AddressMapping {
+    col_bits: u32,
+    ch_bits: u32,
+    ba_bits: u32,
+    bg_bits: u32,
+    row_bits: u32,
+    col_shift: u32,
+}
+
+impl AddressMapping {
+    /// Build the mapping for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is not a power of two.
+    #[must_use]
+    pub fn new(cfg: &HbmConfig) -> Self {
+        let bits = |n: usize, what: &str| -> u32 {
+            assert!(n.is_power_of_two(), "{what} ({n}) must be a power of two");
+            n.trailing_zeros()
+        };
+        AddressMapping {
+            col_shift: bits(cfg.col_bytes, "col_bytes"),
+            col_bits: bits(cfg.num_cols, "num_cols"),
+            ch_bits: bits(cfg.num_pseudo_channels, "num_pseudo_channels"),
+            ba_bits: bits(cfg.banks_per_group, "banks_per_group"),
+            bg_bits: bits(cfg.num_bankgroups, "num_bankgroups"),
+            row_bits: bits(cfg.num_rows, "num_rows"),
+        }
+    }
+
+    /// Total addressable bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        1u64 << (self.col_shift
+            + self.col_bits
+            + self.ch_bits
+            + self.ba_bits
+            + self.bg_bits
+            + self.row_bits)
+    }
+
+    /// Decode a byte address into its location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address exceeds the capacity.
+    #[must_use]
+    pub fn decode(&self, addr: u64) -> DecodedAddress {
+        assert!(addr < self.capacity(), "address {addr:#x} out of range");
+        let mut a = addr >> self.col_shift;
+        let mut take = |bits: u32| -> usize {
+            let v = (a & ((1 << bits) - 1)) as usize;
+            a >>= bits;
+            v
+        };
+        // Least significant first: co, ch, ba, bg, (ra: 0 bits), ro.
+        let col = take(self.col_bits);
+        let channel = take(self.ch_bits);
+        let bank = take(self.ba_bits);
+        let bankgroup = take(self.bg_bits);
+        let row = take(self.row_bits);
+        DecodedAddress {
+            channel,
+            bankgroup,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Encode a location back to a byte address (inverse of
+    /// [`AddressMapping::decode`]).
+    #[must_use]
+    pub fn encode(&self, d: DecodedAddress) -> u64 {
+        let mut a = d.row as u64;
+        a = (a << self.bg_bits) | d.bankgroup as u64;
+        a = (a << self.ba_bits) | d.bank as u64;
+        a = (a << self.ch_bits) | d.channel as u64;
+        a = (a << self.col_bits) | d.col as u64;
+        a << self.col_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> AddressMapping {
+        AddressMapping::new(&HbmConfig::default())
+    }
+
+    #[test]
+    fn capacity_matches_config() {
+        let cfg = HbmConfig::default();
+        assert_eq!(mapping().capacity(), cfg.capacity_bytes() as u64);
+    }
+
+    #[test]
+    fn decode_zero() {
+        let d = mapping().decode(0);
+        assert_eq!(
+            d,
+            DecodedAddress {
+                channel: 0,
+                bankgroup: 0,
+                bank: 0,
+                row: 0,
+                col: 0
+            }
+        );
+    }
+
+    #[test]
+    fn channel_interleave_is_below_bank() {
+        let m = mapping();
+        // One full row of one channel is 64 cols * 16B = 1KB; the next KB
+        // lands on the next channel (co then ch ordering).
+        let a = m.decode(1024);
+        assert_eq!(a.channel, 1);
+        assert_eq!(a.row, 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = mapping();
+        for addr in [0u64, 16, 1024, 123_456, 1 << 30, m.capacity() - 16] {
+            let d = m.decode(addr);
+            assert_eq!(m.encode(d), addr & !15, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn row_is_most_significant() {
+        let m = mapping();
+        let top = m.capacity() / 2;
+        let d = m.decode(top);
+        assert_eq!(d.row, 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_out_of_range_panics() {
+        let m = mapping();
+        let _ = m.decode(m.capacity());
+    }
+}

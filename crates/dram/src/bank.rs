@@ -1,0 +1,255 @@
+//! Per-bank state machine and timing bookkeeping.
+
+use crate::command::CmdKind;
+use crate::config::Timing;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for "never happened".
+const NEVER: i64 = i64::MIN / 4;
+
+/// Row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankState {
+    /// No row open.
+    Idle,
+    /// A row is open.
+    Active {
+        /// The open row.
+        row: u32,
+    },
+}
+
+/// One DRAM bank: open-row state plus the timestamps needed to evaluate the
+/// JEDEC constraints for the next command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bank {
+    state: BankState,
+    last_act: i64,
+    last_pre: i64,
+    last_rd: i64,
+    last_wr: i64,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank::new()
+    }
+}
+
+impl Bank {
+    /// A fresh idle bank.
+    #[must_use]
+    pub fn new() -> Self {
+        Bank {
+            state: BankState::Idle,
+            last_act: NEVER,
+            last_pre: NEVER,
+            last_rd: NEVER,
+            last_wr: NEVER,
+            row_hits: 0,
+            row_misses: 0,
+        }
+    }
+
+    /// Current row-buffer state.
+    #[must_use]
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// The open row, if any.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u32> {
+        match self.state {
+            BankState::Active { row } => Some(row),
+            BankState::Idle => None,
+        }
+    }
+
+    /// Row-buffer hits observed (column command to the already-open row).
+    #[must_use]
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Row-buffer misses observed (activations).
+    #[must_use]
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
+    /// Earliest cycle at which `cmd` may legally issue to this bank,
+    /// considering only *intra-bank* constraints (inter-bank tRRD/tFAW/tCCD
+    /// are the channel's job).
+    ///
+    /// Returns `None` when the command is illegal in the current state
+    /// (e.g. RD with no open row, ACT with a row already open).
+    #[must_use]
+    pub fn earliest(&self, cmd: CmdKind, t: &Timing) -> Option<i64> {
+        match cmd {
+            CmdKind::Act { .. } => match self.state {
+                BankState::Active { .. } => None,
+                BankState::Idle => Some(self.last_pre + t.t_rp as i64),
+            },
+            CmdKind::Rd { .. } => match self.state {
+                BankState::Idle => None,
+                BankState::Active { .. } => Some(
+                    (self.last_act + t.t_rcd as i64)
+                        .max(self.last_wr + (t.wl + t.t_wtr) as i64),
+                ),
+            },
+            CmdKind::Wr { .. } => match self.state {
+                BankState::Idle => None,
+                BankState::Active { .. } => Some(
+                    (self.last_act + t.t_rcd as i64).max(self.last_rd + t.rl as i64),
+                ),
+            },
+            CmdKind::Pre => match self.state {
+                BankState::Idle => None,
+                BankState::Active { .. } => Some(
+                    (self.last_act + t.t_ras as i64)
+                        .max(self.last_rd + t.t_rtp as i64)
+                        .max(self.last_wr + (t.wl + t.t_wr) as i64),
+                ),
+            },
+            CmdKind::Ref => match self.state {
+                BankState::Active { .. } => None,
+                BankState::Idle => Some(self.last_pre + t.t_rp as i64),
+            },
+            // MRS is legal whenever the bank is idle.
+            CmdKind::Mrs => Some(self.last_pre + t.t_rp as i64),
+        }
+    }
+
+    /// Apply `cmd` at cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command is illegal in the current state — the channel
+    /// must consult [`Bank::earliest`] first.
+    pub fn apply(&mut self, cmd: CmdKind, at: i64, t: &Timing) {
+        debug_assert!(
+            self.earliest(cmd, t).is_some_and(|e| at >= e),
+            "command {cmd:?} issued at {at} violates bank state/timing"
+        );
+        match cmd {
+            CmdKind::Act { row } => {
+                self.state = BankState::Active { row };
+                self.last_act = at;
+                self.row_misses += 1;
+            }
+            CmdKind::Rd { .. } => {
+                self.last_rd = at;
+                self.row_hits += 1;
+            }
+            CmdKind::Wr { .. } => {
+                self.last_wr = at;
+                self.row_hits += 1;
+            }
+            CmdKind::Pre => {
+                self.state = BankState::Idle;
+                self.last_pre = at;
+            }
+            CmdKind::Ref => {
+                // Model refresh as busying the bank for tRFC via last_pre.
+                self.last_pre = at + t.t_rfc as i64 - t.t_rp as i64;
+            }
+            CmdKind::Mrs => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Timing {
+        Timing::hbm2_default()
+    }
+
+    #[test]
+    fn fresh_bank_activates_immediately() {
+        let b = Bank::new();
+        assert!(b.earliest(CmdKind::Act { row: 0 }, &t()).unwrap() <= 0);
+        assert!(b.earliest(CmdKind::Rd { col: 0 }, &t()).is_none());
+        assert!(b.earliest(CmdKind::Pre, &t()).is_none());
+    }
+
+    #[test]
+    fn act_then_read_obeys_trcd() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.apply(CmdKind::Act { row: 5 }, 0, &tm);
+        assert_eq!(b.open_row(), Some(5));
+        let e = b.earliest(CmdKind::Rd { col: 0 }, &tm).unwrap();
+        assert_eq!(e, tm.t_rcd as i64);
+    }
+
+    #[test]
+    fn precharge_obeys_tras_and_trtp() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.apply(CmdKind::Act { row: 5 }, 0, &tm);
+        b.apply(CmdKind::Rd { col: 0 }, tm.t_rcd as i64, &tm);
+        let e = b.earliest(CmdKind::Pre, &tm).unwrap();
+        assert_eq!(
+            e,
+            (tm.t_ras as i64).max(tm.t_rcd as i64 + tm.t_rtp as i64)
+        );
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.apply(CmdKind::Act { row: 1 }, 0, &tm);
+        let w = b.earliest(CmdKind::Wr { col: 0 }, &tm).unwrap();
+        b.apply(CmdKind::Wr { col: 0 }, w, &tm);
+        let r = b.earliest(CmdKind::Rd { col: 1 }, &tm).unwrap();
+        assert_eq!(r, w + (tm.wl + tm.t_wtr) as i64);
+    }
+
+    #[test]
+    fn act_on_open_row_is_illegal() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.apply(CmdKind::Act { row: 1 }, 0, &tm);
+        assert!(b.earliest(CmdKind::Act { row: 2 }, &tm).is_none());
+    }
+
+    #[test]
+    fn reopen_after_precharge_obeys_trp() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.apply(CmdKind::Act { row: 1 }, 0, &tm);
+        let p = b.earliest(CmdKind::Pre, &tm).unwrap();
+        b.apply(CmdKind::Pre, p, &tm);
+        let a = b.earliest(CmdKind::Act { row: 2 }, &tm).unwrap();
+        assert_eq!(a, p + tm.t_rp as i64);
+        // Full row cycle from first ACT: tRAS + tRP = tRC.
+        assert_eq!(a, tm.t_rc() as i64);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.apply(CmdKind::Act { row: 1 }, 0, &tm);
+        b.apply(CmdKind::Rd { col: 0 }, 20, &tm);
+        b.apply(CmdKind::Rd { col: 1 }, 25, &tm);
+        assert_eq!(b.row_misses(), 1);
+        assert_eq!(b.row_hits(), 2);
+    }
+
+    #[test]
+    fn refresh_busies_bank() {
+        let tm = t();
+        let mut b = Bank::new();
+        let r = b.earliest(CmdKind::Ref, &tm).unwrap().max(0);
+        b.apply(CmdKind::Ref, r, &tm);
+        let a = b.earliest(CmdKind::Act { row: 0 }, &tm).unwrap();
+        assert_eq!(a, r + tm.t_rfc as i64);
+    }
+}

@@ -1,0 +1,113 @@
+//! DRAM commands and their issue scope.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmdKind {
+    /// Activate (open) a row.
+    Act {
+        /// Row to open.
+        row: u32,
+    },
+    /// Read one burst at a column of the open row.
+    Rd {
+        /// Column address.
+        col: u32,
+    },
+    /// Write one burst at a column of the open row.
+    Wr {
+        /// Column address.
+        col: u32,
+    },
+    /// Precharge (close) the open row.
+    Pre,
+    /// Refresh.
+    Ref,
+    /// Mode-register set (used by the SB/AB/AB-PIM switch sequences and for
+    /// programming PIM kernels into the control registers).
+    Mrs,
+}
+
+impl CmdKind {
+    /// Short mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmdKind::Act { .. } => "ACT",
+            CmdKind::Rd { .. } => "RD",
+            CmdKind::Wr { .. } => "WR",
+            CmdKind::Pre => "PRE",
+            CmdKind::Ref => "REF",
+            CmdKind::Mrs => "MRS",
+        }
+    }
+
+    /// Whether this is a column (data-moving) command.
+    #[must_use]
+    pub fn is_column(self) -> bool {
+        matches!(self, CmdKind::Rd { .. } | CmdKind::Wr { .. })
+    }
+}
+
+impl fmt::Display for CmdKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmdKind::Act { row } => write!(f, "ACT(r{row})"),
+            CmdKind::Rd { col } => write!(f, "RD(c{col})"),
+            CmdKind::Wr { col } => write!(f, "WR(c{col})"),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+/// Which banks a command addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// One bank, addressed by `(bank_group, bank)` — SB mode and the
+    /// per-bank (PB) PIM baseline.
+    OneBank {
+        /// Bank group index.
+        bg: usize,
+        /// Bank index within the group.
+        ba: usize,
+    },
+    /// Every bank in the pseudo-channel at once — AB / AB-PIM modes.
+    AllBanks,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::OneBank { bg, ba } => write!(f, "bank({bg},{ba})"),
+            Scope::AllBanks => f.write_str("all-banks"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(CmdKind::Act { row: 1 }.mnemonic(), "ACT");
+        assert_eq!(CmdKind::Pre.mnemonic(), "PRE");
+        assert_eq!(format!("{}", CmdKind::Rd { col: 7 }), "RD(c7)");
+    }
+
+    #[test]
+    fn column_classification() {
+        assert!(CmdKind::Rd { col: 0 }.is_column());
+        assert!(CmdKind::Wr { col: 0 }.is_column());
+        assert!(!CmdKind::Act { row: 0 }.is_column());
+        assert!(!CmdKind::Mrs.is_column());
+    }
+
+    #[test]
+    fn scope_display() {
+        assert_eq!(format!("{}", Scope::AllBanks), "all-banks");
+        assert_eq!(format!("{}", Scope::OneBank { bg: 1, ba: 2 }), "bank(1,2)");
+    }
+}

@@ -1,0 +1,178 @@
+//! Memory organization and timing parameters (paper Table VII).
+
+use serde::{Deserialize, Serialize};
+
+/// HBM2 organization of one pSyncPIM cube (Table VII).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HbmConfig {
+    /// Bank groups per pseudo-channel.
+    pub num_bankgroups: usize,
+    /// Banks per bank group.
+    pub banks_per_group: usize,
+    /// Rows per bank.
+    pub num_rows: usize,
+    /// Column addresses per row.
+    pub num_cols: usize,
+    /// Bytes per column address (64 columns × 16 B = the paper's 1 KB row).
+    pub col_bytes: usize,
+    /// Bytes moved by one RD/WR burst (BL4 over the 64-bit pseudo-channel
+    /// DQ = 32 B — also the PU datapath width).
+    pub burst_bytes: usize,
+    /// HBM stacks per cube.
+    pub num_stacks: usize,
+    /// Pseudo-channels per cube.
+    pub num_pseudo_channels: usize,
+    /// Command clock in Hz (1 GHz ⇒ 1 ns per cycle).
+    pub clock_hz: f64,
+    /// External (host-visible) bandwidth in bytes/s.
+    pub external_bw: f64,
+    /// Internal (all-bank aggregate) bandwidth in bytes/s.
+    pub internal_bw: f64,
+    /// Timing constraints in command-clock cycles.
+    pub timing: Timing,
+}
+
+impl Default for HbmConfig {
+    /// The Table VII configuration.
+    fn default() -> Self {
+        HbmConfig {
+            num_bankgroups: 4,
+            banks_per_group: 4,
+            num_rows: 16_384,
+            num_cols: 64,
+            col_bytes: 16,
+            burst_bytes: 32,
+            num_stacks: 8,
+            num_pseudo_channels: 16,
+            clock_hz: 1e9,
+            external_bw: 256e9,
+            internal_bw: 2e12,
+            timing: Timing::hbm2_default(),
+        }
+    }
+}
+
+impl HbmConfig {
+    /// Banks per pseudo-channel.
+    #[must_use]
+    pub fn banks_per_channel(&self) -> usize {
+        self.num_bankgroups * self.banks_per_group
+    }
+
+    /// Total banks (= processing units) per cube; the paper's is 256.
+    #[must_use]
+    pub fn total_banks(&self) -> usize {
+        self.banks_per_channel() * self.num_pseudo_channels
+    }
+
+    /// Bytes per DRAM row.
+    #[must_use]
+    pub fn row_bytes(&self) -> usize {
+        self.num_cols * self.col_bytes
+    }
+
+    /// Bursts needed to stream one full row.
+    #[must_use]
+    pub fn bursts_per_row(&self) -> usize {
+        self.row_bytes() / self.burst_bytes
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.total_banks() * self.num_rows * self.row_bytes()
+    }
+
+    /// Seconds per command-clock cycle.
+    #[must_use]
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+}
+
+/// JEDEC-style timing constraints in command-clock cycles.
+///
+/// Values follow DRAMsim3's HBM2 defaults at 1 GHz (the paper: "HBM2
+/// default timing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field names are the JEDEC parameter names
+pub struct Timing {
+    pub t_rcd: u64,
+    pub t_rp: u64,
+    pub t_ras: u64,
+    pub t_ccd_s: u64,
+    pub t_ccd_l: u64,
+    pub t_rrd_s: u64,
+    pub t_rrd_l: u64,
+    pub t_faw: u64,
+    pub t_rtp: u64,
+    pub t_wr: u64,
+    pub t_wtr: u64,
+    /// Read latency (CAS).
+    pub rl: u64,
+    /// Write latency.
+    pub wl: u64,
+    /// Average refresh interval.
+    pub t_refi: u64,
+    /// Refresh cycle time.
+    pub t_rfc: u64,
+}
+
+impl Timing {
+    /// DRAMsim3 HBM2 default timing at 1 GHz.
+    #[must_use]
+    pub const fn hbm2_default() -> Self {
+        Timing {
+            t_rcd: 14,
+            t_rp: 14,
+            t_ras: 33,
+            t_ccd_s: 2,
+            t_ccd_l: 4,
+            t_rrd_s: 4,
+            t_rrd_l: 6,
+            t_faw: 30,
+            t_rtp: 5,
+            t_wr: 16,
+            t_wtr: 8,
+            rl: 14,
+            wl: 7,
+            t_refi: 3_900,
+            t_rfc: 260,
+        }
+    }
+
+    /// Row cycle time `tRC = tRAS + tRP`.
+    #[must_use]
+    pub const fn t_rc(&self) -> u64 {
+        self.t_ras + self.t_rp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vii_derived_quantities() {
+        let c = HbmConfig::default();
+        assert_eq!(c.banks_per_channel(), 16);
+        assert_eq!(c.total_banks(), 256);
+        assert_eq!(c.row_bytes(), 1024);
+        assert_eq!(c.bursts_per_row(), 32);
+        assert_eq!(c.capacity_bytes(), 4 * 1024 * 1024 * 1024usize);
+        assert_eq!(c.cycle_seconds(), 1e-9);
+    }
+
+    #[test]
+    fn timing_trc() {
+        let t = Timing::hbm2_default();
+        assert_eq!(t.t_rc(), 47);
+    }
+
+    #[test]
+    fn bandwidth_gap_is_about_8x() {
+        let c = HbmConfig::default();
+        let gap = c.internal_bw / c.external_bw;
+        assert!((7.0..9.0).contains(&gap));
+    }
+}

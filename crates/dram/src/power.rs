@@ -1,0 +1,196 @@
+//! Energy model (paper §VII-F, Figure 14).
+//!
+//! The paper estimates power from the Samsung HBM-PIM silicon report (ref 24)
+//! plus the Galal–Horowitz FPU energy data (ref 10), assuming the buffer die's
+//! 1024-bit external I/O is gated off during PIM execution. We encode those
+//! ballparks as per-event energies and a background term; the calibration
+//! keeps all-bank SpMV streaming below the paper's 5 W HBM2 power ceiling.
+
+use crate::stats::ChannelStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-event energies in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One bank's row activation (per bank — a broadcast ACT pays this for
+    /// every bank it opens).
+    pub act_pj_per_bank: f64,
+    /// One 32 B internal read burst per bank.
+    pub rd_pj_per_burst: f64,
+    /// One 32 B internal write burst per bank.
+    pub wr_pj_per_burst: f64,
+    /// Extra cost when a burst crosses the external interface (SB-mode host
+    /// traffic; gated off in PIM mode).
+    pub external_io_pj_per_burst: f64,
+    /// One MRS command.
+    pub mrs_pj: f64,
+    /// One refresh.
+    pub ref_pj: f64,
+    /// Static background power per cube in watts (peripheral + standby).
+    pub background_w: f64,
+    /// One processing-unit ALU lane-operation at FP64 (scales down with
+    /// narrower precisions roughly linearly in width).
+    pub pu_fp64_op_pj: f64,
+    /// Static power per active processing unit in watts.
+    pub pu_static_w: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            act_pj_per_bank: 400.0,
+            rd_pj_per_burst: 30.0,
+            wr_pj_per_burst: 34.0,
+            external_io_pj_per_burst: 250.0,
+            mrs_pj: 10.0,
+            ref_pj: 5_000.0,
+            background_w: 0.30,
+            pu_fp64_op_pj: 6.0,
+            pu_static_w: 0.000_5,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// DRAM energy implied by a channel's counters, in picojoules.
+    /// `external_bursts` is how many of the bursts crossed the external
+    /// interface (0 in PIM mode).
+    #[must_use]
+    pub fn dram_energy_pj(&self, stats: &ChannelStats, external_bursts: u64) -> f64 {
+        stats.bank_activations as f64 * self.act_pj_per_bank
+            + stats.reads as f64 * 0.0 // per-bank bursts carry the cost:
+            + stats.bank_bursts as f64 * self.rd_wr_avg()
+            + external_bursts as f64 * self.external_io_pj_per_burst
+            + stats.mrs as f64 * self.mrs_pj
+            + stats.refs as f64 * self.ref_pj
+    }
+
+    fn rd_wr_avg(&self) -> f64 {
+        0.5 * (self.rd_pj_per_burst + self.wr_pj_per_burst)
+    }
+
+    /// Energy of `ops` ALU operations at an element width of `bytes`
+    /// (1 for INT8 … 8 for FP64/INT64), in picojoules.
+    #[must_use]
+    pub fn pu_op_energy_pj(&self, bytes: usize, ops: u64) -> f64 {
+        let scale = bytes as f64 / 8.0;
+        ops as f64 * self.pu_fp64_op_pj * scale
+    }
+
+    /// Background (static) energy over a run, in picojoules.
+    /// `active_pus` adds per-unit static power while the kernel runs.
+    #[must_use]
+    pub fn background_pj(&self, seconds: f64, active_pus: usize) -> f64 {
+        (self.background_w + self.pu_static_w * active_pus as f64) * seconds * 1e12
+    }
+}
+
+/// Accumulated energy of a run, split by source.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyStats {
+    /// DRAM array + peripheral energy (pJ).
+    pub dram_pj: f64,
+    /// Processing-unit dynamic energy (pJ).
+    pub pu_pj: f64,
+    /// External interface energy (pJ).
+    pub external_pj: f64,
+    /// Static/background energy (pJ).
+    pub background_pj: f64,
+}
+
+impl EnergyStats {
+    /// Total energy in picojoules.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.dram_pj + self.pu_pj + self.external_pj + self.background_pj
+    }
+
+    /// Total energy in joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+
+    /// Average power over `seconds`, in watts.
+    #[must_use]
+    pub fn avg_watts(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_j() / seconds
+    }
+
+    /// Add another accumulation.
+    pub fn merge(&mut self, other: &EnergyStats) {
+        self.dram_pj += other.dram_pj;
+        self.pu_pj += other.pu_pj;
+        self.external_pj += other.external_pj;
+        self.background_pj += other.background_pj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{CmdKind, Scope};
+
+    #[test]
+    fn streaming_power_stays_under_hbm2_ceiling() {
+        // Full-rate all-bank streaming: one AB RD every tCCD_L = 4 ns per
+        // channel, 16 channels, plus an AB ACT per 32 bursts.
+        let m = EnergyModel::default();
+        let seconds = 1e-3;
+        let bursts_per_channel = (seconds / 4e-9) as u64;
+        let mut stats = ChannelStats::default();
+        for _ in 0..16u64 {
+            // per channel
+            let mut ch = ChannelStats::default();
+            for i in 0..bursts_per_channel {
+                if i % 32 == 0 {
+                    ch.record(Scope::AllBanks, CmdKind::Act { row: 0 }, 16);
+                }
+                ch.record(Scope::AllBanks, CmdKind::Rd { col: 0 }, 16);
+            }
+            stats.merge(&ch);
+        }
+        let mut e = EnergyStats::default();
+        e.dram_pj = m.dram_energy_pj(&stats, 0);
+        e.pu_pj = m.pu_op_energy_pj(8, stats.bank_bursts * 4);
+        e.background_pj = m.background_pj(seconds, 256);
+        let w = e.avg_watts(seconds);
+        assert!(w < 5.0, "streaming power {w:.2} W exceeds the 5 W ceiling");
+        assert!(w > 1.0, "streaming power {w:.2} W implausibly low");
+    }
+
+    #[test]
+    fn narrower_precisions_cost_less() {
+        let m = EnergyModel::default();
+        assert!(m.pu_op_energy_pj(1, 100) < m.pu_op_energy_pj(8, 100));
+    }
+
+    #[test]
+    fn external_io_adds_energy() {
+        let m = EnergyModel::default();
+        let mut s = ChannelStats::default();
+        s.record(Scope::OneBank { bg: 0, ba: 0 }, CmdKind::Rd { col: 0 }, 1);
+        let internal = m.dram_energy_pj(&s, 0);
+        let external = m.dram_energy_pj(&s, 1);
+        assert!(external > internal);
+    }
+
+    #[test]
+    fn stats_merge_and_watts() {
+        let mut a = EnergyStats {
+            dram_pj: 1e12,
+            ..Default::default()
+        };
+        let b = EnergyStats {
+            pu_pj: 1e12,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total_j(), 2.0);
+        assert_eq!(a.avg_watts(2.0), 1.0);
+        assert_eq!(a.avg_watts(0.0), 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Command and traffic accounting.
+
+use crate::command::{CmdKind, Scope};
+use serde::{Deserialize, Serialize};
+
+/// Per-channel command counters — the raw material of paper Figures 3
+/// (command counts) and 14 (energy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// ACT commands issued (a broadcast counts once).
+    pub acts: u64,
+    /// RD commands issued.
+    pub reads: u64,
+    /// WR commands issued.
+    pub writes: u64,
+    /// PRE commands issued.
+    pub pres: u64,
+    /// REF commands issued.
+    pub refs: u64,
+    /// MRS commands issued (mode switches, kernel programming).
+    pub mrs: u64,
+    /// Commands issued with all-bank scope.
+    pub all_bank_commands: u64,
+    /// Commands issued with one-bank scope.
+    pub per_bank_commands: u64,
+    /// Individual bank-row activations (a broadcast ACT opens every bank,
+    /// so it adds `banks_per_channel` here — this drives activate energy).
+    pub bank_activations: u64,
+    /// Individual bank column bursts (reads + writes × banks addressed).
+    pub bank_bursts: u64,
+}
+
+impl ChannelStats {
+    /// Record one issued command covering `banks` banks.
+    pub fn record(&mut self, scope: Scope, cmd: CmdKind, banks: usize) {
+        match cmd {
+            CmdKind::Act { .. } => {
+                self.acts += 1;
+                self.bank_activations += banks as u64;
+            }
+            CmdKind::Rd { .. } => {
+                self.reads += 1;
+                self.bank_bursts += banks as u64;
+            }
+            CmdKind::Wr { .. } => {
+                self.writes += 1;
+                self.bank_bursts += banks as u64;
+            }
+            CmdKind::Pre => self.pres += 1,
+            CmdKind::Ref => self.refs += 1,
+            CmdKind::Mrs => self.mrs += 1,
+        }
+        match scope {
+            Scope::AllBanks => self.all_bank_commands += 1,
+            Scope::OneBank { .. } => self.per_bank_commands += 1,
+        }
+    }
+
+    /// Total commands issued.
+    #[must_use]
+    pub fn total_commands(&self) -> u64 {
+        self.acts + self.reads + self.writes + self.pres + self.refs + self.mrs
+    }
+
+    /// Merge another channel's counters into this one (cube-level totals).
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.acts += other.acts;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.pres += other.pres;
+        self.refs += other.refs;
+        self.mrs += other.mrs;
+        self.all_bank_commands += other.all_bank_commands;
+        self.per_bank_commands += other.per_bank_commands;
+        self.bank_activations += other.bank_activations;
+        self.bank_bursts += other.bank_bursts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut s = ChannelStats::default();
+        s.record(Scope::AllBanks, CmdKind::Act { row: 0 }, 16);
+        s.record(Scope::OneBank { bg: 0, ba: 0 }, CmdKind::Rd { col: 0 }, 1);
+        assert_eq!(s.total_commands(), 2);
+        assert_eq!(s.all_bank_commands, 1);
+        assert_eq!(s.per_bank_commands, 1);
+        assert_eq!(s.bank_activations, 16);
+        assert_eq!(s.bank_bursts, 1);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = ChannelStats::default();
+        a.record(Scope::AllBanks, CmdKind::Wr { col: 1 }, 16);
+        let mut b = ChannelStats::default();
+        b.record(Scope::AllBanks, CmdKind::Mrs, 16);
+        a.merge(&b);
+        assert_eq!(a.writes, 1);
+        assert_eq!(a.mrs, 1);
+        assert_eq!(a.total_commands(), 2);
+    }
+}

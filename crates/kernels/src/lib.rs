@@ -1,0 +1,32 @@
+//! pSyncPIM kernel library.
+//!
+//! Every kernel of the paper's Table III, implemented as real PIM assembly
+//! (assembled through [`psyncpim_core::isa`]) plus the host-side data
+//! layout and orchestration the paper describes:
+//!
+//! * [`blas1`] — dense/sparse Level-1 kernels (DSWAP, DSCAL, DCOPY, DAXPY,
+//!   SpAXPY, DDOT, SpDOT, DNRM2, GATHER, SCATTER),
+//! * [`gemv`] — DGEMV and DTRSV,
+//! * [`spmv`] — SpMV with the §V compression/distribution policy,
+//! * [`sptrsv`] — SpTRSV via the recursive block algorithm, level batches
+//!   and the scalar-multiplication column sweep (§VI),
+//! * [`device`] — the simulated pSyncPIM device configurations (1×, 3×,
+//!   per-bank) and the combined kernel+host run report.
+//!
+//! Each kernel both *computes the real result* (the PU interpreter executes
+//! the assembled program against bank memory) and *accounts time* (DRAM
+//! command timing, lockstep PU back-pressure, external-bus traffic, mode
+//! switches).
+
+pub mod blas1;
+pub mod device;
+pub mod gemv;
+pub mod programs;
+pub mod selftest;
+pub mod spmv;
+pub mod sptrsv;
+
+pub use device::{KernelRun, PimDevice};
+pub use selftest::{all_pass, selftest, CheckResult};
+pub use spmv::SpmvPim;
+pub use sptrsv::SptrsvPim;

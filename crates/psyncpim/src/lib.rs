@@ -1,0 +1,43 @@
+//! # pSyncPIM
+//!
+//! A full-system reproduction of *"pSyncPIM: Partially Synchronous
+//! Execution of Sparse Matrix Operations for All-Bank PIM Architectures"*
+//! (ISCA 2024): an HBM2 all-bank processing-in-memory architecture that
+//! keeps the standard JEDEC host interface while running irregular sparse
+//! kernels through predicated, conditionally-terminating lockstep
+//! execution.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`sparse`] — matrix formats, generators, decompositions, the SpMV
+//!   compression/distribution policy and the Table IX synthetic suite,
+//! * [`dram`] — the cycle-level HBM2 channel/bank/timing/power simulator,
+//! * [`core`] — the PIM ISA, per-bank processing units and the partially
+//!   synchronous execution engine,
+//! * [`kernels`] — every Table III kernel in PIM assembly with host
+//!   orchestration,
+//! * [`baselines`] — calibrated GPU/SpaceA/SpGEMM-accelerator models,
+//! * [`apps`] — the seven Table II applications over a device abstraction.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use psyncpim::kernels::{PimDevice, SpmvPim};
+//! use psyncpim::sparse::{gen, Precision};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let a = gen::rmat(256, 4, 1);
+//! let x = vec![1.0; 256];
+//! let result = SpmvPim::new(PimDevice::tiny(1), Precision::Fp64).run(&a, &x)?;
+//! assert_eq!(result.y.len(), 256);
+//! println!("SpMV took {:.3} us on PIM", result.run.total_s() * 1e6);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use psim_apps as apps;
+pub use psim_baselines as baselines;
+pub use psim_dram as dram;
+pub use psim_kernels as kernels;
+pub use psim_sparse as sparse;
+pub use psyncpim_core as core;

@@ -1,0 +1,294 @@
+//! Recursive block decomposition for SpTRSV (paper §VI-A).
+//!
+//! The triangular matrix `L` is split as
+//!
+//! ```text
+//! L = | L0  O  |        L0 x0 = b0            (recursive SpTRSV)
+//!     | M   L1 |        b1' = b1 - M x0       (SpMV)
+//!                       L1 x1 = b1'           (recursive SpTRSV)
+//! ```
+//!
+//! recursively until each diagonal block fits the hardware limit (one memory
+//! row of input/output vector per bank — dimension 32,768 for FP64 with the
+//! paper's 256 KB aggregate row). The plan linearizes the recursion into a
+//! step list the host controller replays: diagonal `Solve` steps run the
+//! in-PIM SpTRSV kernel, off-diagonal `Update` steps run the SpMV kernel.
+
+use crate::triangular::{Triangle, UnitTriangular};
+use crate::{Coo, SparseError};
+use serde::{Deserialize, Serialize};
+
+/// One step of the linearized block solve.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockStep {
+    /// Solve the diagonal triangular block covering rows/cols `lo..hi`.
+    Solve {
+        /// Block start (inclusive).
+        lo: usize,
+        /// Block end (exclusive).
+        hi: usize,
+    },
+    /// `b[rows] -= M · x[cols]` for the off-diagonal block `M`.
+    Update {
+        /// Target row range start.
+        row_lo: usize,
+        /// Target row range end (exclusive).
+        row_hi: usize,
+        /// Source column range start.
+        col_lo: usize,
+        /// Source column range end (exclusive).
+        col_hi: usize,
+    },
+}
+
+/// The full plan: ordered steps plus the source triangle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockPlan {
+    triangle: Triangle,
+    n: usize,
+    max_block: usize,
+    steps: Vec<BlockStep>,
+}
+
+impl BlockPlan {
+    /// Build the plan for a triangular matrix of dimension `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_block == 0`.
+    #[must_use]
+    pub fn build(triangle: Triangle, n: usize, max_block: usize) -> Self {
+        assert!(max_block > 0, "max_block must be positive");
+        let mut steps = Vec::new();
+        if n > 0 {
+            recurse(triangle, 0, n, max_block, &mut steps);
+        }
+        BlockPlan {
+            triangle,
+            n,
+            max_block,
+            steps,
+        }
+    }
+
+    /// The linearized steps in execution order.
+    #[must_use]
+    pub fn steps(&self) -> &[BlockStep] {
+        &self.steps
+    }
+
+    /// Dimension of the planned matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Block-size limit used for the plan.
+    #[must_use]
+    pub fn max_block(&self) -> usize {
+        self.max_block
+    }
+
+    /// Which triangle the plan solves.
+    #[must_use]
+    pub fn triangle(&self) -> Triangle {
+        self.triangle
+    }
+
+    /// Number of diagonal `Solve` steps.
+    #[must_use]
+    pub fn num_solves(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, BlockStep::Solve { .. }))
+            .count()
+    }
+
+    /// Number of off-diagonal `Update` (SpMV) steps.
+    #[must_use]
+    pub fn num_updates(&self) -> usize {
+        self.steps.len() - self.num_solves()
+    }
+
+    /// Execute the plan on the host with reference kernels — the golden
+    /// model the PIM execution is verified against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `b.len() != dim` or the
+    /// matrix dimension disagrees with the plan.
+    pub fn execute_reference(
+        &self,
+        t: &UnitTriangular,
+        b: &[f64],
+    ) -> Result<Vec<f64>, SparseError> {
+        if t.dim() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.n,
+                found: t.dim(),
+            });
+        }
+        if b.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.n,
+                found: b.len(),
+            });
+        }
+        let mut x = b.to_vec();
+        for step in &self.steps {
+            match *step {
+                BlockStep::Solve { lo, hi } => {
+                    let block = t.diagonal_block(lo, hi);
+                    let solved = block.solve_colwise(&x[lo..hi])?;
+                    x[lo..hi].copy_from_slice(&solved);
+                }
+                BlockStep::Update {
+                    row_lo,
+                    row_hi,
+                    col_lo,
+                    col_hi,
+                } => {
+                    let m: Coo = t.strict().submatrix(row_lo, row_hi, col_lo, col_hi);
+                    let xs = &x[col_lo..col_hi];
+                    let y = m.spmv(xs);
+                    for (i, v) in y.into_iter().enumerate() {
+                        x[row_lo + i] -= v;
+                    }
+                }
+            }
+        }
+        Ok(x)
+    }
+}
+
+fn recurse(
+    triangle: Triangle,
+    lo: usize,
+    hi: usize,
+    max_block: usize,
+    steps: &mut Vec<BlockStep>,
+) {
+    let n = hi - lo;
+    if n <= max_block {
+        steps.push(BlockStep::Solve { lo, hi });
+        return;
+    }
+    let mid = lo + n / 2;
+    match triangle {
+        Triangle::Lower => {
+            // Solve L0 first, then b1 -= M x0, then L1.
+            recurse(triangle, lo, mid, max_block, steps);
+            steps.push(BlockStep::Update {
+                row_lo: mid,
+                row_hi: hi,
+                col_lo: lo,
+                col_hi: mid,
+            });
+            recurse(triangle, mid, hi, max_block, steps);
+        }
+        Triangle::Upper => {
+            // For U, the trailing block solves first; M sits above the
+            // diagonal (rows lo..mid, cols mid..hi).
+            recurse(triangle, mid, hi, max_block, steps);
+            steps.push(BlockStep::Update {
+                row_lo: lo,
+                row_hi: mid,
+                col_lo: mid,
+                col_hi: hi,
+            });
+            recurse(triangle, lo, mid, max_block, steps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::triangular::unit_triangular_from;
+
+    fn random_lower(n: usize, salt: u64) -> UnitTriangular {
+        let a = gen::rmat_seeded(n, 6, salt, 42);
+        unit_triangular_from(&a, Triangle::Lower).unwrap()
+    }
+
+    #[test]
+    fn small_matrix_single_solve() {
+        let plan = BlockPlan::build(Triangle::Lower, 10, 16);
+        assert_eq!(plan.steps(), &[BlockStep::Solve { lo: 0, hi: 10 }]);
+    }
+
+    #[test]
+    fn split_emits_solve_update_solve() {
+        let plan = BlockPlan::build(Triangle::Lower, 20, 10);
+        assert_eq!(
+            plan.steps(),
+            &[
+                BlockStep::Solve { lo: 0, hi: 10 },
+                BlockStep::Update {
+                    row_lo: 10,
+                    row_hi: 20,
+                    col_lo: 0,
+                    col_hi: 10
+                },
+                BlockStep::Solve { lo: 10, hi: 20 },
+            ]
+        );
+    }
+
+    #[test]
+    fn deep_recursion_counts() {
+        let plan = BlockPlan::build(Triangle::Lower, 64, 8);
+        assert_eq!(plan.num_solves(), 8);
+        assert_eq!(plan.num_updates(), 7);
+    }
+
+    #[test]
+    fn block_solve_matches_direct_lower() {
+        let t = random_lower(100, 3);
+        let b = gen::dense_vector(100, 17);
+        let direct = t.solve_colwise(&b).unwrap();
+        for max_block in [7, 16, 33, 100] {
+            let plan = BlockPlan::build(Triangle::Lower, 100, max_block);
+            let got = plan.execute_reference(&t, &b).unwrap();
+            for (g, d) in got.iter().zip(&direct) {
+                assert!((g - d).abs() < 1e-9, "block={max_block}: {g} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_solve_matches_direct_upper() {
+        let a = gen::rmat_seeded(80, 5, 9, 42);
+        let t = unit_triangular_from(&a, Triangle::Upper).unwrap();
+        let b = gen::dense_vector(80, 23);
+        let direct = t.solve_colwise(&b).unwrap();
+        let plan = BlockPlan::build(Triangle::Upper, 80, 13);
+        let got = plan.execute_reference(&t, &b).unwrap();
+        for (g, d) in got.iter().zip(&direct) {
+            assert!((g - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn upper_plan_solves_trailing_block_first() {
+        let plan = BlockPlan::build(Triangle::Upper, 20, 10);
+        assert_eq!(plan.steps()[0], BlockStep::Solve { lo: 10, hi: 20 });
+        assert!(matches!(plan.steps()[1], BlockStep::Update { row_lo: 0, .. }));
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = BlockPlan::build(Triangle::Lower, 0, 8);
+        assert!(plan.steps().is_empty());
+        let t = UnitTriangular::from_strict(Triangle::Lower, Coo::new(0, 0)).unwrap();
+        assert!(plan.execute_reference(&t, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatched_dims_rejected() {
+        let t = random_lower(10, 1);
+        let plan = BlockPlan::build(Triangle::Lower, 20, 8);
+        assert!(plan.execute_reference(&t, &vec![0.0; 20]).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! Dense and sparse vector helpers (reference semantics for the BLAS Level 1
+//! kernels of Table III).
+//!
+//! The PIM kernels are verified against these scalar implementations.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector: sorted `(index, value)` pairs.
+///
+/// This is the host-side view of what a PU's sparse-vector queue holds.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparseVec {
+    dim: usize,
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVec {
+    /// Empty sparse vector of the given logical dimension.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        SparseVec {
+            dim,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Build from pairs, sorting by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index `>= dim`.
+    #[must_use]
+    pub fn from_pairs(dim: usize, mut pairs: Vec<(u32, f64)>) -> Self {
+        assert!(
+            pairs.iter().all(|&(i, _)| (i as usize) < dim),
+            "sparse vector index out of range"
+        );
+        pairs.sort_by_key(|&(i, _)| i);
+        SparseVec { dim, entries: pairs }
+    }
+
+    /// Gather the non-zeros of a dense vector (the GATHER kernel).
+    #[must_use]
+    pub fn gather(dense: &[f64]) -> Self {
+        SparseVec {
+            dim: dense.len(),
+            entries: dense
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(i, &v)| (i as u32, v))
+                .collect(),
+        }
+    }
+
+    /// Scatter into a dense vector (the SCATTER kernel): positions not in
+    /// the sparse vector keep their previous contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense.len() != self.dim()`.
+    pub fn scatter_into(&self, dense: &mut [f64]) {
+        assert_eq!(dense.len(), self.dim, "scatter length mismatch");
+        for &(i, v) in &self.entries {
+            dense[i as usize] = v;
+        }
+    }
+
+    /// Densify to a `Vec<f64>`.
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.dim];
+        self.scatter_into(&mut d);
+        d
+    }
+
+    /// Logical dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Borrow the `(index, value)` pairs (sorted by index).
+    #[must_use]
+    pub fn pairs(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Iterate over the pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (u32, f64)> {
+        self.entries.iter()
+    }
+
+    /// Element-wise binary operation against another sparse vector, keeping
+    /// the *union* of patterns (missing side contributes the identity).
+    /// This is the semantics of the PU's index calculator in union mode.
+    #[must_use]
+    pub fn union_op(&self, other: &SparseVec, identity: f64, op: impl Fn(f64, f64) -> f64) -> SparseVec {
+        assert_eq!(self.dim, other.dim, "union_op dimension mismatch");
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut out = Vec::new();
+        while i < self.entries.len() || j < other.entries.len() {
+            match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&(ia, va)), Some(&(ib, vb))) => {
+                    use std::cmp::Ordering;
+                    match ia.cmp(&ib) {
+                        Ordering::Less => {
+                            out.push((ia, op(va, identity)));
+                            i += 1;
+                        }
+                        Ordering::Greater => {
+                            out.push((ib, op(identity, vb)));
+                            j += 1;
+                        }
+                        Ordering::Equal => {
+                            out.push((ia, op(va, vb)));
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                (Some(&(ia, va)), None) => {
+                    out.push((ia, op(va, identity)));
+                    i += 1;
+                }
+                (None, Some(&(ib, vb))) => {
+                    out.push((ib, op(identity, vb)));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        SparseVec {
+            dim: self.dim,
+            entries: out,
+        }
+    }
+
+    /// Element-wise binary operation keeping the *intersection* of patterns
+    /// (index-matching elements only — the skip mechanism of [ExTensor]).
+    ///
+    /// [ExTensor]: https://doi.org/10.1145/3352460.3358275
+    #[must_use]
+    pub fn intersect_op(&self, other: &SparseVec, op: impl Fn(f64, f64) -> f64) -> SparseVec {
+        assert_eq!(self.dim, other.dim, "intersect_op dimension mismatch");
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut out = Vec::new();
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ia, va) = self.entries[i];
+            let (ib, vb) = other.entries[j];
+            use std::cmp::Ordering;
+            match ia.cmp(&ib) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    out.push((ia, op(va, vb)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        SparseVec {
+            dim: self.dim,
+            entries: out,
+        }
+    }
+}
+
+impl FromIterator<(u32, f64)> for SparseVec {
+    /// Collect pairs; the dimension is inferred as one past the max index.
+    fn from_iter<T: IntoIterator<Item = (u32, f64)>>(iter: T) -> Self {
+        let pairs: Vec<(u32, f64)> = iter.into_iter().collect();
+        let dim = pairs.iter().map(|&(i, _)| i as usize + 1).max().unwrap_or(0);
+        SparseVec::from_pairs(dim, pairs)
+    }
+}
+
+/// `y <- a*x + y` (DAXPY).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `y <- a*x_sp + y` for a sparse x (SpAXPY).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn spaxpy(a: f64, x: &SparseVec, y: &mut [f64]) {
+    assert_eq!(x.dim(), y.len(), "spaxpy length mismatch");
+    for &(i, v) in x.iter() {
+        y[i as usize] += a * v;
+    }
+}
+
+/// Dot product (DDOT).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+#[must_use]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Sparse-dense dot product (SpDOT).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn spdot(x: &SparseVec, y: &[f64]) -> f64 {
+    assert_eq!(x.dim(), y.len(), "spdot length mismatch");
+    x.iter().map(|&(i, v)| v * y[i as usize]).sum()
+}
+
+/// Euclidean norm (DNRM2).
+#[must_use]
+pub fn nrm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `x <- a*x` (DSCAL).
+pub fn scal(a: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= a;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let d = vec![0.0, 1.5, 0.0, -2.0];
+        let s = SparseVec::gather(&d);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn union_add() {
+        let a = SparseVec::from_pairs(5, vec![(0, 1.0), (3, 2.0)]);
+        let b = SparseVec::from_pairs(5, vec![(3, 5.0), (4, 7.0)]);
+        let u = a.union_op(&b, 0.0, |x, y| x + y);
+        assert_eq!(u.pairs(), &[(0, 1.0), (3, 7.0), (4, 7.0)]);
+    }
+
+    #[test]
+    fn intersect_mul() {
+        let a = SparseVec::from_pairs(5, vec![(0, 2.0), (3, 2.0)]);
+        let b = SparseVec::from_pairs(5, vec![(3, 5.0), (4, 7.0)]);
+        let m = a.intersect_op(&b, |x, y| x * y);
+        assert_eq!(m.pairs(), &[(3, 10.0)]);
+    }
+
+    #[test]
+    fn blas1_ops() {
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(2.0, &[1.0, 0.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, 1.0, -1.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        let mut x = vec![2.0, 4.0];
+        scal(0.5, &mut x);
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sparse_blas1_ops() {
+        let s = SparseVec::from_pairs(3, vec![(1, 2.0)]);
+        let mut y = vec![1.0, 1.0, 1.0];
+        spaxpy(3.0, &s, &mut y);
+        assert_eq!(y, vec![1.0, 7.0, 1.0]);
+        assert_eq!(spdot(&s, &[0.0, 4.0, 0.0]), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn from_pairs_validates() {
+        let _ = SparseVec::from_pairs(2, vec![(5, 1.0)]);
+    }
+
+    #[test]
+    fn from_iterator_infers_dim() {
+        let s: SparseVec = vec![(4u32, 1.0)].into_iter().collect();
+        assert_eq!(s.dim(), 5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or transforming sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// An entry's row or column index lies outside the declared shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of matrix rows.
+        nrows: usize,
+        /// Number of matrix columns.
+        ncols: usize,
+    },
+    /// A matrix that must be square (e.g. a triangular solve operand) is not.
+    NotSquare {
+        /// Number of rows.
+        nrows: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+    /// A vector operand's length does not match the matrix dimension.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Observed length.
+        found: usize,
+    },
+    /// A triangular operation found a zero (or missing) diagonal element.
+    SingularDiagonal {
+        /// Row whose diagonal is zero/missing.
+        row: usize,
+    },
+    /// Input text (e.g. MatrixMarket) could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) lies outside the {nrows}x{ncols} matrix"
+            ),
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "matrix is {nrows}x{ncols} but must be square")
+            }
+            SparseError::DimensionMismatch { expected, found } => {
+                write!(f, "vector length {found} does not match dimension {expected}")
+            }
+            SparseError::SingularDiagonal { row } => {
+                write!(f, "zero or missing diagonal element at row {row}")
+            }
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SparseError::NotSquare { nrows: 3, ncols: 4 };
+        let s = e.to_string();
+        assert!(s.contains("3x4"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

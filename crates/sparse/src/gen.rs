@@ -1,0 +1,289 @@
+//! Deterministic synthetic sparse-matrix generators.
+//!
+//! The paper evaluates on 26 SuiteSparse/SNAP matrices (Table IX). Those
+//! files are not redistributable here, so [`crate::suite`] instantiates
+//! these generators with each matrix's published dimension and density. The
+//! generator *family* is chosen per matrix class because pSyncPIM's
+//! behaviour depends on the row-length distribution:
+//!
+//! * [`rmat`] — recursive-matrix power-law graphs (SNAP web/social graphs),
+//! * [`banded_fem`] — banded finite-element stencils (structural/FEM
+//!   matrices such as `cant`, `pwtk`, `parabolic_fem`),
+//! * [`erdos_renyi`] — uniform random sparsity (chemical-process matrices),
+//! * [`block_diag_fem`] — clustered multi-body FEM (e.g. `crankseg_2`).
+//!
+//! All generators are deterministic given a seed.
+
+use crate::Coo;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default seed used by the un-suffixed convenience constructors.
+pub const DEFAULT_SEED: u64 = 0x5EED_0001;
+
+/// R-MAT graph generator (Chakrabarti et al.): `n x n`, about
+/// `n * avg_deg` edges, with the canonical (0.57, 0.19, 0.19, 0.05)
+/// quadrant probabilities producing a power-law degree distribution.
+///
+/// `n` is rounded up to a power of two internally; indices above `n - 1`
+/// are redrawn so the result is exactly `n x n`.
+#[must_use]
+pub fn rmat(n: usize, avg_deg: usize, seed_salt: u64) -> Coo {
+    rmat_seeded(n, avg_deg, seed_salt, DEFAULT_SEED)
+}
+
+/// [`rmat`] with an explicit base seed.
+#[must_use]
+pub fn rmat_seeded(n: usize, avg_deg: usize, seed_salt: u64, seed: u64) -> Coo {
+    let mut rng = StdRng::seed_from_u64(seed ^ seed_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let levels = (n.max(2) as f64).log2().ceil() as u32;
+    let target = n * avg_deg;
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut m = Coo::new(n, n);
+    let mut tries = 0usize;
+    while m.nnz() < target && tries < target * 10 {
+        tries += 1;
+        let (mut r, mut cidx) = (0usize, 0usize);
+        for _ in 0..levels {
+            r <<= 1;
+            cidx <<= 1;
+            let p: f64 = rng.gen();
+            if p < a {
+                // top-left
+            } else if p < a + b {
+                cidx |= 1;
+            } else if p < a + b + c {
+                r |= 1;
+            } else {
+                r |= 1;
+                cidx |= 1;
+            }
+        }
+        if r >= n || cidx >= n {
+            continue;
+        }
+        let val = 1.0 + rng.gen::<f64>();
+        m.push(r as u32, cidx as u32, val);
+    }
+    m.coalesce();
+    m
+}
+
+/// Uniform Erdős–Rényi sparsity: each of `nnz` entries drawn uniformly.
+#[must_use]
+pub fn erdos_renyi(nrows: usize, ncols: usize, nnz: usize, seed_salt: u64) -> Coo {
+    let mut rng = StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0xA24B_AED4_963E_E407));
+    let mut m = Coo::new(nrows, ncols);
+    for _ in 0..nnz {
+        let r = rng.gen_range(0..nrows) as u32;
+        let c = rng.gen_range(0..ncols) as u32;
+        m.push(r, c, rng.gen_range(-1.0..1.0));
+    }
+    m.coalesce();
+    m
+}
+
+/// Banded FEM-like stencil: each row has entries within `bandwidth` of the
+/// diagonal, `per_row` of them, plus the diagonal itself. Mimics
+/// structural-mechanics and discretized-PDE matrices (near-diagonal
+/// concentration, low level-count triangles).
+#[must_use]
+pub fn banded_fem(n: usize, bandwidth: usize, per_row: usize, seed_salt: u64) -> Coo {
+    let mut rng = StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    let mut m = Coo::new(n, n);
+    for i in 0..n {
+        m.push(i as u32, i as u32, 4.0 + rng.gen::<f64>());
+        for _ in 0..per_row {
+            let off = rng.gen_range(1..=bandwidth.max(1)) as i64;
+            let sign = if rng.gen::<bool>() { 1 } else { -1 };
+            let j = i as i64 + sign * off;
+            if j >= 0 && (j as usize) < n {
+                m.push(i as u32, j as u32, -rng.gen::<f64>());
+            }
+        }
+    }
+    m.coalesce();
+    m
+}
+
+/// Block-diagonal FEM with dense-ish diagonal blocks plus sparse coupling —
+/// mimics multibody matrices like `crankseg_2` (high density, clustered).
+#[must_use]
+pub fn block_diag_fem(n: usize, block: usize, fill: f64, seed_salt: u64) -> Coo {
+    let mut rng = StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0x1656_67B1_9E37_79F9));
+    let mut m = Coo::new(n, n);
+    let nblocks = n.div_ceil(block);
+    for b in 0..nblocks {
+        let lo = b * block;
+        let hi = ((b + 1) * block).min(n);
+        for i in lo..hi {
+            m.push(i as u32, i as u32, 4.0 + rng.gen::<f64>());
+            for j in lo..hi {
+                if i != j && rng.gen::<f64>() < fill {
+                    m.push(i as u32, j as u32, -rng.gen::<f64>());
+                }
+            }
+        }
+        // Sparse coupling to the next block.
+        if hi < n {
+            for _ in 0..(block / 8).max(1) {
+                let i = rng.gen_range(lo..hi) as u32;
+                let j = rng.gen_range(hi..(hi + block).min(n)) as u32;
+                m.push(i, j, -0.1);
+                m.push(j, i, -0.1);
+            }
+        }
+    }
+    m.coalesce();
+    m
+}
+
+/// Scale-free "web-like" matrix where a few hub columns are extremely dense
+/// (mimics `Stanford`, `webbase-1M`): column `c` is a hub with probability
+/// proportional to a Zipf weight.
+#[must_use]
+pub fn web_hubs(n: usize, nnz: usize, seed_salt: u64) -> Coo {
+    let mut rng = StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0x27D4_EB2F_1656_67C5));
+    let mut m = Coo::new(n, n);
+    for _ in 0..nnz {
+        let r = rng.gen_range(0..n) as u32;
+        // Zipf-ish column: invert a power of a uniform draw.
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let c = ((u.powf(3.0) * n as f64) as usize).min(n - 1) as u32;
+        m.push(r, c, 1.0);
+    }
+    m.coalesce();
+    m
+}
+
+
+/// Layered DAG matrix: rows split into `layers` index-contiguous layers;
+/// each row (outside layer 0) draws `deg` dependencies uniformly from the
+/// *previous* layer. The lower triangle therefore has exactly `layers`
+/// level sets, each huge — the `parabolic_fem` shape whose per-level
+/// parallelism exceeds pSyncPIM's memory-row boundary while the GPU eats
+/// it in one launch (paper §VII-C).
+#[must_use]
+pub fn layered_dag(n: usize, deg: usize, layers: usize, seed_salt: u64) -> Coo {
+    let mut rng = StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0xB492_B66F_BE98_F273));
+    let layers = layers.clamp(2, n.max(2));
+    let layer_len = n.div_ceil(layers);
+    let mut m = Coo::new(n, n);
+    for i in 0..n {
+        m.push(i as u32, i as u32, 4.0 + rng.gen::<f64>());
+        let layer = i / layer_len;
+        if layer == 0 {
+            continue;
+        }
+        let lo = (layer - 1) * layer_len;
+        let hi = (layer * layer_len).min(n);
+        for _ in 0..deg {
+            let j = rng.gen_range(lo..hi) as u32;
+            let v = -rng.gen::<f64>();
+            // Symmetric pattern: both triangles carry the layered shape.
+            m.push(i as u32, j, v);
+            m.push(j, i as u32, v);
+        }
+    }
+    m.coalesce();
+    m
+}
+
+/// A dense vector with reproducible pseudo-random contents in `[-1, 1)`.
+#[must_use]
+pub fn dense_vector(n: usize, seed_salt: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0x9E37_79B9));
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(128, 4, 1);
+        let b = rmat(128, 4, 1);
+        assert_eq!(a, b);
+        let c = rmat(128, 4, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_shape_and_degree() {
+        let m = rmat(100, 4, 3);
+        assert_eq!(m.nrows(), 100);
+        assert_eq!(m.ncols(), 100);
+        // Coalescing removes duplicates, so nnz <= target but near it.
+        assert!(m.nnz() > 100, "nnz={}", m.nnz());
+        assert!(m.nnz() <= 400);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let m = rmat(256, 8, 4);
+        let counts = m.row_counts();
+        let max = *counts.iter().max().unwrap();
+        let avg = m.nnz() as f64 / 256.0;
+        assert!(
+            max as f64 > 2.0 * avg,
+            "power-law skew expected: max={max} avg={avg}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_counts() {
+        let m = erdos_renyi(50, 70, 200, 9);
+        assert_eq!(m.nrows(), 50);
+        assert_eq!(m.ncols(), 70);
+        assert!(m.nnz() <= 200 && m.nnz() > 150);
+    }
+
+    #[test]
+    fn banded_stays_in_band() {
+        let bw = 5usize;
+        let m = banded_fem(64, bw, 4, 2);
+        for e in m.iter() {
+            let d = (e.row as i64 - e.col as i64).unsigned_abs() as usize;
+            assert!(d <= bw, "entry ({}, {}) outside band", e.row, e.col);
+        }
+        // Diagonal fully populated.
+        assert!((0..64).all(|i| m.iter().any(|e| e.row == i && e.col == i)));
+    }
+
+    #[test]
+    fn block_diag_has_diagonal() {
+        let m = block_diag_fem(60, 16, 0.3, 3);
+        assert_eq!(m.nrows(), 60);
+        assert!((0..60).all(|i| m.iter().any(|e| e.row == i && e.col == i)));
+    }
+
+    #[test]
+    fn web_hubs_is_column_skewed() {
+        let m = web_hubs(256, 2000, 5);
+        let counts = m.col_counts();
+        let max = *counts.iter().max().unwrap();
+        let avg = m.nnz() as f64 / 256.0;
+        assert!(max as f64 > 4.0 * avg, "hub skew expected: max={max} avg={avg}");
+    }
+
+    #[test]
+    fn layered_dag_has_few_levels() {
+        let m = layered_dag(400, 3, 8, 4);
+        // Dependencies only connect adjacent layers (both triangles).
+        for e in m.iter() {
+            if e.row != e.col {
+                let li = e.row as usize / 50;
+                let lj = e.col as usize / 50;
+                assert_eq!(li.abs_diff(lj), 1, "entry ({}, {})", e.row, e.col);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_vector_deterministic_and_bounded() {
+        let a = dense_vector(100, 1);
+        assert_eq!(a, dense_vector(100, 1));
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+}

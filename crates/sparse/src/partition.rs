@@ -1,0 +1,472 @@
+//! SpMV matrix distribution and compression across PIM banks (paper §V).
+//!
+//! The matrix is cut row-wise into strips whose height fits one DRAM row's
+//! worth of output vector; within each strip, all-zero columns are removed
+//! (*matrix compression*, Figure 6) before the strip is cut column-wise into
+//! submatrices whose compacted width fits one DRAM row's worth of input
+//! vector. Each submatrix is assigned to a bank; the host replicates the
+//! needed input-vector slices over the external bus and accumulates partial
+//! outputs, so compression directly reduces the external traffic that the
+//! paper identifies as the SpMV bottleneck.
+
+use crate::{Coo, Entry, Precision};
+use serde::{Deserialize, Serialize};
+
+/// How submatrices are placed onto banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistPolicy {
+    /// Cyclic assignment in submatrix order (the paper's base policy: it
+    /// favors low replication over evenness — see the `bcsstk32` discussion
+    /// in §VII-B).
+    RoundRobin,
+    /// Greedy assignment to the currently least-loaded bank (an ablation).
+    LeastLoaded,
+}
+
+/// Partitioning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// Number of PIM banks (processing units); the paper's cube has 256.
+    pub num_banks: usize,
+    /// DRAM row size in bytes per bank (HBM2: 1024).
+    pub row_bytes: usize,
+    /// Element precision — smaller values pack larger submatrix dimensions
+    /// into one row, cutting partition count and external traffic (§V).
+    pub precision: Precision,
+    /// Placement policy.
+    pub policy: DistPolicy,
+    /// Matrix compression (Figure 6): drop all-zero columns per row strip
+    /// before the column cut. Disabling it reproduces the naive
+    /// distribution the paper compares against (ablation).
+    pub compress: bool,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            num_banks: 256,
+            row_bytes: 1024,
+            precision: Precision::Fp64,
+            policy: DistPolicy::RoundRobin,
+            compress: true,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// Maximum submatrix dimension: one DRAM row of vector elements.
+    #[must_use]
+    pub fn max_dim(&self) -> usize {
+        (self.row_bytes / self.precision.bytes()).max(1)
+    }
+}
+
+/// One submatrix mapped to one bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubMatrix {
+    /// Bank (processing unit) index.
+    pub bank: usize,
+    /// Global row range covered (half-open).
+    pub row_lo: usize,
+    /// Global row range end.
+    pub row_hi: usize,
+    /// Global column ids kept after compression, in ascending order; the
+    /// local column index of `entries` indexes into this list.
+    pub cols: Vec<u32>,
+    /// Entries with *local* (row - row_lo, position-in-cols) indices.
+    pub entries: Vec<Entry>,
+}
+
+impl SubMatrix {
+    /// Number of non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Input-vector elements this bank needs replicated.
+    #[must_use]
+    pub fn input_len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Output rows this bank produces partial sums for.
+    #[must_use]
+    pub fn output_len(&self) -> usize {
+        self.row_hi - self.row_lo
+    }
+}
+
+/// Aggregate statistics of a partition — the quantities §V reasons about.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Total submatrices produced.
+    pub num_submatrices: usize,
+    /// Banks with at least one submatrix.
+    pub banks_used: usize,
+    /// Total input-vector elements replicated across banks.
+    pub input_replication: usize,
+    /// Total partial-output elements accumulated by the host.
+    pub output_accumulation: usize,
+    /// Max non-zeros on any single bank (lockstep completion is bounded by
+    /// the heaviest bank).
+    pub max_bank_nnz: usize,
+    /// Mean non-zeros per *used* bank.
+    pub avg_bank_nnz: f64,
+    /// External traffic in bytes: replicated inputs + accumulated outputs
+    /// (+ 4-byte row tags on outputs).
+    pub external_bytes: usize,
+}
+
+impl PartitionStats {
+    /// Load imbalance: `max_bank_nnz / avg_bank_nnz` (1.0 = perfect).
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        if self.avg_bank_nnz == 0.0 {
+            return 1.0;
+        }
+        self.max_bank_nnz as f64 / self.avg_bank_nnz
+    }
+}
+
+/// The result of distributing a matrix across PIM banks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankPartition {
+    config: PartitionConfig,
+    nrows: usize,
+    ncols: usize,
+    submatrices: Vec<SubMatrix>,
+}
+
+impl BankPartition {
+    /// Partition `a` according to `config` (row-strip, compress, col-cut,
+    /// place).
+    #[must_use]
+    pub fn build(a: &Coo, config: PartitionConfig) -> Self {
+        let max_dim = config.max_dim();
+        let mut subs: Vec<SubMatrix> = Vec::new();
+
+        // Row-major order so strips are contiguous entry runs.
+        let mut sorted = a.clone();
+        sorted.sort_row_major();
+        let entries = sorted.entries();
+
+        let mut strip_start_idx = 0usize;
+        let mut row_lo = 0usize;
+        while row_lo < a.nrows() {
+            let row_hi = (row_lo + max_dim).min(a.nrows());
+            // Collect this strip's entries.
+            let mut idx = strip_start_idx;
+            while idx < entries.len() && (entries[idx].row as usize) < row_hi {
+                idx += 1;
+            }
+            let strip = &entries[strip_start_idx..idx];
+            strip_start_idx = idx;
+
+            if !strip.is_empty() {
+                // Matrix compression: keep only columns with a non-zero.
+                // Without it, every strip spans the full column range
+                // (the naive distribution of Figure 6's left side).
+                let cols: Vec<u32> = if config.compress {
+                    let mut c: Vec<u32> = strip.iter().map(|e| e.col).collect();
+                    c.sort_unstable();
+                    c.dedup();
+                    c
+                } else {
+                    (0..a.ncols() as u32).collect()
+                };
+                // Cut the *compacted* column list into row-sized chunks.
+                for chunk in cols.chunks(max_dim) {
+                    let lo_col = chunk[0];
+                    let hi_col = *chunk.last().expect("non-empty chunk");
+                    let local: Vec<Entry> = strip
+                        .iter()
+                        .filter(|e| e.col >= lo_col && e.col <= hi_col)
+                        .map(|e| {
+                            let local_col = chunk
+                                .binary_search(&e.col)
+                                .expect("column present by construction");
+                            Entry::new(e.row - row_lo as u32, local_col as u32, e.val)
+                        })
+                        .collect();
+                    if !local.is_empty() {
+                        subs.push(SubMatrix {
+                            bank: 0, // placed below
+                            row_lo,
+                            row_hi,
+                            cols: chunk.to_vec(),
+                            entries: local,
+                        });
+                    }
+                }
+            }
+            row_lo = row_hi;
+        }
+
+        // Placement.
+        match config.policy {
+            DistPolicy::RoundRobin => {
+                for (i, s) in subs.iter_mut().enumerate() {
+                    s.bank = i % config.num_banks;
+                }
+            }
+            DistPolicy::LeastLoaded => {
+                let mut load = vec![0usize; config.num_banks];
+                // Place heaviest first for a better greedy bound.
+                let mut order: Vec<usize> = (0..subs.len()).collect();
+                order.sort_by_key(|&i| std::cmp::Reverse(subs[i].nnz()));
+                for i in order {
+                    let bank = (0..config.num_banks)
+                        .min_by_key(|&b| load[b])
+                        .expect("num_banks > 0");
+                    subs[i].bank = bank;
+                    load[bank] += subs[i].nnz();
+                }
+            }
+        }
+
+        BankPartition {
+            config,
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            submatrices: subs,
+        }
+    }
+
+    /// The configuration used.
+    #[must_use]
+    pub fn config(&self) -> &PartitionConfig {
+        &self.config
+    }
+
+    /// All submatrices.
+    #[must_use]
+    pub fn submatrices(&self) -> &[SubMatrix] {
+        &self.submatrices
+    }
+
+    /// Submatrices on one bank.
+    pub fn bank(&self, b: usize) -> impl Iterator<Item = &SubMatrix> {
+        self.submatrices.iter().filter(move |s| s.bank == b)
+    }
+
+    /// Non-zeros per bank.
+    #[must_use]
+    pub fn bank_nnz(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.config.num_banks];
+        for s in &self.submatrices {
+            load[s.bank] += s.nnz();
+        }
+        load
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> PartitionStats {
+        let loads = self.bank_nnz();
+        let banks_used = loads.iter().filter(|&&l| l > 0).count();
+        let max_bank_nnz = loads.iter().copied().max().unwrap_or(0);
+        let total_nnz: usize = loads.iter().sum();
+        let input_replication: usize = self.submatrices.iter().map(SubMatrix::input_len).sum();
+        // Host reads back only rows that actually received partial sums —
+        // "the host chip accumulates only non-zero outputs" (§V).
+        let output_accumulation: usize = self
+            .submatrices
+            .iter()
+            .map(|s| {
+                let mut rows: Vec<u32> = s.entries.iter().map(|e| e.row).collect();
+                rows.sort_unstable();
+                rows.dedup();
+                rows.len()
+            })
+            .sum();
+        let vbytes = self.config.precision.bytes();
+        let external_bytes =
+            input_replication * vbytes + output_accumulation * (vbytes + 4);
+        PartitionStats {
+            num_submatrices: self.submatrices.len(),
+            banks_used,
+            input_replication,
+            output_accumulation,
+            max_bank_nnz,
+            avg_bank_nnz: if banks_used == 0 {
+                0.0
+            } else {
+                total_nnz as f64 / banks_used as f64
+            },
+            external_bytes,
+        }
+    }
+
+    /// Matrix shape this partition covers.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Total non-zeros across all submatrices (must equal the source nnz —
+    /// conservation invariant).
+    #[must_use]
+    pub fn total_nnz(&self) -> usize {
+        self.submatrices.iter().map(SubMatrix::nnz).sum()
+    }
+
+    /// Reference distributed SpMV: every bank computes its submatrix with a
+    /// gathered input slice; the host accumulates partial outputs. Must
+    /// equal [`Coo::spmv`] — this is the correctness model the PIM engine is
+    /// checked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    #[must_use]
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "partitioned spmv length mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for s in &self.submatrices {
+            // Host replicates exactly the compacted columns.
+            let gathered: Vec<f64> = s.cols.iter().map(|&c| x[c as usize]).collect();
+            for e in &s.entries {
+                y[s.row_lo + e.row as usize] += e.val * gathered[e.col as usize];
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn cfg(num_banks: usize, row_bytes: usize, precision: Precision) -> PartitionConfig {
+        PartitionConfig {
+            num_banks,
+            row_bytes,
+            precision,
+            policy: DistPolicy::RoundRobin,
+            compress: true,
+        }
+    }
+
+    #[test]
+    fn max_dim_depends_on_precision() {
+        assert_eq!(cfg(4, 1024, Precision::Fp64).max_dim(), 128);
+        assert_eq!(cfg(4, 1024, Precision::Int8).max_dim(), 1024);
+    }
+
+    #[test]
+    fn nnz_is_conserved() {
+        let a = gen::rmat(300, 5, 1);
+        let p = BankPartition::build(&a, cfg(8, 256, Precision::Fp64));
+        assert_eq!(p.total_nnz(), a.nnz());
+    }
+
+    #[test]
+    fn partitioned_spmv_matches_reference() {
+        let a = gen::rmat(200, 6, 2);
+        let x = gen::dense_vector(200, 3);
+        let want = a.spmv(&x);
+        for rb in [128usize, 256, 1024] {
+            let p = BankPartition::build(&a, cfg(16, rb, Precision::Fp64));
+            let got = p.spmv(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9, "row_bytes={rb}");
+            }
+        }
+    }
+
+    #[test]
+    fn compression_removes_zero_columns() {
+        // A matrix with one dense column: every strip keeps just that column.
+        let mut a = Coo::new(64, 64);
+        for r in 0..64 {
+            a.push(r, 7, 1.0);
+        }
+        let p = BankPartition::build(&a, cfg(4, 64, Precision::Fp64)); // max_dim 8
+        let stats = p.stats();
+        // 8 row strips, each compressed to exactly 1 input column.
+        assert_eq!(stats.num_submatrices, 8);
+        assert_eq!(stats.input_replication, 8);
+        // Without compression this would replicate 8 * 64 columns.
+    }
+
+    #[test]
+    fn submatrix_dims_respect_row_capacity() {
+        let a = gen::rmat(500, 4, 4);
+        let config = cfg(8, 128, Precision::Fp64); // max_dim 16
+        let p = BankPartition::build(&a, config);
+        for s in p.submatrices() {
+            assert!(s.output_len() <= 16);
+            assert!(s.input_len() <= 16);
+        }
+    }
+
+    #[test]
+    fn least_loaded_beats_round_robin_imbalance() {
+        let a = gen::web_hubs(512, 6000, 1); // heavily skewed
+        let rr = BankPartition::build(&a, cfg(16, 128, Precision::Fp64));
+        let mut ll_cfg = cfg(16, 128, Precision::Fp64);
+        ll_cfg.policy = DistPolicy::LeastLoaded;
+        let ll = BankPartition::build(&a, ll_cfg);
+        assert!(
+            ll.stats().imbalance() <= rr.stats().imbalance() + 1e-9,
+            "LL {} vs RR {}",
+            ll.stats().imbalance(),
+            rr.stats().imbalance()
+        );
+    }
+
+    #[test]
+    fn smaller_precision_reduces_external_traffic() {
+        let a = gen::rmat(1000, 6, 5);
+        let f64p = BankPartition::build(&a, cfg(32, 1024, Precision::Fp64));
+        let i8p = BankPartition::build(&a, cfg(32, 1024, Precision::Int8));
+        assert!(
+            i8p.stats().external_bytes < f64p.stats().external_bytes,
+            "INT8 {} vs FP64 {}",
+            i8p.stats().external_bytes,
+            f64p.stats().external_bytes
+        );
+        // Larger submatrices => fewer partitions.
+        assert!(i8p.stats().num_submatrices <= f64p.stats().num_submatrices);
+    }
+
+    #[test]
+    fn empty_matrix_partitions_cleanly() {
+        let a = Coo::new(100, 100);
+        let p = BankPartition::build(&a, PartitionConfig::default());
+        assert_eq!(p.total_nnz(), 0);
+        assert_eq!(p.stats().banks_used, 0);
+        assert_eq!(p.spmv(&vec![0.0; 100]), vec![0.0; 100]);
+    }
+
+    #[test]
+    fn disabling_compression_inflates_replication() {
+        let a = gen::rmat(600, 5, 8);
+        let mut on = cfg(16, 256, Precision::Fp64);
+        on.compress = true;
+        let mut off = on;
+        off.compress = false;
+        let pon = BankPartition::build(&a, on);
+        let poff = BankPartition::build(&a, off);
+        // Same math, very different external traffic.
+        let x = gen::dense_vector(600, 1);
+        let yon = pon.spmv(&x);
+        let yoff = poff.spmv(&x);
+        for (a_, b_) in yon.iter().zip(&yoff) {
+            assert!((a_ - b_).abs() < 1e-9);
+        }
+        assert!(
+            poff.stats().input_replication > 2 * pon.stats().input_replication,
+            "naive {} vs compressed {}",
+            poff.stats().input_replication,
+            pon.stats().input_replication
+        );
+    }
+
+    #[test]
+    fn stats_imbalance_on_empty_is_one() {
+        assert_eq!(PartitionStats::default().imbalance(), 1.0);
+    }
+}

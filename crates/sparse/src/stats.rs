@@ -1,0 +1,210 @@
+//! Structural statistics of sparse matrices.
+//!
+//! The quantities pSyncPIM's behaviour depends on (paper §III-B, §V,
+//! §VII-B): row-length distribution and skew (lockstep completion is
+//! bounded by the heaviest bank), bandedness (drives submatrix compression
+//! and SpTRSV level counts), and symmetry. Used by the suite tests, the
+//! benchmark harness and the `custom_matrix` example.
+
+use crate::{Coo, Csr};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sparse matrix's structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixStats {
+    /// Rows.
+    pub nrows: usize,
+    /// Columns.
+    pub ncols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// Fraction of non-zero positions.
+    pub density: f64,
+    /// Mean non-zeros per row.
+    pub avg_row_nnz: f64,
+    /// Largest row.
+    pub max_row_nnz: usize,
+    /// Row-length skew: `max / mean` (1.0 = perfectly even).
+    pub row_skew: f64,
+    /// Coefficient of variation of row lengths (σ/μ).
+    pub row_cv: f64,
+    /// Mean |row − col| over entries, normalized by the dimension —
+    /// 0 ⇒ diagonal, 0.33 ⇒ uniform scatter.
+    pub normalized_bandwidth: f64,
+    /// Fraction of off-diagonal entries whose mirror position also holds a
+    /// non-zero.
+    pub pattern_symmetry: f64,
+    /// Fraction of entries on the diagonal.
+    pub diagonal_fraction: f64,
+}
+
+impl MatrixStats {
+    /// Analyze a matrix.
+    #[must_use]
+    pub fn analyze(a: &Coo) -> MatrixStats {
+        let nnz = a.nnz();
+        let (nrows, ncols) = (a.nrows(), a.ncols());
+        let counts = a.row_counts();
+        let used_rows = counts.iter().filter(|&&c| c > 0).count().max(1);
+        let mean = nnz as f64 / used_rows as f64;
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let var = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / used_rows as f64;
+
+        let dim = nrows.max(ncols).max(1) as f64;
+        let mut band_sum = 0.0f64;
+        let mut diag = 0usize;
+        for e in a.iter() {
+            band_sum += (f64::from(e.row) - f64::from(e.col)).abs();
+            if e.row == e.col {
+                diag += 1;
+            }
+        }
+
+        // Pattern symmetry via CSR lookups.
+        let csr = Csr::from(a);
+        let mut mirrored = 0usize;
+        let mut off_diag = 0usize;
+        for e in a.iter() {
+            if e.row == e.col {
+                continue;
+            }
+            off_diag += 1;
+            if (e.col as usize) < nrows
+                && (e.row as usize) < ncols
+                && csr.get(e.col as usize, e.row as usize).is_some()
+            {
+                mirrored += 1;
+            }
+        }
+
+        MatrixStats {
+            nrows,
+            ncols,
+            nnz,
+            density: a.density(),
+            avg_row_nnz: if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 },
+            max_row_nnz: max,
+            row_skew: if mean > 0.0 { max as f64 / mean } else { 1.0 },
+            row_cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+            normalized_bandwidth: if nnz == 0 { 0.0 } else { band_sum / nnz as f64 / dim },
+            pattern_symmetry: if off_diag == 0 {
+                1.0
+            } else {
+                mirrored as f64 / off_diag as f64
+            },
+            diagonal_fraction: if nnz == 0 { 0.0 } else { diag as f64 / nnz as f64 },
+        }
+    }
+
+    /// Histogram of row lengths in power-of-two buckets
+    /// (`[0, 1, 2-3, 4-7, ...]`), ending at the bucket holding the max.
+    #[must_use]
+    pub fn row_histogram(a: &Coo) -> Vec<usize> {
+        let counts = a.row_counts();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let buckets = if max == 0 {
+            1
+        } else {
+            (usize::BITS - max.leading_zeros()) as usize + 1
+        };
+        let mut hist = vec![0usize; buckets + 1];
+        for &c in &counts {
+            let b = if c == 0 {
+                0
+            } else {
+                (usize::BITS - c.leading_zeros()) as usize
+            };
+            hist[b] += 1;
+        }
+        hist
+    }
+}
+
+impl std::fmt::Display for MatrixStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} nnz={} density={:.2e} row[avg={:.1} max={} skew={:.2} cv={:.2}] band={:.3} sym={:.2}",
+            self.nrows,
+            self.ncols,
+            self.nnz,
+            self.density,
+            self.avg_row_nnz,
+            self.max_row_nnz,
+            self.row_skew,
+            self.row_cv,
+            self.normalized_bandwidth,
+            self.pattern_symmetry
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn banded_matrix_has_small_bandwidth_and_low_skew() {
+        let a = gen::banded_fem(512, 8, 4, 1);
+        let s = MatrixStats::analyze(&a);
+        assert!(s.normalized_bandwidth < 0.02, "band {}", s.normalized_bandwidth);
+        assert!(s.row_skew < 2.5, "skew {}", s.row_skew);
+        assert!(s.diagonal_fraction > 0.1);
+    }
+
+    #[test]
+    fn powerlaw_graph_is_skewed_and_scattered() {
+        let a = gen::rmat(512, 8, 2);
+        let s = MatrixStats::analyze(&a);
+        assert!(s.row_skew > 2.5, "skew {}", s.row_skew);
+        assert!(s.normalized_bandwidth > 0.05, "band {}", s.normalized_bandwidth);
+    }
+
+    #[test]
+    fn symmetrized_pattern_reports_full_symmetry() {
+        let a = gen::rmat(128, 4, 3).symmetrized();
+        let s = MatrixStats::analyze(&a);
+        assert!((s.pattern_symmetry - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_rows() {
+        let a = gen::rmat(256, 6, 4);
+        let hist = MatrixStats::row_histogram(&a);
+        assert_eq!(hist.iter().sum::<usize>(), 256);
+        // Empty matrix: single zero bucket.
+        let empty = Coo::new(5, 5);
+        assert_eq!(MatrixStats::row_histogram(&empty), vec![5, 0]);
+    }
+
+    #[test]
+    fn empty_and_diagonal_edge_cases() {
+        let s = MatrixStats::analyze(&Coo::new(0, 0));
+        assert_eq!(s.nnz, 0);
+        let mut d = Coo::new(4, 4);
+        for i in 0..4 {
+            d.push(i, i, 1.0);
+        }
+        let s = MatrixStats::analyze(&d);
+        assert_eq!(s.diagonal_fraction, 1.0);
+        assert_eq!(s.pattern_symmetry, 1.0);
+        assert_eq!(s.normalized_bandwidth, 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = gen::rmat(64, 4, 5);
+        let text = MatrixStats::analyze(&a).to_string();
+        assert!(text.contains("64x64"));
+        assert!(text.contains("skew"));
+    }
+}

@@ -1,0 +1,259 @@
+//! The evaluation matrix suite (paper Table IX).
+//!
+//! The 26 SuiteSparse/SNAP matrices are reproduced as deterministic
+//! synthetic matrices matching each original's published dimension and
+//! density, with the generator family chosen per matrix class (see
+//! [`crate::gen`]). `soc-sign-epinions` and `Stanford` carry the INT8
+//! native precision the paper exploits in Figure 8; everything else is FP64.
+//!
+//! Use [`MatrixSpec::generate`] at scale 1.0 for paper-scale runs or a
+//! smaller scale for quick tests — scaling preserves the average row degree
+//! (the structural property pSyncPIM's behaviour depends on), not the raw
+//! density.
+
+use crate::{gen, Coo, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Workload tags from the last column of Table IX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tag {
+    /// Used in the SpMV kernel evaluation (Figure 8).
+    SpMv,
+    /// Used in the SpTRSV kernel evaluation and P-BiCGStab (Figure 9).
+    SpTrsv,
+    /// Positive definite; used in the P-CG application.
+    Pcg,
+    /// Used in the graph applications (Figures 2, 11, 12).
+    Graphs,
+}
+
+/// Structural family controlling which generator reproduces the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Family {
+    /// Power-law graph (SNAP social/p2p networks).
+    PowerLawGraph,
+    /// Banded FEM/PDE stencil; `bandwidth_frac` scales the band relative to
+    /// the dimension.
+    BandedFem {
+        /// Band half-width as a fraction of the dimension.
+        bandwidth_frac: f64,
+    },
+    /// Uniform random sparsity (chemical-process style).
+    Uniform,
+    /// Clustered dense diagonal blocks (multibody FEM).
+    BlockedFem,
+    /// Web-crawl style with hub columns.
+    WebHubs,
+    /// Layered DAG: few huge level sets (the `parabolic_fem` shape).
+    Layered {
+        /// Number of dependency layers (= SpTRSV level count).
+        layers: usize,
+    },
+}
+
+/// One row of Table IX.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MatrixSpec {
+    /// SuiteSparse/SNAP name.
+    pub name: &'static str,
+    /// Published dimension (square).
+    pub dim: usize,
+    /// Published density.
+    pub density: f64,
+    /// Generator family.
+    pub family: Family,
+    /// Workload tags.
+    pub tags: &'static [Tag],
+    /// Native element precision the paper runs this matrix at.
+    pub precision: Precision,
+}
+
+impl MatrixSpec {
+    /// Average non-zeros per row implied by the published numbers.
+    #[must_use]
+    pub fn avg_degree(&self) -> f64 {
+        (self.density * self.dim as f64).max(1.0)
+    }
+
+    /// Published non-zero count (dim² · density).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        (self.density * self.dim as f64 * self.dim as f64) as usize
+    }
+
+    /// Whether the spec carries a given tag.
+    #[must_use]
+    pub fn has_tag(&self, tag: Tag) -> bool {
+        self.tags.contains(&tag)
+    }
+
+    /// Generate the synthetic stand-in at `scale` (1.0 = published
+    /// dimension). The average row degree is preserved under scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0`.
+    #[must_use]
+    pub fn generate(&self, scale: f64) -> Coo {
+        assert!(scale > 0.0, "scale must be positive");
+        let dim = ((self.dim as f64 * scale) as usize).max(32);
+        let deg = self.avg_degree().round().max(1.0) as usize;
+        let salt = hash_name(self.name);
+        match self.family {
+            Family::PowerLawGraph => gen::rmat(dim, deg, salt),
+            Family::BandedFem { bandwidth_frac } => {
+                // The band must be wide enough to host `deg` distinct
+                // neighbours per row even at small scales.
+                let bw = ((dim as f64 * bandwidth_frac) as usize).clamp(2 * deg + 2, dim.max(2));
+                gen::banded_fem(dim, bw, deg.saturating_sub(1).max(1), salt)
+            }
+            Family::Uniform => gen::erdos_renyi(dim, dim, dim * deg, salt),
+            Family::BlockedFem => {
+                let block = (2 * deg).clamp(4, dim);
+                gen::block_diag_fem(dim, block, 0.5, salt)
+            }
+            Family::WebHubs => gen::web_hubs(dim, dim * deg, salt),
+            Family::Layered { layers } => gen::layered_dag(dim, deg, layers, salt),
+        }
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        })
+}
+
+const FP64: Precision = Precision::Fp64;
+const INT8: Precision = Precision::Int8;
+
+/// All 26 matrices of Table IX.
+pub const TABLE_IX: [MatrixSpec; 26] = [
+    MatrixSpec { name: "2cubes_sphere", dim: 101_492, density: 1.60e-5, family: Family::BandedFem { bandwidth_frac: 0.01 }, tags: &[Tag::SpTrsv, Tag::Pcg], precision: FP64 },
+    MatrixSpec { name: "amazon0312", dim: 400_727, density: 1.99e-5, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
+    MatrixSpec { name: "bcsstk32", dim: 44_609, density: 1.01e-3, family: Family::BandedFem { bandwidth_frac: 0.002 }, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec { name: "ca-CondMat", dim: 23_133, density: 3.49e-4, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
+    MatrixSpec { name: "cant", dim: 62_451, density: 1.03e-3, family: Family::BandedFem { bandwidth_frac: 0.005 }, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec { name: "consph", dim: 83_334, density: 8.66e-4, family: Family::BandedFem { bandwidth_frac: 0.005 }, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec { name: "crankseg_2", dim: 63_838, density: 3.47e-3, family: Family::BlockedFem, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec { name: "ct20stif", dim: 52_329, density: 9.50e-4, family: Family::BandedFem { bandwidth_frac: 0.01 }, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec { name: "email-Enron", dim: 36_692, density: 2.73e-4, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
+    MatrixSpec { name: "facebook", dim: 4_039, density: 5.41e-3, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
+    MatrixSpec { name: "lhr71", dim: 70_304, density: 3.02e-4, family: Family::Uniform, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec { name: "offshore", dim: 259_789, density: 6.29e-5, family: Family::BandedFem { bandwidth_frac: 0.008 }, tags: &[Tag::SpTrsv, Tag::Pcg], precision: FP64 },
+    MatrixSpec { name: "ohne2", dim: 181_343, density: 2.09e-4, family: Family::BandedFem { bandwidth_frac: 0.01 }, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec { name: "p2p-Gnutella31", dim: 62_586, density: 3.62e-5, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
+    MatrixSpec { name: "parabolic_fem", dim: 525_825, density: 1.33e-5, family: Family::Layered { layers: 10 }, tags: &[Tag::SpTrsv, Tag::Pcg], precision: FP64 },
+    MatrixSpec { name: "pdb1HYS", dim: 36_417, density: 3.28e-3, family: Family::BlockedFem, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec { name: "poisson3Da", dim: 13_514, density: 1.93e-3, family: Family::BandedFem { bandwidth_frac: 0.05 }, tags: &[Tag::SpTrsv], precision: FP64 },
+    MatrixSpec { name: "pwtk", dim: 217_918, density: 2.43e-4, family: Family::BandedFem { bandwidth_frac: 0.002 }, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec { name: "rma10", dim: 46_835, density: 1.06e-3, family: Family::BandedFem { bandwidth_frac: 0.01 }, tags: &[Tag::SpMv, Tag::SpTrsv], precision: FP64 },
+    MatrixSpec { name: "roadNet-CA", dim: 1_971_281, density: 1.42e-6, family: Family::BandedFem { bandwidth_frac: 0.001 }, tags: &[Tag::Graphs], precision: FP64 },
+    MatrixSpec { name: "shipsec1", dim: 140_874, density: 1.80e-4, family: Family::BandedFem { bandwidth_frac: 0.003 }, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec { name: "soc-sign-epinions", dim: 131_828, density: 4.84e-5, family: Family::PowerLawGraph, tags: &[Tag::SpMv], precision: INT8 },
+    MatrixSpec { name: "Stanford", dim: 281_903, density: 2.90e-5, family: Family::WebHubs, tags: &[Tag::SpMv, Tag::Graphs], precision: INT8 },
+    MatrixSpec { name: "webbase-1M", dim: 1_000_005, density: 3.11e-6, family: Family::WebHubs, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec { name: "wiki-Vote", dim: 8_297, density: 1.51e-3, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
+    MatrixSpec { name: "xenon2", dim: 157_464, density: 1.56e-4, family: Family::BandedFem { bandwidth_frac: 0.005 }, tags: &[Tag::SpMv], precision: FP64 },
+];
+
+/// Specs carrying a tag, in Table IX order.
+#[must_use]
+pub fn with_tag(tag: Tag) -> Vec<&'static MatrixSpec> {
+    TABLE_IX.iter().filter(|s| s.has_tag(tag)).collect()
+}
+
+/// Look up a spec by its SuiteSparse/SNAP name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<&'static MatrixSpec> {
+    TABLE_IX.iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_26_matrices() {
+        assert_eq!(TABLE_IX.len(), 26);
+    }
+
+    #[test]
+    fn tag_counts_match_table_ix() {
+        assert_eq!(with_tag(Tag::SpMv).len(), 15);
+        assert_eq!(with_tag(Tag::SpTrsv).len(), 5);
+        assert_eq!(with_tag(Tag::Pcg).len(), 3);
+        assert_eq!(with_tag(Tag::Graphs).len(), 8);
+    }
+
+    #[test]
+    fn int8_matrices_match_paper() {
+        let int8: Vec<&str> = TABLE_IX
+            .iter()
+            .filter(|s| s.precision == Precision::Int8)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(int8, vec!["soc-sign-epinions", "Stanford"]);
+    }
+
+    #[test]
+    fn by_name_finds() {
+        assert!(by_name("pwtk").is_some());
+        assert!(by_name("not-a-matrix").is_none());
+    }
+
+    #[test]
+    fn generation_matches_degree_roughly() {
+        for spec in &TABLE_IX[..4] {
+            let m = spec.generate(0.02);
+            let deg = m.nnz() as f64 / m.nrows() as f64;
+            let want = spec.avg_degree();
+            assert!(
+                deg > 0.3 * want && deg < 3.0 * want.max(2.0),
+                "{}: got degree {deg}, wanted ~{want}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = by_name("facebook").unwrap();
+        assert_eq!(spec.generate(0.5), spec.generate(0.5));
+    }
+
+    #[test]
+    fn scaled_dim_tracks_scale() {
+        let spec = by_name("cant").unwrap();
+        let m = spec.generate(0.01);
+        let want = (spec.dim as f64 * 0.01) as usize;
+        assert_eq!(m.nrows(), want.max(32));
+    }
+
+    #[test]
+    fn families_produce_their_structural_signatures() {
+        use crate::MatrixStats;
+        // Banded FEM: concentrated near the diagonal.
+        let banded = by_name("pwtk").unwrap().generate(0.05);
+        assert!(MatrixStats::analyze(&banded).normalized_bandwidth < 0.05);
+        // Power-law graphs: heavy row skew.
+        let graph = by_name("amazon0312").unwrap().generate(0.05);
+        assert!(MatrixStats::analyze(&graph).row_skew > 2.0);
+        // Web hubs: extreme column concentration shows up as row scatter +
+        // high bandwidth.
+        let hubs = by_name("Stanford").unwrap().generate(0.05);
+        assert!(MatrixStats::analyze(&hubs).normalized_bandwidth > 0.05);
+        // Layered: symmetric pattern by construction.
+        let layered = by_name("parabolic_fem").unwrap().generate(0.02);
+        assert!(MatrixStats::analyze(&layered).pattern_symmetry > 0.99);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = TABLE_IX.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 26);
+    }
+}

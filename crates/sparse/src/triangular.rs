@@ -1,0 +1,386 @@
+//! Triangular-matrix utilities.
+//!
+//! pSyncPIM stores *unitriangular* factors with the unit diagonal stripped
+//! (paper §VI-B: memory holds `L* = L - I` and `U* = U - I`), so the kernels
+//! never divide. This module extracts triangles from general matrices,
+//! solves them with reference algorithms (paper Algorithms 1 and 3), and
+//! validates the strict-triangle invariant.
+
+use crate::{Coo, Csc, Csr, Entry, SparseError};
+use serde::{Deserialize, Serialize};
+
+/// Which triangle of a square matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Triangle {
+    /// Lower triangle (`row >= col`); solves run forward.
+    Lower,
+    /// Upper triangle (`row <= col`); solves run backward.
+    Upper,
+}
+
+impl Triangle {
+    /// The opposite triangle.
+    #[must_use]
+    pub fn flipped(self) -> Triangle {
+        match self {
+            Triangle::Lower => Triangle::Upper,
+            Triangle::Upper => Triangle::Lower,
+        }
+    }
+}
+
+/// A sparse *unit* triangular matrix stored without its diagonal, the form
+/// pSyncPIM maps into DRAM banks.
+///
+/// Invariant: every stored entry is strictly below (Lower) or strictly above
+/// (Upper) the diagonal; the implicit diagonal is all ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitTriangular {
+    n: usize,
+    triangle: Triangle,
+    /// Strictly-triangular entries.
+    strict: Coo,
+}
+
+impl UnitTriangular {
+    /// Build from strictly-triangular entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] if `strict` is not `n x n`, or
+    /// [`SparseError::Parse`] if any entry violates the strict triangle.
+    pub fn from_strict(triangle: Triangle, strict: Coo) -> Result<Self, SparseError> {
+        if strict.nrows() != strict.ncols() {
+            return Err(SparseError::NotSquare {
+                nrows: strict.nrows(),
+                ncols: strict.ncols(),
+            });
+        }
+        let ok = strict.iter().all(|e| match triangle {
+            Triangle::Lower => e.row > e.col,
+            Triangle::Upper => e.row < e.col,
+        });
+        if !ok {
+            return Err(SparseError::Parse(
+                "entry violates strict triangle".to_string(),
+            ));
+        }
+        Ok(UnitTriangular {
+            n: strict.nrows(),
+            triangle,
+            strict,
+        })
+    }
+
+    /// Dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Which triangle this is.
+    #[must_use]
+    pub fn triangle(&self) -> Triangle {
+        self.triangle
+    }
+
+    /// Strictly-triangular part (no diagonal), as stored in memory.
+    #[must_use]
+    pub fn strict(&self) -> &Coo {
+        &self.strict
+    }
+
+    /// Number of stored (off-diagonal) non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.strict.nnz()
+    }
+
+    /// The full matrix including the unit diagonal.
+    #[must_use]
+    pub fn to_full(&self) -> Coo {
+        let mut full = self.strict.clone();
+        for i in 0..self.n {
+            full.push(i as u32, i as u32, 1.0);
+        }
+        full
+    }
+
+    /// Solve `T x = b` with the row-oriented dot-product algorithm
+    /// (paper Algorithm 1, specialized to a unit diagonal so the division
+    /// disappears).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when `b.len() != dim`.
+    pub fn solve_rowwise(&self, b: &[f64]) -> Result<Vec<f64>, SparseError> {
+        if b.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.n,
+                found: b.len(),
+            });
+        }
+        let csr = Csr::from(&self.strict);
+        let mut x = vec![0.0; self.n];
+        let order: Box<dyn Iterator<Item = usize>> = match self.triangle {
+            Triangle::Lower => Box::new(0..self.n),
+            Triangle::Upper => Box::new((0..self.n).rev()),
+        };
+        for i in order {
+            let mut s = 0.0;
+            for (c, v) in csr.row(i) {
+                s += v * x[c];
+            }
+            x[i] = b[i] - s;
+        }
+        Ok(x)
+    }
+
+    /// Solve `T x = b` with the column-sweep scalar-multiplication algorithm
+    /// (paper Algorithm 3) — the dataflow the PIM kernel executes. For a
+    /// unit diagonal, after processing column `i`, `x[i]` is final.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when `b.len() != dim`.
+    pub fn solve_colwise(&self, b: &[f64]) -> Result<Vec<f64>, SparseError> {
+        if b.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.n,
+                found: b.len(),
+            });
+        }
+        let csc = Csc::from(&self.strict);
+        let mut x = b.to_vec();
+        let order: Box<dyn Iterator<Item = usize>> = match self.triangle {
+            Triangle::Lower => Box::new(0..self.n),
+            Triangle::Upper => Box::new((0..self.n).rev()),
+        };
+        for i in order {
+            let scale = x[i];
+            if scale == 0.0 {
+                continue;
+            }
+            for (r, v) in csc.col(i) {
+                x[r] -= scale * v;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Multiply `y = T x` (including the unit diagonal). Used to verify
+    /// solves: `T.solve(T.matvec(x)) == x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim`.
+    #[must_use]
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = x.to_vec();
+        for e in self.strict.iter() {
+            y[e.row as usize] += e.val * x[e.col as usize];
+        }
+        y
+    }
+
+    /// Extract the sub-triangle covering `lo..hi` on the diagonal
+    /// (used by the recursive block decomposition).
+    #[must_use]
+    pub fn diagonal_block(&self, lo: usize, hi: usize) -> UnitTriangular {
+        UnitTriangular {
+            n: hi - lo,
+            triangle: self.triangle,
+            strict: self.strict.submatrix(lo, hi, lo, hi),
+        }
+    }
+}
+
+/// Extract the lower triangle of a general square matrix, *including* its
+/// diagonal, as `(strict_lower, diagonal)`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] for non-square input.
+pub fn split_lower(a: &Coo) -> Result<(Coo, Vec<f64>), SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    let mut strict = Coo::new(n, n);
+    let mut diag = vec![0.0; n];
+    for e in a.iter() {
+        if e.row > e.col {
+            strict.push(e.row, e.col, e.val);
+        } else if e.row == e.col {
+            diag[e.row as usize] += e.val;
+        }
+    }
+    Ok((strict, diag))
+}
+
+/// Generate a unit triangular matrix from an arbitrary square matrix's
+/// pattern: keep the strict triangle's entries, scaled so the solve is
+/// well-conditioned (|off-diagonal| row sums < 1).
+///
+/// This is how the benchmark suite derives SpTRSV operands from the general
+/// matrices of Table IX when no factorization is requested.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] for non-square input.
+pub fn unit_triangular_from(a: &Coo, triangle: Triangle) -> Result<UnitTriangular, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    let mut strict = Coo::new(n, n);
+    for e in a.iter() {
+        let keep = match triangle {
+            Triangle::Lower => e.row > e.col,
+            Triangle::Upper => e.row < e.col,
+        };
+        if keep {
+            strict.push(e.row, e.col, e.val);
+        }
+    }
+    strict.coalesce();
+    // Scale rows so sum |row| <= 0.5: keeps solves numerically tame.
+    let mut row_abs = vec![0.0f64; n];
+    for e in strict.iter() {
+        row_abs[e.row as usize] += e.val.abs();
+    }
+    let entries: Vec<Entry> = strict
+        .iter()
+        .map(|e| {
+            let s = row_abs[e.row as usize];
+            let val = if s > 0.5 { e.val * 0.5 / s } else { e.val };
+            Entry::new(e.row, e.col, val)
+        })
+        .collect();
+    UnitTriangular::from_strict(triangle, Coo::from_entries(n, n, entries)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower3() -> UnitTriangular {
+        // L = [1 0 0; 2 1 0; 3 4 1] with the diagonal stripped.
+        let mut strict = Coo::new(3, 3);
+        strict.push(1, 0, 2.0);
+        strict.push(2, 0, 3.0);
+        strict.push(2, 1, 4.0);
+        UnitTriangular::from_strict(Triangle::Lower, strict).unwrap()
+    }
+
+    #[test]
+    fn rowwise_solve_lower() {
+        let l = lower3();
+        // b = L * [1, 1, 1] = [1, 3, 8]
+        let x = l.solve_rowwise(&[1.0, 3.0, 8.0]).unwrap();
+        assert_eq!(x, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn colwise_solve_matches_rowwise() {
+        let l = lower3();
+        let b = vec![2.0, -1.0, 0.5];
+        assert_eq!(l.solve_rowwise(&b).unwrap(), l.solve_colwise(&b).unwrap());
+    }
+
+    #[test]
+    fn matvec_solve_roundtrip() {
+        let l = lower3();
+        let x = vec![1.5, -2.0, 3.0];
+        let b = l.matvec(&x);
+        let got = l.solve_colwise(&b).unwrap();
+        for (a, b) in got.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upper_solve() {
+        let mut strict = Coo::new(3, 3);
+        strict.push(0, 1, 2.0);
+        strict.push(0, 2, 1.0);
+        strict.push(1, 2, -1.0);
+        let u = UnitTriangular::from_strict(Triangle::Upper, strict).unwrap();
+        let x = vec![1.0, 2.0, 3.0];
+        let b = u.matvec(&x);
+        let got = u.solve_colwise(&b).unwrap();
+        for (a, b) in got.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(u.solve_rowwise(&b).unwrap(), got);
+    }
+
+    #[test]
+    fn strict_invariant_enforced() {
+        let mut bad = Coo::new(2, 2);
+        bad.push(0, 0, 1.0); // diagonal entry not allowed
+        assert!(UnitTriangular::from_strict(Triangle::Lower, bad).is_err());
+        let mut wrong_side = Coo::new(2, 2);
+        wrong_side.push(0, 1, 1.0);
+        assert!(UnitTriangular::from_strict(Triangle::Lower, wrong_side).is_err());
+    }
+
+    #[test]
+    fn diagonal_block_extracts() {
+        let l = lower3();
+        let b = l.diagonal_block(1, 3);
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.nnz(), 1); // only (2,1) stays inside rows/cols 1..3
+        assert_eq!(b.strict().entries()[0], Entry::new(1, 0, 4.0));
+    }
+
+    #[test]
+    fn split_lower_separates_diag() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 5.0);
+        a.push(1, 0, 2.0);
+        a.push(1, 1, 7.0);
+        a.push(0, 1, 9.0); // upper, dropped
+        let (strict, diag) = split_lower(&a).unwrap();
+        assert_eq!(strict.nnz(), 1);
+        assert_eq!(diag, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn unit_triangular_from_scales_rows() {
+        let mut a = Coo::new(3, 3);
+        a.push(2, 0, 10.0);
+        a.push(2, 1, 10.0);
+        a.push(0, 2, 99.0); // upper, dropped for Lower
+        let t = unit_triangular_from(&a, Triangle::Lower).unwrap();
+        let row2: f64 = t
+            .strict()
+            .iter()
+            .filter(|e| e.row == 2)
+            .map(|e| e.val.abs())
+            .sum();
+        assert!((row2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let l = lower3();
+        assert!(matches!(
+            l.solve_rowwise(&[1.0]),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped() {
+        assert_eq!(Triangle::Lower.flipped(), Triangle::Upper);
+        assert_eq!(Triangle::Upper.flipped(), Triangle::Lower);
+    }
+}

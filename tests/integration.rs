@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: end-to-end kernels on the simulated
+//! device against golden references, baseline orderings, and application
+//! agreement across devices.
+
+use psyncpim::apps::runtime::{GpuRuntime, GpuStack, PimRuntime, Runtime};
+use psyncpim::apps::{bfs, cc, cg, sssp};
+use psyncpim::baselines::{GpuModel, SpaceAModel};
+use psyncpim::kernels::blas1::Blas1Pim;
+use psyncpim::kernels::{PimDevice, SpmvPim, SptrsvPim};
+use psyncpim::sparse::level::reorder_to_lower;
+use psyncpim::sparse::suite::{by_name, with_tag, Tag, TABLE_IX};
+use psyncpim::sparse::triangular::{unit_triangular_from, Triangle};
+use psyncpim::sparse::{gen, ildu, Precision};
+
+fn tiny() -> PimDevice {
+    PimDevice::tiny(2)
+}
+
+#[test]
+fn suite_matrices_run_spmv_end_to_end() {
+    // Every Table IX family must survive the full partition → layout →
+    // lockstep-execute → accumulate pipeline and match the reference.
+    for spec in [
+        by_name("pwtk").unwrap(),          // banded FEM
+        by_name("amazon0312").unwrap(),    // power-law graph
+        by_name("lhr71").unwrap(),         // uniform
+        by_name("crankseg_2").unwrap(),    // blocked FEM
+        by_name("webbase-1M").unwrap(),    // web hubs
+        by_name("parabolic_fem").unwrap(), // layered
+    ] {
+        let a = spec.generate(0.004);
+        let x = gen::dense_vector(a.ncols(), 3);
+        let res = SpmvPim::new(tiny(), Precision::Fp64)
+            .run(&a, &x)
+            .expect("spmv");
+        let want = a.spmv(&x);
+        for (i, (g, w)) in res.y.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-9 * w.abs().max(1.0),
+                "{} row {i}: {g} vs {w}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn sptrsv_reordered_solve_matches_reference_both_triangles() {
+    let spec = by_name("poisson3Da").unwrap();
+    let a = spec.generate(0.02);
+    for triangle in [Triangle::Lower, Triangle::Upper] {
+        let t = unit_triangular_from(&a, triangle).unwrap();
+        let b = gen::dense_vector(t.dim(), 8);
+        let want = t.solve_colwise(&b).unwrap();
+        let (reordered, perm) = reorder_to_lower(&t);
+        let pb: Vec<f64> = perm.iter().map(|&old| b[old]).collect();
+        let res = SptrsvPim::new(tiny()).run(&reordered, &pb).expect("sptrsv");
+        for (new, &old) in perm.iter().enumerate() {
+            assert!(
+                (res.x[new] - want[old]).abs() < 1e-8 * want[old].abs().max(1.0),
+                "{triangle:?} row {old}"
+            );
+        }
+    }
+}
+
+#[test]
+fn allbank_beats_perbank_on_time_and_commands() {
+    let a = gen::rmat(600, 6, 17);
+    let x = vec![1.0; 600];
+    let ab = SpmvPim::new(tiny(), Precision::Fp64).run(&a, &x).unwrap();
+    let pb = SpmvPim::new(
+        PimDevice {
+            mode: psyncpim::core::ExecMode::PerBank,
+            ..tiny()
+        },
+        Precision::Fp64,
+    )
+    .run(&a, &x)
+    .unwrap();
+    assert_eq!(ab.y, pb.y, "identical results");
+    assert!(pb.run.total_s() > ab.run.total_s(), "PB must be slower");
+    assert!(
+        pb.run.commands as f64 > 1.3 * ab.run.commands as f64,
+        "PB needs more commands: {} vs {}",
+        pb.run.commands,
+        ab.run.commands
+    );
+}
+
+#[test]
+fn int8_matrices_cut_traffic_and_partitions() {
+    let spec = by_name("soc-sign-epinions").unwrap();
+    assert_eq!(spec.precision, Precision::Int8);
+    let a = spec.generate(0.01);
+    let x = vec![1.0; a.ncols()];
+    let f64r = SpmvPim::new(tiny(), Precision::Fp64).run(&a, &x).unwrap();
+    let i8r = SpmvPim::new(tiny(), Precision::Int8).run(&a, &x).unwrap();
+    assert!(i8r.run.external_bytes < f64r.run.external_bytes);
+    assert!(i8r.stats.num_submatrices <= f64r.stats.num_submatrices);
+}
+
+#[test]
+fn spacea_model_orders_with_matrix_size() {
+    let small = gen::rmat(512, 4, 1);
+    let large = gen::rmat(4096, 8, 2);
+    let m = SpaceAModel::hmc_256();
+    assert!(m.spmv_seconds(&large) > m.spmv_seconds(&small));
+}
+
+#[test]
+fn apps_agree_across_devices() {
+    let g = gen::rmat(96, 4, 23);
+    let mut gpu = GpuRuntime::new(GpuModel::rtx3080(), GpuStack::GraphBlast);
+    let mut pim = PimRuntime::new(PimDevice::tiny(1), Precision::Fp64);
+
+    let (lg, _) = bfs::bfs(&mut gpu, &g, 0);
+    let (lp, _) = bfs::bfs(&mut pim, &g, 0);
+    assert_eq!(lg, lp, "BFS levels");
+
+    let (cg_labels, _) = cc::connected_components(&mut gpu, &g);
+    let (cp_labels, _) = cc::connected_components(&mut pim, &g);
+    assert_eq!(cg_labels, cp_labels, "CC labels");
+
+    let (dg, _) = sssp::sssp(&mut gpu, &g, 0);
+    let (dp, _) = sssp::sssp(&mut pim, &g, 0);
+    for (a, b) in dg.iter().zip(&dp) {
+        assert!(
+            (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+            "SSSP distance {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn pcg_converges_on_pim_device() {
+    let base = gen::rmat_seeded(90, 4, 12, 5);
+    let a = ildu::make_spd(&base);
+    let x_true = gen::dense_vector(90, 6);
+    let b = a.spmv(&x_true);
+    let mut pim = PimRuntime::new(PimDevice::tiny(1), Precision::Fp64);
+    let res = cg::pcg(&mut pim, &a, &b, 1e-9, 100);
+    assert!(res.converged, "residual {}", res.residual);
+    for (g, w) in res.x.iter().zip(&x_true) {
+        assert!((g - w).abs() < 1e-6);
+    }
+    assert!(res.run.breakdown.sptrsv_s > 0.0);
+    assert!(res.run.breakdown.spmv_s > 0.0);
+    assert!(res.run.breakdown.vector_s > 0.0);
+}
+
+#[test]
+fn blas1_suite_consistency() {
+    let runner = Blas1Pim::new(tiny(), Precision::Fp64);
+    let x = gen::dense_vector(257, 1); // deliberately unaligned length
+    let y = gen::dense_vector(257, 2);
+    let d = runner.ddot(&x, &y).unwrap().s;
+    let n = runner.dnrm2(&x).unwrap().s;
+    assert!((d - psyncpim::sparse::dense::dot(&x, &y)).abs() < 1e-9);
+    assert!((n - psyncpim::sparse::dense::nrm2(&x)).abs() < 1e-9);
+    let copied = runner.dcopy(&x).unwrap().v;
+    assert_eq!(copied, x);
+}
+
+#[test]
+fn table_ix_tags_route_apps() {
+    assert_eq!(TABLE_IX.len(), 26);
+    assert!(!with_tag(Tag::Graphs).is_empty());
+    assert!(!with_tag(Tag::SpTrsv).is_empty());
+    assert!(!with_tag(Tag::Pcg).is_empty());
+    // PCG matrices are a subset of the SpTRSV-capable set in the paper.
+    for spec in with_tag(Tag::Pcg) {
+        assert!(spec.has_tag(Tag::SpTrsv), "{} missing SpTRSV", spec.name);
+    }
+}
+
+#[test]
+fn energy_and_power_within_envelope() {
+    let a = gen::rmat(2000, 6, 31);
+    let x = vec![1.0; 2000];
+    let res = SpmvPim::new(PimDevice::psync_1x(), Precision::Fp64)
+        .run(&a, &x)
+        .unwrap();
+    let watts = res.run.energy_j / res.run.kernel_s.max(1e-30);
+    assert!(watts > 0.05, "implausibly low power {watts} W");
+    assert!(watts < 5.0, "power {watts} W above the paper's HBM2 ceiling");
+}

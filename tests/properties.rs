@@ -1,0 +1,384 @@
+//! Property-based tests (proptest) over the core invariants of the stack.
+
+use proptest::prelude::*;
+use psyncpim::core::isa::{
+    assemble, disassemble, BinaryOp, Identity, Instruction, Operand, SetMode, SubQueue,
+};
+use psyncpim::dram::{Channel, CmdKind, HbmConfig, Scope};
+use psyncpim::kernels::{PimDevice, SpmvPim};
+use psyncpim::sparse::partition::{BankPartition, DistPolicy, PartitionConfig};
+use psyncpim::sparse::triangular::{unit_triangular_from, Triangle, UnitTriangular};
+use psyncpim::sparse::{mmio, BlockPlan, Coo, Csc, Csr, Entry, LevelSchedule, Precision};
+
+fn arb_precision() -> impl Strategy<Value = Precision> {
+    prop::sample::select(Precision::ALL.to_vec())
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop::sample::select(vec![
+        Operand::Bank,
+        Operand::Srf,
+        Operand::Drf(0),
+        Operand::Drf(1),
+        Operand::Drf(2),
+        Operand::SpVq(0),
+        Operand::SpVq(1),
+        Operand::SpVq(2),
+    ])
+}
+
+fn arb_binop() -> impl Strategy<Value = BinaryOp> {
+    prop::sample::select(vec![
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Min,
+        BinaryOp::Max,
+        BinaryOp::First,
+        BinaryOp::Second,
+        BinaryOp::RSub,
+    ])
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        Just(Instruction::Exit),
+        (0u8..3).prop_map(|queue| Instruction::CExit { queue }),
+        (0u8..32, 0u8..32, 0u16..1024).prop_map(|(target, order, count)| Instruction::Jump {
+            target,
+            order,
+            count
+        }),
+        (arb_operand(), arb_operand(), arb_precision()).prop_map(|(dst, src, precision)| {
+            Instruction::Dmov {
+                dst,
+                src,
+                precision,
+            }
+        }),
+        (arb_operand(), 0u8..3, arb_precision()).prop_map(|(dst, idx_queue, precision)| {
+            Instruction::IndMov {
+                dst,
+                idx_queue,
+                precision,
+            }
+        }),
+        (
+            arb_operand(),
+            arb_operand(),
+            prop::sample::select(vec![SubQueue::Row, SubQueue::Col, SubQueue::Val, SubQueue::All]),
+            arb_precision()
+        )
+            .prop_map(|(dst, src, sub, precision)| Instruction::SpMov {
+                dst,
+                src,
+                sub,
+                precision,
+            }),
+        (0u8..3, arb_precision())
+            .prop_map(|(src, precision)| Instruction::SpFw { src, precision }),
+        (
+            arb_operand(),
+            arb_operand(),
+            prop::sample::select(vec![
+                Identity::Zero,
+                Identity::One,
+                Identity::NegInf,
+                Identity::PosInf
+            ]),
+            arb_precision()
+        )
+            .prop_map(|(dst, src, identity, precision)| Instruction::GthSct {
+                dst,
+                src,
+                identity,
+                precision,
+            }),
+        (arb_operand(), arb_operand(), arb_binop(), arb_precision()).prop_map(
+            |(dst, src, op, precision)| Instruction::Sdv {
+                dst,
+                src,
+                op,
+                precision,
+            }
+        ),
+        (
+            arb_operand(),
+            arb_operand(),
+            arb_operand(),
+            arb_binop(),
+            prop::sample::select(vec![SetMode::Intersection, SetMode::Union]),
+            arb_precision()
+        )
+            .prop_map(|(dst, src0, src1, op, set, precision)| Instruction::SpVdv {
+                dst,
+                src0,
+                src1,
+                op,
+                set,
+                precision,
+            }),
+    ]
+}
+
+/// Random sparse matrices as entry lists.
+fn arb_coo(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Coo> {
+    (2..max_dim).prop_flat_map(move |n| {
+        prop::collection::vec((0..n as u32, 0..n as u32, -10.0f64..10.0), 0..max_nnz).prop_map(
+            move |entries| {
+                let mut m = Coo::new(n, n);
+                for (r, c, v) in entries {
+                    m.push(r, c, v);
+                }
+                m.coalesce();
+                m
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn isa_encode_decode_roundtrips(ins in arb_instruction()) {
+        let word = ins.encode().expect("generated instructions encode");
+        let back = Instruction::decode(word).expect("decode");
+        prop_assert_eq!(back, ins);
+    }
+
+    #[test]
+    fn format_conversions_roundtrip(a in arb_coo(64, 200)) {
+        let csr = Csr::from(&a);
+        let csc = Csc::from(&a);
+        let mut from_csr = Coo::from(&csr);
+        let mut from_csc = Coo::from(&csc);
+        let mut orig = a.clone();
+        orig.sort_row_major();
+        from_csr.sort_row_major();
+        from_csc.sort_row_major();
+        prop_assert_eq!(&from_csr, &orig);
+        prop_assert_eq!(&from_csc, &orig);
+    }
+
+    #[test]
+    fn spmv_agrees_across_formats(a in arb_coo(48, 150), seed in 0u64..1000) {
+        let x = psyncpim::sparse::gen::dense_vector(a.ncols(), seed);
+        let y0 = a.spmv(&x);
+        let y1 = Csr::from(&a).spmv(&x);
+        let y2 = Csc::from(&a).spmv(&x);
+        for i in 0..y0.len() {
+            prop_assert!((y0[i] - y1[i]).abs() < 1e-9);
+            prop_assert!((y0[i] - y2[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partition_conserves_nnz_and_matches_spmv(a in arb_coo(96, 300), rb in prop::sample::select(vec![128usize, 256, 1024])) {
+        let part = BankPartition::build(&a, PartitionConfig {
+            num_banks: 8,
+            row_bytes: rb,
+            precision: Precision::Fp64,
+            policy: DistPolicy::RoundRobin,
+            compress: true,
+        });
+        prop_assert_eq!(part.total_nnz(), a.nnz());
+        let x = vec![1.0; a.ncols()];
+        let got = part.spmv(&x);
+        let want = a.spmv(&x);
+        for i in 0..want.len() {
+            prop_assert!((got[i] - want[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn triangular_solves_roundtrip(a in arb_coo(40, 160)) {
+        for triangle in [Triangle::Lower, Triangle::Upper] {
+            let t = unit_triangular_from(&a, triangle).expect("square");
+            let x: Vec<f64> = (0..t.dim()).map(|i| (i % 7) as f64 - 3.0).collect();
+            let b = t.matvec(&x);
+            let col = t.solve_colwise(&b).expect("dims");
+            let row = t.solve_rowwise(&b).expect("dims");
+            for i in 0..x.len() {
+                prop_assert!((col[i] - x[i]).abs() < 1e-8, "colwise {}", i);
+                prop_assert!((row[i] - x[i]).abs() < 1e-8, "rowwise {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn block_plan_solve_equals_direct(a in arb_coo(60, 200), max_block in 4usize..40) {
+        let t = unit_triangular_from(&a, Triangle::Lower).expect("square");
+        let b: Vec<f64> = (0..t.dim()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let plan = BlockPlan::build(Triangle::Lower, t.dim(), max_block);
+        let got = plan.execute_reference(&t, &b).expect("plan");
+        let want = t.solve_colwise(&b).expect("direct");
+        for i in 0..want.len() {
+            prop_assert!((got[i] - want[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn level_schedule_respects_dependencies(a in arb_coo(50, 150)) {
+        for triangle in [Triangle::Lower, Triangle::Upper] {
+            let t = unit_triangular_from(&a, triangle).expect("square");
+            let sched = LevelSchedule::analyze(&t);
+            let perm = sched.reorder_permutation();
+            prop_assert!(sched.respects_dependencies(&t, &perm));
+        }
+    }
+
+    #[test]
+    fn mmio_roundtrips(a in arb_coo(32, 100)) {
+        let text = mmio::write_str(&a);
+        let back = mmio::read_str(&text).expect("parse");
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn dram_issue_respects_earliest(rows in prop::collection::vec(0u32..64, 1..20)) {
+        let cfg = HbmConfig::default();
+        let mut ch = Channel::new(&cfg);
+        let mut now = 0u64;
+        for (i, &row) in rows.iter().enumerate() {
+            if i > 0 {
+                now = ch.issue_earliest(Scope::AllBanks, CmdKind::Pre, now)
+                    .expect("pre").issue_cycle;
+            }
+            let act = ch.issue_earliest(Scope::AllBanks, CmdKind::Act { row }, now)
+                .expect("act");
+            prop_assert!(act.issue_cycle >= now);
+            now = act.issue_cycle;
+            let rd = ch.issue_earliest(Scope::AllBanks, CmdKind::Rd { col: 0 }, now)
+                .expect("rd");
+            prop_assert!(rd.issue_cycle >= now + u64::from(cfg.timing.t_rcd > 0));
+            now = rd.issue_cycle;
+        }
+        // Commands were all accounted.
+        prop_assert_eq!(ch.stats().acts as usize, rows.len());
+    }
+
+    #[test]
+    fn binaryop_apply_is_total(op in arb_binop(), a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let v = op.apply(a, b);
+        prop_assert!(v.is_finite());
+    }
+
+    #[test]
+    fn quantize_is_idempotent(p in arb_precision(), v in -1e4f64..1e4) {
+        let q = p.quantize(v);
+        prop_assert_eq!(p.quantize(q), q);
+    }
+}
+
+proptest! {
+    // The full device simulation is heavier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pim_spmv_matches_reference_on_random_matrices(a in arb_coo(80, 250), seed in 0u64..100) {
+        let x = psyncpim::sparse::gen::dense_vector(a.ncols(), seed);
+        let res = SpmvPim::new(PimDevice::tiny(1), Precision::Fp64)
+            .run(&a, &x)
+            .expect("spmv");
+        let want = a.spmv(&x);
+        for i in 0..want.len() {
+            prop_assert!(
+                (res.y[i] - want[i]).abs() < 1e-9 * want[i].abs().max(1.0),
+                "row {}: {} vs {}", i, res.y[i], want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pim_sptrsv_matches_reference_on_random_triangles(a in arb_coo(60, 200), seed in 0u64..100) {
+        let t = unit_triangular_from(&a, Triangle::Lower).expect("square");
+        let want_x = psyncpim::sparse::gen::dense_vector(t.dim(), seed);
+        let b = t.matvec(&want_x);
+        let res = psyncpim::kernels::SptrsvPim::new(PimDevice::tiny(1))
+            .run(&t, &b)
+            .expect("sptrsv");
+        for i in 0..want_x.len() {
+            prop_assert!((res.x[i] - want_x[i]).abs() < 1e-8, "row {}", i);
+        }
+    }
+}
+
+/// Non-proptest guard: UnitTriangular rejects malformed input regardless of
+/// triangle.
+#[test]
+fn unit_triangular_validation() {
+    let mut bad = Coo::new(3, 3);
+    bad.push(1, 1, 1.0);
+    assert!(UnitTriangular::from_strict(Triangle::Lower, bad.clone()).is_err());
+    assert!(UnitTriangular::from_strict(Triangle::Upper, bad).is_err());
+    let ok = Coo::from_entries(3, 3, vec![Entry::new(2, 0, 1.0)]).unwrap();
+    assert!(UnitTriangular::from_strict(Triangle::Lower, ok).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Robustness: a random (valid) program plus a random command stream
+    /// must never panic the processing unit, and its counters must stay
+    /// consistent.
+    #[test]
+    fn pu_survives_random_command_streams(
+        instrs in prop::collection::vec(
+            prop::sample::select(vec![
+                "DMOV DRF0, BANK, FP64",
+                "DMOV BANK, DRF0, FP64",
+                "SPMOV SPVQ0, BANK, VAL, FP64",
+                "SPMOV SPVQ0, BANK, ROW, FP64",
+                "SDV DRF0, DRF0, MUL, FP64",
+                "DVDV DRF1, DRF0, DRF1, ADD, FP64",
+                "REDUCE DRF0, ADD, FP64",
+                "NOP",
+            ]),
+            1..10,
+        ),
+        slots in prop::collection::vec(0usize..12, 0..60),
+    ) {
+        use psyncpim::core::memory::BankMemory;
+        use psyncpim::core::ProcessingUnit;
+        let text = format!("{}\nEXIT\n", instrs.join("\n"));
+        let program = assemble(&text).expect("valid mnemonics");
+        let len = program.len();
+        let mut mem = BankMemory::new(1024);
+        let region = mem.alloc("data", 8, (0..64).map(|i| i as f64).collect());
+        let bindings: Vec<Option<psyncpim::core::RegionId>> =
+            (0..len).map(|_| Some(region)).collect();
+        let mut pu = ProcessingUnit::new();
+        pu.load_kernel(program, bindings).expect("all slots bound");
+        for slot in slots {
+            if slot < len {
+                let _ = pu.on_command(slot, &mut mem);
+            }
+        }
+        pu.run_free(&mut mem);
+        let s = pu.stats();
+        prop_assert!(s.mem_ops <= s.instructions);
+    }
+
+    /// Assembly text round-trips through disassemble.
+    #[test]
+    fn asm_disassemble_roundtrips(ins in prop::collection::vec(arb_instruction(), 1..16)) {
+        // Keep jump targets in range so Program::new validates.
+        let fixed: Vec<Instruction> = ins
+            .iter()
+            .map(|i| match *i {
+                Instruction::Jump { order, count, .. } => Instruction::Jump {
+                    target: 0,
+                    order,
+                    count,
+                },
+                other => other,
+            })
+            .collect();
+        let program = psyncpim::core::isa::Program::new(fixed).expect("valid");
+        let text = disassemble(&program);
+        let back = assemble(&text).expect("canonical text assembles");
+        prop_assert_eq!(back, program);
+    }
+}
