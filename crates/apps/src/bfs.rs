@@ -67,10 +67,13 @@ pub fn bfs_bounded<R: Runtime>(
     }
 
     let breakdown = before.delta(&rt.breakdown());
-    (levels, AppRun {
-        breakdown,
-        iterations,
-    })
+    (
+        levels,
+        AppRun {
+            breakdown,
+            iterations,
+        },
+    )
 }
 
 /// Reference BFS for verification.

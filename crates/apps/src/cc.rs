@@ -64,7 +64,7 @@ pub fn connected_components_bounded<R: Runtime>(
 pub fn cc_reference(g: &Coo) -> Vec<usize> {
     let n = g.nrows();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut r = x;
         while parent[r] != r {
             r = parent[r];
@@ -93,9 +93,9 @@ pub fn cc_reference(g: &Coo) -> Vec<usize> {
         let r = find(&mut parent, v);
         min_of_root[r] = min_of_root[r].min(v);
     }
-    for v in 0..n {
+    for (v, l) in label.iter_mut().enumerate() {
         let r = find(&mut parent, v);
-        label[v] = min_of_root[r];
+        *l = min_of_root[r];
     }
     label
 }

@@ -23,7 +23,12 @@ pub struct SolveResult {
 }
 
 /// Apply the ILDU preconditioner `z = (LDU)⁻¹ r` with runtime kernels.
-pub(crate) fn apply_precond<R: Runtime>(rt: &mut R, f: &Ildu, inv_d: &[f64], r: &[f64]) -> Vec<f64> {
+pub(crate) fn apply_precond<R: Runtime>(
+    rt: &mut R,
+    f: &Ildu,
+    inv_d: &[f64],
+    r: &[f64],
+) -> Vec<f64> {
     let y = rt.sptrsv(&f.l, r);
     let scaled = rt.vv(&y, inv_d, BinaryOp::Mul);
     rt.sptrsv(&f.u, &scaled)
@@ -35,13 +40,7 @@ pub(crate) fn apply_precond<R: Runtime>(rt: &mut R, f: &Ildu, inv_d: &[f64], r: 
 /// # Panics
 ///
 /// Panics if `a` is not square or `b.len() != a.nrows()`.
-pub fn pcg<R: Runtime>(
-    rt: &mut R,
-    a: &Coo,
-    b: &[f64],
-    tol: f64,
-    max_iters: usize,
-) -> SolveResult {
+pub fn pcg<R: Runtime>(rt: &mut R, a: &Coo, b: &[f64], tol: f64, max_iters: usize) -> SolveResult {
     assert_eq!(a.nrows(), a.ncols(), "matrix must be square");
     assert_eq!(b.len(), a.nrows(), "rhs length mismatch");
     let n = a.nrows();

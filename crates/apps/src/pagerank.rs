@@ -16,12 +16,7 @@ pub const DAMPING: f64 = 0.85;
 /// # Panics
 ///
 /// Panics if `g` is not square.
-pub fn pagerank<R: Runtime>(
-    rt: &mut R,
-    g: &Coo,
-    tol: f64,
-    max_iters: usize,
-) -> (Vec<f64>, AppRun) {
+pub fn pagerank<R: Runtime>(rt: &mut R, g: &Coo, tol: f64, max_iters: usize) -> (Vec<f64>, AppRun) {
     assert_eq!(g.nrows(), g.ncols(), "adjacency must be square");
     let n = g.nrows();
     let before = rt.breakdown();
@@ -58,10 +53,13 @@ pub fn pagerank<R: Runtime>(
     }
 
     let breakdown = before.delta(&rt.breakdown());
-    (r, AppRun {
-        breakdown,
-        iterations,
-    })
+    (
+        r,
+        AppRun {
+            breakdown,
+            iterations,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -78,7 +76,11 @@ mod tests {
         let (r, run) = pagerank(&mut rt, &g, 1e-10, 100);
         let sum: f64 = r.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "ranks sum to {sum}");
-        assert!(run.iterations < 100, "should converge, ran {}", run.iterations);
+        assert!(
+            run.iterations < 100,
+            "should converge, ran {}",
+            run.iterations
+        );
         // PR is SpMV-major on GraphBLAST per the paper's Figure 2.
         assert!(run.breakdown.spmv_s > 0.0);
     }

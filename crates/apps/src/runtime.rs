@@ -215,15 +215,14 @@ impl GpuRuntime {
 impl Runtime for GpuRuntime {
     fn spmv(&mut self, a: &Coo, x: &[f64]) -> Vec<f64> {
         let t = match self.stack {
-            GpuStack::Cuda => self
-                .model
-                .spmv_seconds(a.nnz(), a.nrows(), a.ncols(), self.precision),
-            GpuStack::GraphBlast => self.model.graphblast_spmv_seconds(
-                a.nnz(),
-                a.nrows(),
-                a.ncols(),
-                self.precision,
-            ),
+            GpuStack::Cuda => {
+                self.model
+                    .spmv_seconds(a.nnz(), a.nrows(), a.ncols(), self.precision)
+            }
+            GpuStack::GraphBlast => {
+                self.model
+                    .graphblast_spmv_seconds(a.nnz(), a.nrows(), a.ncols(), self.precision)
+            }
         };
         self.times.spmv_s += t;
         a.spmv(x)
@@ -231,15 +230,14 @@ impl Runtime for GpuRuntime {
 
     fn spmv_semiring(&mut self, a: &Coo, x: &[f64], mul: BinaryOp, acc: BinaryOp) -> Vec<f64> {
         let t = match self.stack {
-            GpuStack::Cuda => self
-                .model
-                .spmv_seconds(a.nnz(), a.nrows(), a.ncols(), self.precision),
-            GpuStack::GraphBlast => self.model.graphblast_spmv_seconds(
-                a.nnz(),
-                a.nrows(),
-                a.ncols(),
-                self.precision,
-            ),
+            GpuStack::Cuda => {
+                self.model
+                    .spmv_seconds(a.nnz(), a.nrows(), a.ncols(), self.precision)
+            }
+            GpuStack::GraphBlast => {
+                self.model
+                    .graphblast_spmv_seconds(a.nnz(), a.nrows(), a.ncols(), self.precision)
+            }
         };
         self.times.spmv_s += t;
         // Reference semiring SpMV.
@@ -253,9 +251,9 @@ impl Runtime for GpuRuntime {
 
     fn sptrsv(&mut self, t: &UnitTriangular, b: &[f64]) -> Vec<f64> {
         let sched = LevelSchedule::analyze(t);
-        self.times.sptrsv_s +=
-            self.model
-                .sptrsv_seconds(t.nnz(), t.dim(), &sched, self.precision);
+        self.times.sptrsv_s += self
+            .model
+            .sptrsv_seconds(t.nnz(), t.dim(), &sched, self.precision);
         t.solve_colwise(b).expect("reference solve")
     }
 

@@ -57,10 +57,13 @@ pub fn sssp_bounded<R: Runtime>(
     }
 
     let breakdown = before.delta(&rt.breakdown());
-    (dist, AppRun {
-        breakdown,
-        iterations,
-    })
+    (
+        dist,
+        AppRun {
+            breakdown,
+            iterations,
+        },
+    )
 }
 
 /// Reference Dijkstra for verification (non-negative weights).

@@ -63,10 +63,13 @@ pub fn triangle_count(g: &Coo, backend: &TcBackend) -> (u64, AppRun) {
         }
     }
 
-    (triangles, AppRun {
-        breakdown,
-        iterations: 1,
-    })
+    (
+        triangles,
+        AppRun {
+            breakdown,
+            iterations: 1,
+        },
+    )
 }
 
 /// Reference triangle count (each triangle counted once).
@@ -128,10 +131,7 @@ mod tests {
         let g = psim_sparse::gen::rmat(256, 8, 3).symmetrized();
         let acc = SpgemmAccel::innersp();
         let (t1, only) = triangle_count(&g, &TcBackend::AccelOnly(acc));
-        let (t2, plus) = triangle_count(
-            &g,
-            &TcBackend::AccelPlusPim(acc, PimDevice::tiny(2)),
-        );
+        let (t2, plus) = triangle_count(&g, &TcBackend::AccelPlusPim(acc, PimDevice::tiny(2)));
         assert_eq!(t1, t2);
         assert!(only.breakdown.spmv_s > 0.0 && plus.breakdown.spmv_s > 0.0);
         assert_eq!(only.breakdown.spgemm_s, plus.breakdown.spgemm_s);

@@ -73,8 +73,7 @@ impl SpaceAModel {
         // Per element: value + 2 indices (stored at 4 B each in SpaceA's
         // CSR-like format), the output partial, and the vector read
         // discounted by the CAM.
-        let bytes_per_elem =
-            p.bytes() as f64 + 8.0 + p.bytes() as f64 * (1.0 - self.cam_hit_rate);
+        let bytes_per_elem = p.bytes() as f64 + 8.0 + p.bytes() as f64 * (1.0 - self.cam_hit_rate);
         self.setup_s + max_nnz * bytes_per_elem / (self.per_bank_bw * self.efficiency)
     }
 }

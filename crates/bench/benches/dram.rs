@@ -45,10 +45,19 @@ fn bench_perbank_interleave(c: &mut Criterion) {
                 };
                 let open = ch.bank(i % 4, (i / 4) % 4).open_row();
                 if open.is_some() {
-                    now = ch.issue_earliest(scope, CmdKind::Pre, now).unwrap().issue_cycle;
+                    now = ch
+                        .issue_earliest(scope, CmdKind::Pre, now)
+                        .unwrap()
+                        .issue_cycle;
                 }
                 now = ch
-                    .issue_earliest(scope, CmdKind::Act { row: (i % 64) as u32 }, now)
+                    .issue_earliest(
+                        scope,
+                        CmdKind::Act {
+                            row: (i % 64) as u32,
+                        },
+                        now,
+                    )
                     .unwrap()
                     .issue_cycle;
                 now = ch

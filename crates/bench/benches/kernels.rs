@@ -64,5 +64,11 @@ fn bench_blas1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spmv, bench_spmv_precisions, bench_sptrsv, bench_blas1);
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_spmv_precisions,
+    bench_sptrsv,
+    bench_blas1
+);
 criterion_main!(benches);

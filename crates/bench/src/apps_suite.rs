@@ -70,7 +70,8 @@ pub enum Backend {
     /// The GPU model with the stack the paper uses for this app family.
     Gpu,
     /// The simulated pSyncPIM device (TC adds the SpGEMM accelerator).
-    Pim(PimDevice),
+    /// Boxed: `PimDevice` is much larger than the dataless `Gpu` variant.
+    Pim(Box<PimDevice>),
 }
 
 /// Generate the operand for an app: graph apps use the raw adjacency,
@@ -98,7 +99,7 @@ pub fn run_app(app: App, a: &Coo, backend: &Backend) -> AppRun {
         (App::Tc, Backend::Pim(device)) => {
             triangle_count(
                 a,
-                &TcBackend::AccelPlusPim(SpgemmAccel::innersp(), device.clone()),
+                &TcBackend::AccelPlusPim(SpgemmAccel::innersp(), device.as_ref().clone()),
             )
             .1
         }
@@ -111,7 +112,7 @@ pub fn run_app(app: App, a: &Coo, backend: &Backend) -> AppRun {
             drive(app, a, &mut rt, solver_iters)
         }
         (_, Backend::Pim(device)) => {
-            let mut rt = PimRuntime::new(device.clone(), Precision::Fp64);
+            let mut rt = PimRuntime::new(device.as_ref().clone(), Precision::Fp64);
             drive(app, a, &mut rt, solver_iters)
         }
     }

@@ -16,9 +16,11 @@ use psim_sparse::{gen, Precision};
 use psyncpim_core::ExecMode;
 
 fn device_with(num_cols: usize, channels: usize) -> PimDevice {
-    let mut hbm = HbmConfig::default();
-    hbm.num_cols = num_cols; // row size = num_cols * 16 B
-    hbm.num_pseudo_channels = channels;
+    let hbm = HbmConfig {
+        num_cols, // row size = num_cols * 16 B
+        num_pseudo_channels: channels,
+        ..HbmConfig::default()
+    };
     PimDevice {
         hbm,
         mode: ExecMode::AllBank,

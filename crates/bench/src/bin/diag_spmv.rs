@@ -25,7 +25,11 @@ fn main() {
         );
         println!(
             "  partition: subs {} banks_used {} max_bank_nnz {} imbalance {:.2} repl {}",
-            st.num_submatrices, st.banks_used, st.max_bank_nnz, st.imbalance(), st.input_replication
+            st.num_submatrices,
+            st.banks_used,
+            st.max_bank_nnz,
+            st.imbalance(),
+            st.input_replication
         );
         println!(
             "  ns/nnz = {:.3}, kernel ns/cmd = {:.2}",

@@ -48,9 +48,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "mean command ratio: {:.2}x (paper: 2.74x)",
-        mean(&ratios)
-    );
+    println!("mean command ratio: {:.2}x (paper: 2.74x)", mean(&ratios));
     tsv_row("fig03-mean", &[mean(&ratios).to_string()]);
 }

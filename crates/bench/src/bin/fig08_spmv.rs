@@ -61,14 +61,31 @@ fn main() {
     let (g1, g3, gpb, gsa) = (geomean(&s1), geomean(&s3), geomean(&spb), geomean(&ssa));
     println!();
     println!("geomean speedups vs GPU:");
-    println!("  per-bank   {:>8}   (paper: pSync/6.26 = ~0.31x)", fmt_x(gpb));
-    println!("  SpaceA     {:>8}   (paper: pSync/0.56 = ~3.50x)", fmt_x(gsa));
+    println!(
+        "  per-bank   {:>8}   (paper: pSync/6.26 = ~0.31x)",
+        fmt_x(gpb)
+    );
+    println!(
+        "  SpaceA     {:>8}   (paper: pSync/0.56 = ~3.50x)",
+        fmt_x(gsa)
+    );
     println!("  pSync 1x   {:>8}   (paper: 1.96x)", fmt_x(g1));
     println!("  pSync 3x   {:>8}   (paper: 4.43x)", fmt_x(g3));
-    println!("  pSync/SpaceA ratio {:.2} (paper: 0.56)", g1 / gsa.max(1e-30));
-    println!("  pSync/per-bank     {:.2} (paper: 6.26)", g1 / gpb.max(1e-30));
+    println!(
+        "  pSync/SpaceA ratio {:.2} (paper: 0.56)",
+        g1 / gsa.max(1e-30)
+    );
+    println!(
+        "  pSync/per-bank     {:.2} (paper: 6.26)",
+        g1 / gpb.max(1e-30)
+    );
     tsv_row(
         "fig08-geomean",
-        &[gpb.to_string(), gsa.to_string(), g1.to_string(), g3.to_string()],
+        &[
+            gpb.to_string(),
+            gsa.to_string(),
+            g1.to_string(),
+            g3.to_string(),
+        ],
     );
 }

@@ -12,7 +12,10 @@ use psim_sparse::{gen, LevelSchedule, Precision};
 
 fn main() {
     let args = Args::parse();
-    println!("# Figure 9 — SpTRSV speedup vs cuSPARSE (scale {})", args.scale);
+    println!(
+        "# Figure 9 — SpTRSV speedup vs cuSPARSE (scale {})",
+        args.scale
+    );
     let gpu = GpuModel::rtx3080();
     let mut all = Vec::new();
     for (label, triangle) in [("lower", Triangle::Lower), ("upper", Triangle::Upper)] {
@@ -80,9 +83,6 @@ fn main() {
         println!("  geomean ({label}): {}", fmt_x(geomean(&speedups)));
     }
     println!();
-    println!(
-        "overall geomean: {} (paper: 3.53x)",
-        fmt_x(geomean(&all))
-    );
+    println!("overall geomean: {} (paper: 3.53x)", fmt_x(geomean(&all)));
     tsv_row("fig09-geomean", &[geomean(&all).to_string()]);
 }

@@ -17,7 +17,15 @@ fn main() {
         "# Figure 11 — application speedup vs GPU (scale {}, caps {cap_dim_graphs}/{cap_dim_solvers})",
         args.scale
     );
-    human_row(&args, &["app".into(), "GPU s".into(), "PIM s".into(), "speedup".into()]);
+    human_row(
+        &args,
+        &[
+            "app".into(),
+            "GPU s".into(),
+            "PIM s".into(),
+            "speedup".into(),
+        ],
+    );
     let device = PimDevice::psync_1x();
     let mut graph_speedups = Vec::new();
     let mut solver_speedups = Vec::new();
@@ -34,7 +42,7 @@ fn main() {
             };
             let a = operand(app, spec, args.scale, cap);
             gpu_s += run_app(app, &a, &Backend::Gpu).total_s();
-            pim_s += run_app(app, &a, &Backend::Pim(device.clone())).total_s();
+            pim_s += run_app(app, &a, &Backend::Pim(Box::new(device.clone()))).total_s();
         }
         if pim_s <= 0.0 {
             continue;

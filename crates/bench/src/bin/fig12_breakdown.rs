@@ -34,7 +34,7 @@ fn main() {
     for app in App::ALL {
         for (label, backend) in [
             ("GPU", Backend::Gpu),
-            ("PIM", Backend::Pim(device.clone())),
+            ("PIM", Backend::Pim(Box::new(device.clone()))),
         ] {
             let mut agg = Breakdown::default();
             for spec in app.matrices().into_iter().take(per_app_matrices) {
@@ -42,10 +42,10 @@ fn main() {
                     continue;
                 }
                 let cap = match app {
-                App::PCg | App::PBcgs => cap_dim_solvers,
-                _ => cap_dim_graphs,
-            };
-            let a = operand(app, spec, args.scale, cap);
+                    App::PCg | App::PBcgs => cap_dim_solvers,
+                    _ => cap_dim_graphs,
+                };
+                let a = operand(app, spec, args.scale, cap);
                 let run = run_app(app, &a, &backend);
                 agg.spmv_s += run.breakdown.spmv_s;
                 agg.sptrsv_s += run.breakdown.sptrsv_s;

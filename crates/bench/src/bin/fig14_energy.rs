@@ -7,7 +7,10 @@ use psim_sparse::suite::{with_tag, Tag};
 
 fn main() {
     let args = Args::parse();
-    println!("# Figure 14 — SpMV energy, per-bank vs pSyncPIM (scale {})", args.scale);
+    println!(
+        "# Figure 14 — SpMV energy, per-bank vs pSyncPIM (scale {})",
+        args.scale
+    );
     human_row(
         &args,
         &[
@@ -51,8 +54,14 @@ fn main() {
         );
     }
     println!();
-    println!("mean energy ratio PB/pSync: {:.2}x (paper: 2.67x)", mean(&ratios));
+    println!(
+        "mean energy ratio PB/pSync: {:.2}x (paper: 2.67x)",
+        mean(&ratios)
+    );
     let max_w = watts.iter().copied().fold(0.0f64, f64::max);
     println!("max pSyncPIM power: {max_w:.2} W (paper: <= 5.0 W)");
-    tsv_row("fig14-mean", &[mean(&ratios).to_string(), max_w.to_string()]);
+    tsv_row(
+        "fig14-mean",
+        &[mean(&ratios).to_string(), max_w.to_string()],
+    );
 }

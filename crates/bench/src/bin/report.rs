@@ -13,7 +13,9 @@ use std::fs;
 use std::path::Path;
 
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_string());
     let rows = collect_tsv(Path::new(&dir));
     if rows.is_empty() {
         eprintln!("no #TSV rows found under {dir}; run the fig* binaries first");
@@ -65,17 +67,68 @@ fn headline(out: &mut String, rows: &BTreeMap<String, Vec<Vec<String>>>) {
             let _ = writeln!(out, "| {name} | {paper} | {v:.2} |");
         }
     };
-    row("SpMV speedup vs GPU, 1x (geomean)", "1.96x", get1(rows, "fig08-geomean", 2));
-    row("SpMV speedup vs GPU, 3x", "4.43x", get1(rows, "fig08-geomean", 3));
-    row("SpMV per-bank vs GPU", "~0.31x", get1(rows, "fig08-geomean", 0));
+    row(
+        "SpMV speedup vs GPU, 1x (geomean)",
+        "1.96x",
+        get1(rows, "fig08-geomean", 2),
+    );
+    row(
+        "SpMV speedup vs GPU, 3x",
+        "4.43x",
+        get1(rows, "fig08-geomean", 3),
+    );
+    row(
+        "SpMV per-bank vs GPU",
+        "~0.31x",
+        get1(rows, "fig08-geomean", 0),
+    );
     row("SpaceA vs GPU", "~3.5x", get1(rows, "fig08-geomean", 1));
-    row("SpTRSV speedup vs cuSPARSE (geomean)", "3.53x", get1(rows, "fig09-geomean", 0));
-    row("dense BLAS pSync/per-bank (geomean)", "9.6x", get1(rows, "fig10-geomean", 0));
-    row("graph apps vs GPU (geomean)", "51.6x", get1(rows, "fig11-geomean", 0));
-    row("linear solvers vs GPU (geomean)", "2.2x", get1(rows, "fig11-geomean", 1));
-    row("TC accel+PIM / accel-only (geomean)", "2.0x", get1(rows, "fig13-geomean", 0));
-    row("energy per-bank / pSync (mean)", "2.67x", get1(rows, "fig14-mean", 0));
-    row("PB/AB command ratio (mean)", "2.74x", get1(rows, "fig03-mean", 0));
+    row(
+        "SpTRSV speedup vs cuSPARSE (geomean)",
+        "3.53x",
+        get1(rows, "fig09-geomean", 0),
+    );
+    row(
+        "dense BLAS pSync/per-bank (geomean)",
+        "9.6x",
+        get1(rows, "fig10-geomean", 0),
+    );
+    row(
+        "graph apps vs GPU (geomean)",
+        "51.6x",
+        get1(rows, "fig11-geomean", 0),
+    );
+    row(
+        "linear solvers vs GPU (geomean)",
+        "2.2x",
+        get1(rows, "fig11-geomean", 1),
+    );
+    row(
+        "TC accel+PIM / accel-only (geomean)",
+        "2.0x",
+        get1(rows, "fig13-geomean", 0),
+    );
+    row(
+        "energy per-bank / pSync (mean)",
+        "2.67x",
+        get1(rows, "fig14-mean", 0),
+    );
+    row(
+        "PB/AB command ratio (mean)",
+        "2.74x",
+        get1(rows, "fig03-mean", 0),
+    );
+    // Beyond-paper subsystem: the multi-tenant scheduler's jobs/sec scaling
+    // when the device is carved into 4 channel shards (column 4 of the
+    // 4-shard `sched` row; goal is >1.5x over the unsharded device).
+    let sched4 = rows
+        .get("sched")
+        .and_then(|r| {
+            r.iter()
+                .find(|f| f.first().map(String::as_str) == Some("4"))
+        })
+        .and_then(|f| f.get(4)?.parse().ok());
+    row("psim-sched jobs/sec, 4 shards vs 1", ">1.5x (goal)", sched4);
     let _ = writeln!(out);
 }
 
@@ -89,7 +142,9 @@ fn per_figure(out: &mut String, rows: &BTreeMap<String, Vec<Vec<String>>>) {
         (
             "fig08",
             "Figure 8 — SpMV speedups over the GPU model",
-            &["matrix", "nnz", "per-bank", "SpaceA", "pSync 1x", "pSync 3x"],
+            &[
+                "matrix", "nnz", "per-bank", "SpaceA", "pSync 1x", "pSync 3x",
+            ],
         ),
         (
             "fig09",
@@ -109,12 +164,38 @@ fn per_figure(out: &mut String, rows: &BTreeMap<String, Vec<Vec<String>>>) {
         (
             "fig13",
             "Figure 13 — TC with the SpGEMM accelerator",
-            &["matrix", "triangles", "accel-only s", "accel+PIM s", "speedup"],
+            &[
+                "matrix",
+                "triangles",
+                "accel-only s",
+                "accel+PIM s",
+                "speedup",
+            ],
         ),
         (
             "fig14",
             "Figure 14 — SpMV energy",
             &["matrix", "PB J", "pSync J", "ratio", "pSync W"],
+        ),
+        (
+            "sched",
+            "psim-sched — multi-tenant throughput by shard count",
+            &[
+                "shards",
+                "jobs",
+                "makespan ms",
+                "jobs/s (sim)",
+                "speedup",
+                "wait p95 us",
+                "lat p50 us",
+                "lat p95 us",
+                "lat p99 us",
+            ],
+        ),
+        (
+            "sched-class",
+            "psim-sched — per-class latency at 4 shards",
+            &["class", "jobs", "lat p50 us", "lat p95 us"],
         ),
     ];
     for (tag, title, header) in tables {

@@ -11,7 +11,10 @@ use psim_sparse::MatrixStats;
 
 fn main() {
     let args = Args::parse();
-    println!("# Table IX — synthetic suite characterization (scale {})", args.scale);
+    println!(
+        "# Table IX — synthetic suite characterization (scale {})",
+        args.scale
+    );
     human_row(
         &args,
         &[

@@ -1,0 +1,210 @@
+//! Multi-tenant scheduler throughput: jobs/sec by shard count.
+//!
+//! Serves the same multi-tenant mix of small SpMV and BLAS-1 jobs through
+//! the `psim-sched` executor while the device is carved into 1, 2, 4 and 8
+//! channel shards. Small jobs pay fixed per-launch overheads (mode
+//! switches, CRF programming) no matter how many channels they get, so
+//! giving each job a slice and running slices concurrently raises
+//! jobs/sec — the scheduling analogue of partially synchronous execution.
+//!
+//! Output:
+//!
+//! * `#TSV sched <shards> <jobs> <makespan_ms> <jobs_per_s> <speedup>
+//!   <wait_p95_us> <lat_p50_us> <lat_p95_us> <lat_p99_us>` per shard count,
+//! * `#TSV sched-class <class> <jobs> <lat_p50_us> <lat_p95_us>` for the
+//!   4-shard run's per-class latency split.
+
+use psim_bench::{fmt_x, human_row, tsv_row, Args};
+use psim_kernels::PimDevice;
+use psim_sched::{
+    BatchReport, ExecutorConfig, JobClass, JobKind, JobQueue, JobSpec, MatrixStore, ShardExecutor,
+};
+use psim_sparse::gen;
+use std::sync::Arc;
+
+/// The tenant mix: four tenants sharing three registered matrices, a
+/// latency-sensitive tenant issuing small interactive jobs, and background
+/// best-effort vector work.
+fn build_queue(store: &MatrixStore, jobs_per_tenant: usize) -> JobQueue {
+    let queue = JobQueue::bounded(16 * jobs_per_tenant.max(1));
+    let web = store.get("web").expect("registered");
+    let road = store.get("road").expect("registered");
+    let social = store.get("social").expect("registered");
+    for i in 0..jobs_per_tenant {
+        let seed = i as u64;
+        // Two batch tenants stream SpMV over their own matrices.
+        queue
+            .submit(JobSpec::batch(
+                "analytics",
+                JobKind::spmv(Arc::clone(&web), gen::dense_vector(web.ncols(), seed)),
+            ))
+            .expect("queue sized for the mix");
+        queue
+            .submit(JobSpec::batch(
+                "routing",
+                JobKind::spmv(
+                    Arc::clone(&road),
+                    gen::dense_vector(road.ncols(), seed + 100),
+                ),
+            ))
+            .expect("queue sized for the mix");
+        // An interactive tenant issues small latency-critical SpMVs.
+        queue
+            .submit(
+                JobSpec::batch(
+                    "frontend",
+                    JobKind::spmv(
+                        Arc::clone(&social),
+                        gen::dense_vector(social.ncols(), seed + 200),
+                    ),
+                )
+                .with_class(JobClass::Interactive),
+            )
+            .expect("queue sized for the mix");
+        // Background vector maintenance runs best-effort.
+        queue
+            .submit(
+                JobSpec::batch(
+                    "maintenance",
+                    JobKind::Norm2 {
+                        x: gen::dense_vector(512, seed + 300),
+                    },
+                )
+                .with_class(JobClass::BestEffort),
+            )
+            .expect("queue sized for the mix");
+    }
+    queue
+}
+
+fn run(
+    store: &MatrixStore,
+    device: &PimDevice,
+    shards: usize,
+    jobs_per_tenant: usize,
+) -> BatchReport {
+    let queue = build_queue(store, jobs_per_tenant);
+    ShardExecutor::new(ExecutorConfig::sharded(device.clone(), shards))
+        .expect("shards divide the channel count")
+        .drain_and_run(&queue)
+        .expect("job mix executes")
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn main() {
+    let args = Args::parse();
+    // Matrix sizes scale with --scale (default 0.1 keeps this under a
+    // minute); degrees mirror a web / road / social sparsity mix.
+    let dim = |base: usize| {
+        ((base as f64 * args.scale) as usize)
+            .max(64)
+            .next_power_of_two()
+    };
+    let mut store = MatrixStore::new();
+    store.insert("web", gen::rmat(dim(2048), 8, 1));
+    store.insert("road", gen::rmat(dim(4096), 3, 2));
+    store.insert("social", gen::rmat(dim(1024), 6, 3));
+    let jobs_per_tenant = ((8.0 * args.scale.max(0.1) / 0.1) as usize).clamp(4, 64);
+    let device = PimDevice::psync_1x();
+
+    human_row(
+        &args,
+        &[
+            "shards".to_string(),
+            "jobs".to_string(),
+            "makespan ms".to_string(),
+            "jobs/s (sim)".to_string(),
+            "speedup".to_string(),
+            "wait p95 us".to_string(),
+            "lat p50 us".to_string(),
+            "lat p95 us".to_string(),
+            "lat p99 us".to_string(),
+            "host s".to_string(),
+        ],
+    );
+    let mut base_jobs_per_s = 0.0;
+    let mut four_shard: Option<BatchReport> = None;
+    for shards in [1usize, 2, 4, 8] {
+        let report = run(&store, &device, shards, jobs_per_tenant);
+        let sim = &report.stats.sim;
+        if shards == 1 {
+            base_jobs_per_s = sim.jobs_per_sim_s;
+        }
+        let speedup = if base_jobs_per_s > 0.0 {
+            sim.jobs_per_sim_s / base_jobs_per_s
+        } else {
+            0.0
+        };
+        let us = |ns: u64| ns as f64 / 1e3;
+        human_row(
+            &args,
+            &[
+                shards.to_string(),
+                sim.jobs.to_string(),
+                format!("{:.3}", sim.makespan_s * 1e3),
+                format!("{:.0}", sim.jobs_per_sim_s),
+                fmt_x(speedup),
+                format!("{:.1}", us(sim.wait_ns.p95())),
+                format!("{:.1}", us(sim.latency_ns.p50())),
+                format!("{:.1}", us(sim.latency_ns.p95())),
+                format!("{:.1}", us(sim.latency_ns.p99())),
+                format!("{:.2}", report.stats.host.walltime_s),
+            ],
+        );
+        tsv_row(
+            "sched",
+            &[
+                shards.to_string(),
+                sim.jobs.to_string(),
+                format!("{:.4}", sim.makespan_s * 1e3),
+                format!("{:.1}", sim.jobs_per_sim_s),
+                format!("{:.3}", speedup),
+                format!("{:.2}", us(sim.wait_ns.p95())),
+                format!("{:.2}", us(sim.latency_ns.p50())),
+                format!("{:.2}", us(sim.latency_ns.p95())),
+                format!("{:.2}", us(sim.latency_ns.p99())),
+            ],
+        );
+        if shards == 4 {
+            four_shard = Some(report);
+        }
+    }
+
+    // Class isolation at 4 shards: interactive jobs see lower latency than
+    // the batch/best-effort traffic they share the device with.
+    if let Some(report) = four_shard {
+        if !args.tsv_only {
+            println!();
+        }
+        human_row(
+            &args,
+            &[
+                "class (4 shards)".to_string(),
+                "jobs".to_string(),
+                "lat p50 us".to_string(),
+                "lat p95 us".to_string(),
+            ],
+        );
+        for class in &report.stats.sim.per_class {
+            let us = |ns: u64| ns as f64 / 1e3;
+            human_row(
+                &args,
+                &[
+                    class.class.clone(),
+                    class.jobs.to_string(),
+                    format!("{:.1}", us(class.latency_ns.p50())),
+                    format!("{:.1}", us(class.latency_ns.p95())),
+                ],
+            );
+            tsv_row(
+                "sched-class",
+                &[
+                    class.class.clone(),
+                    class.jobs.to_string(),
+                    format!("{:.2}", us(class.latency_ns.p50())),
+                    format!("{:.2}", us(class.latency_ns.p95())),
+                ],
+            );
+        }
+    }
+}

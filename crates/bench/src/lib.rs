@@ -156,5 +156,5 @@ mod tests {
     }
 }
 
-pub mod spmv_suite;
 pub mod apps_suite;
+pub mod spmv_suite;

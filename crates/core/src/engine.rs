@@ -12,18 +12,27 @@
 //! cycle channel bus — the baseline of Figures 3 and 8.
 //!
 //! Channels execute independently; the cube's wall-clock is the slowest
-//! channel. Modeling notes (see DESIGN.md §8): the engine tracks open rows
-//! with its own non-stalling cursor per program slot (banks that predicate
-//! off catch up within later iterations of the same rows), and host
-//! completion detection is modeled as one MRS status poll per iteration.
+//! channel. Per-channel replay lives in [`channel`] as a pure function over
+//! the loaded program and the channel's own bank slice, which lets
+//! [`Engine::run_parallel`] fan channels out across host threads while
+//! staying bit-identical to the serial [`Engine::run`] (outcomes are merged
+//! in channel order). Modeling notes (see DESIGN.md §8): the engine tracks
+//! open rows with its own non-stalling cursor per program slot (banks that
+//! predicate off catch up within later iterations of the same rows), and
+//! host completion detection is modeled as one MRS status poll per
+//! iteration.
 
 use crate::error::CoreError;
 use crate::isa::Program;
 use crate::memory::{BankMemory, Binding};
-use crate::pu::{ProcessingUnit, DRAM_CYCLES_PER_PU_CYCLE};
+use crate::pu::ProcessingUnit;
 use crate::stats::PuStats;
-use psim_dram::{Channel, ChannelStats, CmdKind, EnergyModel, EnergyStats, HbmConfig, IssueError, Scope};
+use psim_dram::{ChannelStats, CmdKind, EnergyModel, EnergyStats, HbmConfig, Scope};
 use serde::{Deserialize, Serialize};
+
+mod channel;
+
+use channel::{run_channel, ChannelCtx, ChannelOutcome};
 
 /// All-bank (pSyncPIM) vs per-bank (PB baseline) execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,6 +57,10 @@ pub struct EngineConfig {
     /// Record every issued DRAM command into [`RunReport::trace`]
     /// (debug/visualization; memory-hungry on long kernels).
     pub record_trace: bool,
+    /// Cap on recorded trace events *per channel*; commands beyond the cap
+    /// are counted in [`RunReport::trace_dropped`] instead of growing the
+    /// trace without bound on long kernels.
+    pub trace_limit: usize,
     /// Model periodic refresh (all-bank mode): every tREFI the engine
     /// precharges, issues an all-bank REF and reopens lazily — the
     /// bandwidth tax real DRAM pays. Off by default (kernel windows
@@ -63,6 +76,7 @@ impl Default for EngineConfig {
             energy: EnergyModel::default(),
             max_rounds: 50_000_000,
             record_trace: false,
+            trace_limit: 1 << 22,
             refresh: false,
         }
     }
@@ -80,27 +94,6 @@ pub struct TraceEvent {
     pub scope: Scope,
     /// The command.
     pub cmd: CmdKind,
-}
-
-/// Issue a command, optionally recording it.
-fn issue_traced(
-    channel: &mut Channel,
-    trace: &mut Option<Vec<TraceEvent>>,
-    ch: usize,
-    scope: Scope,
-    cmd: CmdKind,
-    from: u64,
-) -> Result<psim_dram::Issued, IssueError> {
-    let issued = channel.issue_earliest(scope, cmd, from)?;
-    if let Some(events) = trace {
-        events.push(TraceEvent {
-            channel: ch,
-            cycle: issued.issue_cycle,
-            scope,
-            cmd,
-        });
-    }
-    Ok(issued)
 }
 
 /// Result of one kernel execution.
@@ -124,6 +117,9 @@ pub struct RunReport {
     pub active_pus: usize,
     /// Issued-command trace (empty unless [`EngineConfig::record_trace`]).
     pub trace: Vec<TraceEvent>,
+    /// Commands not recorded because a channel hit
+    /// [`EngineConfig::trace_limit`].
+    pub trace_dropped: u64,
 }
 
 impl RunReport {
@@ -240,13 +236,31 @@ impl Engine {
         }
     }
 
-    /// Execute the loaded kernel to completion.
+    /// Execute the loaded kernel to completion, replaying channels
+    /// serially.
     ///
     /// # Errors
     ///
     /// [`CoreError::Execution`] if no kernel is loaded or the round bound
     /// is exceeded (kernel never exits).
     pub fn run(&mut self) -> Result<RunReport, CoreError> {
+        self.run_with_workers(1)
+    }
+
+    /// Execute the loaded kernel with up to `workers` host threads, one
+    /// channel per thread at a time. Channels are simulated-independent, so
+    /// the report is **bit-identical** to [`Engine::run`] for any worker
+    /// count — outcomes are merged in channel order regardless of host
+    /// completion order.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::run`].
+    pub fn run_parallel(&mut self, workers: usize) -> Result<RunReport, CoreError> {
+        self.run_with_workers(workers)
+    }
+
+    fn run_with_workers(&mut self, workers: usize) -> Result<RunReport, CoreError> {
         let program = self
             .program
             .clone()
@@ -254,25 +268,57 @@ impl Engine {
         let schedule = program.command_schedule()?;
         let banks_per_channel = self.cfg.hbm.banks_per_channel();
         let channels = self.cfg.hbm.num_pseudo_channels;
+        let ctx = ChannelCtx {
+            cfg: &self.cfg,
+            program: &program,
+            schedule: &schedule,
+            bindings: &self.bindings,
+        };
+
+        // One outcome slot per channel, written by whichever worker runs
+        // that channel and always merged below in channel order.
+        let mut results: Vec<Option<Result<ChannelOutcome, CoreError>>> =
+            (0..channels).map(|_| None).collect();
+        let nworkers = workers.max(1).min(channels.max(1));
+        let work = self
+            .pus
+            .chunks_mut(banks_per_channel)
+            .zip(self.mems.chunks_mut(banks_per_channel))
+            .zip(results.iter_mut())
+            .enumerate();
+        if nworkers <= 1 {
+            for (ch, ((pus, mems), slot)) in work {
+                *slot = Some(run_channel(&ctx, ch, pus, mems));
+            }
+        } else {
+            let mut buckets: Vec<Vec<_>> = (0..nworkers).map(|_| Vec::new()).collect();
+            for (ch, ((pus, mems), slot)) in work {
+                buckets[ch % nworkers].push((ch, pus, mems, slot));
+            }
+            std::thread::scope(|s| {
+                for bucket in buckets {
+                    let ctx = &ctx;
+                    s.spawn(move || {
+                        for (ch, pus, mems, slot) in bucket {
+                            *slot = Some(run_channel(ctx, ch, pus, mems));
+                        }
+                    });
+                }
+            });
+        }
 
         let mut per_channel_cycles = Vec::with_capacity(channels);
         let mut commands = ChannelStats::default();
         let mut max_rounds_seen = 0u64;
         let mut trace: Vec<TraceEvent> = Vec::new();
-
-        for ch in 0..channels {
-            let lo = ch * banks_per_channel;
-            let hi = lo + banks_per_channel;
-            let (cycles, stats, rounds, ch_trace) = match self.cfg.mode {
-                ExecMode::AllBank => self.run_channel_allbank(&program, &schedule, ch, lo, hi)?,
-                ExecMode::PerBank => self.run_channel_perbank(&program, &schedule, ch, lo, hi)?,
-            };
-            per_channel_cycles.push(cycles);
-            commands.merge(&stats);
-            max_rounds_seen = max_rounds_seen.max(rounds);
-            if let Some(mut t) = ch_trace {
-                trace.append(&mut t);
-            }
+        let mut trace_dropped = 0u64;
+        for slot in results {
+            let outcome = slot.expect("every channel executed")?;
+            per_channel_cycles.push(outcome.cycles);
+            commands.merge(&outcome.stats);
+            max_rounds_seen = max_rounds_seen.max(outcome.rounds);
+            trace.extend(outcome.trace);
+            trace_dropped += outcome.trace_dropped;
         }
 
         let dram_cycles = per_channel_cycles.iter().copied().max().unwrap_or(0);
@@ -305,313 +351,8 @@ impl Engine {
             per_channel_cycles,
             active_pus,
             trace,
+            trace_dropped,
         })
-    }
-
-    /// Element width/advance for the engine's open-row cursor at a slot.
-    fn slot_advance(ins: &crate::isa::Instruction) -> (usize, usize) {
-        use crate::isa::{Instruction as I, Operand};
-        match *ins {
-            I::Dmov {
-                dst: Operand::Srf, ..
-            }
-            | I::Dmov {
-                src: Operand::Srf, ..
-            } => (8, 1),
-            I::Dmov { precision, .. } | I::SpMov { precision, .. } => {
-                (precision.bytes(), precision.lanes())
-            }
-            I::GthSct {
-                dst: Operand::Bank,
-                ..
-            } => (8, 0), // scatter is random within the open row
-            I::GthSct { precision, .. } => (precision.bytes(), precision.lanes()),
-            I::SpFw { precision, .. } => (precision.bytes(), 3 * precision.lanes()),
-            // Gathers/accumulates address randomly within their (single-row)
-            // region; the cursor stays at the region head.
-            I::IndMov { .. } | I::SpVdv { .. } => (8, 0),
-            _ => (8, 0),
-        }
-    }
-
-    #[allow(clippy::type_complexity)]
-    fn run_channel_allbank(
-        &mut self,
-        program: &Program,
-        schedule: &[usize],
-        ch: usize,
-        lo: usize,
-        hi: usize,
-    ) -> Result<(u64, ChannelStats, u64, Option<Vec<TraceEvent>>), CoreError> {
-        let mut channel = Channel::new(&self.cfg.hbm);
-        let mut trace: Option<Vec<TraceEvent>> = self.cfg.record_trace.then(Vec::new);
-        let row_bytes = self.cfg.hbm.row_bytes();
-        let col_bytes = self.cfg.hbm.col_bytes;
-        let mut now: u64 = 0;
-
-        // Mode switching (SB→AB→AB-PIM) + CRF programming as MRS commands.
-        let setup_cmds = 2 * psim_dram::mode::SWITCH_SEQUENCE_LEN + program.len();
-        for _ in 0..setup_cmds {
-            now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Mrs, now)
-                .map_err(|e| CoreError::Execution(e.to_string()))?
-                .issue_cycle;
-        }
-
-        for b in lo..hi {
-            self.pus[b].run_free(&mut self.mems[b]);
-        }
-
-        let t_refi = self.cfg.hbm.timing.t_refi;
-        let mut next_refresh = now + t_refi;
-        let mut cursors: Vec<usize> = (0..program.len())
-            .map(|slot| self.bindings.get(slot).copied().flatten().map_or(0, |b| b.offset))
-            .collect();
-        let mut open_row: Option<u32> = None;
-        let mut rounds = 0u64;
-        // Read-latency depth the command pipeline hides: PU consumption of
-        // burst k overlaps issue of burst k+1.
-        let pipeline = self.cfg.hbm.timing.rl + 1;
-        let mut pu_free: u64 = 0;
-
-        'outer: loop {
-            if (lo..hi).all(|b| self.pus[b].exited()) {
-                break;
-            }
-            rounds += 1;
-            if rounds > self.cfg.max_rounds {
-                return Err(CoreError::Execution(format!(
-                    "kernel exceeded {} rounds without exiting",
-                    self.cfg.max_rounds
-                )));
-            }
-            for &slot in schedule {
-                if self.cfg.refresh && now >= next_refresh {
-                    if open_row.is_some() {
-                        now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Pre, now)
-                            .map_err(|e| CoreError::Execution(e.to_string()))?
-                            .issue_cycle;
-                        open_row = None;
-                    }
-                    now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Ref, now)
-                        .map_err(|e| CoreError::Execution(e.to_string()))?
-                        .issue_cycle;
-                    next_refresh = now + t_refi;
-                }
-                let ins = &program[slot];
-                let binding = self.bindings[slot].expect("validated at load");
-                let region_id = binding.region;
-                let (elem_bytes, natural) = Self::slot_advance(ins);
-                let advance = binding.stride.unwrap_or(natural);
-                // Engine-side open-row bookkeeping uses bank `lo`'s layout;
-                // all banks allocate regions identically (equal rows/bank).
-                let region = self.mems[lo].region(region_id);
-                let byte_off = cursors[slot] * elem_bytes;
-                let want_row = region.start_row() + (byte_off / row_bytes) as u32;
-                if open_row != Some(want_row) {
-                    if open_row.is_some() {
-                        now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Pre, now)
-                            .map_err(|e| CoreError::Execution(e.to_string()))?
-                            .issue_cycle;
-                    }
-                    now = issue_traced(
-                        &mut channel,
-                        &mut trace,
-                        ch,
-                        Scope::AllBanks,
-                        CmdKind::Act { row: want_row },
-                        now,
-                    )
-                    .map_err(|e| CoreError::Execution(e.to_string()))?
-                    .issue_cycle;
-                    open_row = Some(want_row);
-                }
-                let col = ((byte_off % row_bytes) / col_bytes) as u32;
-                let kind = if ins.writes_bank() {
-                    CmdKind::Wr { col }
-                } else {
-                    CmdKind::Rd { col }
-                };
-                let issued = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, kind, now)
-                    .map_err(|e| CoreError::Execution(e.to_string()))?;
-                now = issued.issue_cycle;
-
-                let mut max_busy = 0u64;
-                for b in lo..hi {
-                    let was_exited = self.pus[b].exited();
-                    let rep = self.pus[b].on_command(slot, &mut self.mems[b]);
-                    max_busy = max_busy.max(rep.pu_cycles);
-                    if !was_exited && self.pus[b].exited() {
-                        self.pus[b].mark_exit_round(rounds);
-                    }
-                }
-                // Lockstep back-pressure with pipelining: the slowest PU
-                // consumes burst k while burst k+1 is in flight; only a PU
-                // that falls behind the read latency stalls the bus.
-                pu_free = pu_free.max(issued.data_cycle) + max_busy * DRAM_CYCLES_PER_PU_CYCLE;
-                now = now.max(pu_free.saturating_sub(pipeline));
-                cursors[slot] += advance;
-
-                if (lo..hi).all(|b| self.pus[b].exited()) {
-                    break 'outer;
-                }
-            }
-            // Host completion poll (one MRS status read per iteration).
-            now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Mrs, now)
-                .map_err(|e| CoreError::Execution(e.to_string()))?
-                .issue_cycle;
-        }
-        if open_row.is_some() {
-            now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Pre, now)
-                .map_err(|e| CoreError::Execution(e.to_string()))?
-                .issue_cycle;
-        }
-        // Switch back to SB mode.
-        for _ in 0..2 * psim_dram::mode::SWITCH_SEQUENCE_LEN {
-            now = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, CmdKind::Mrs, now)
-                .map_err(|e| CoreError::Execution(e.to_string()))?
-                .issue_cycle;
-        }
-        Ok((now, *channel.stats(), rounds, trace))
-    }
-
-    #[allow(clippy::type_complexity)]
-    fn run_channel_perbank(
-        &mut self,
-        program: &Program,
-        schedule: &[usize],
-        ch: usize,
-        lo: usize,
-        hi: usize,
-    ) -> Result<(u64, ChannelStats, u64, Option<Vec<TraceEvent>>), CoreError> {
-        let mut channel = Channel::new(&self.cfg.hbm);
-        let mut trace: Option<Vec<TraceEvent>> = self.cfg.record_trace.then(Vec::new);
-        let row_bytes = self.cfg.hbm.row_bytes();
-        let col_bytes = self.cfg.hbm.col_bytes;
-        let nbanks = hi - lo;
-        let banks_per_group = self.cfg.hbm.banks_per_group;
-
-        // Per-bank setup: each bank's CRF is programmed individually.
-        let mut now: u64 = 0;
-        let setup_cmds = (2 * psim_dram::mode::SWITCH_SEQUENCE_LEN + program.len()) * nbanks;
-        for i in 0..setup_cmds {
-            let b = i % nbanks;
-            let scope = Scope::OneBank {
-                bg: b / banks_per_group,
-                ba: b % banks_per_group,
-            };
-            now = issue_traced(&mut channel, &mut trace, ch, scope, CmdKind::Mrs, now)
-                .map_err(|e| CoreError::Execution(e.to_string()))?
-                .issue_cycle;
-        }
-
-        struct BankCtl {
-            sched_idx: usize,
-            rounds: u64,
-            cursors: Vec<usize>,
-            open_row: Option<u32>,
-            ready: u64,
-            pu_free: u64,
-        }
-        let init_cursors: Vec<usize> = (0..program.len())
-            .map(|slot| self.bindings.get(slot).copied().flatten().map_or(0, |b| b.offset))
-            .collect();
-        let pipeline = self.cfg.hbm.timing.rl + 1;
-        let mut ctls: Vec<BankCtl> = (0..nbanks)
-            .map(|_| BankCtl {
-                sched_idx: 0,
-                rounds: 0,
-                cursors: init_cursors.clone(),
-                open_row: None,
-                ready: now,
-                pu_free: 0,
-            })
-            .collect();
-        for b in lo..hi {
-            self.pus[b].run_free(&mut self.mems[b]);
-        }
-
-        let mut floor = now;
-        let mut max_rounds = 0u64;
-        loop {
-            let mut any_active = false;
-            for i in 0..nbanks {
-                let bank = lo + i;
-                if self.pus[bank].exited() {
-                    continue;
-                }
-                any_active = true;
-                let ctl = &mut ctls[i];
-                if ctl.rounds > self.cfg.max_rounds {
-                    return Err(CoreError::Execution(format!(
-                        "per-bank kernel exceeded {} rounds",
-                        self.cfg.max_rounds
-                    )));
-                }
-                let slot = schedule[ctl.sched_idx];
-                let ins = &program[slot];
-                let binding = self.bindings[slot].expect("validated at load");
-                let region_id = binding.region;
-                let (elem_bytes, natural) = Self::slot_advance(ins);
-                let advance = binding.stride.unwrap_or(natural);
-                let region = self.mems[bank].region(region_id);
-                let byte_off = ctl.cursors[slot] * elem_bytes;
-                let want_row = region.start_row() + (byte_off / row_bytes) as u32;
-                let scope = Scope::OneBank {
-                    bg: i / banks_per_group,
-                    ba: i % banks_per_group,
-                };
-                let mut t = ctl.ready.max(floor);
-                if ctl.open_row != Some(want_row) {
-                    if ctl.open_row.is_some() {
-                        t = issue_traced(&mut channel, &mut trace, ch, scope, CmdKind::Pre, t)
-                            .map_err(|e| CoreError::Execution(e.to_string()))?
-                            .issue_cycle;
-                    }
-                    t = issue_traced(
-                        &mut channel,
-                        &mut trace,
-                        ch,
-                        scope,
-                        CmdKind::Act { row: want_row },
-                        t,
-                    )
-                    .map_err(|e| CoreError::Execution(e.to_string()))?
-                    .issue_cycle;
-                    ctl.open_row = Some(want_row);
-                }
-                let col = ((byte_off % row_bytes) / col_bytes) as u32;
-                let kind = if ins.writes_bank() {
-                    CmdKind::Wr { col }
-                } else {
-                    CmdKind::Rd { col }
-                };
-                let issued = issue_traced(&mut channel, &mut trace, ch, scope, kind, t)
-                    .map_err(|e| CoreError::Execution(e.to_string()))?;
-                floor = floor.max(issued.issue_cycle);
-
-                let rep = self.pus[bank].on_command(slot, &mut self.mems[bank]);
-                ctl.pu_free =
-                    ctl.pu_free.max(issued.data_cycle) + rep.pu_cycles * DRAM_CYCLES_PER_PU_CYCLE;
-                ctl.ready = issued
-                    .issue_cycle
-                    .max(ctl.pu_free.saturating_sub(pipeline));
-                ctl.cursors[slot] += advance;
-                ctl.sched_idx += 1;
-                if ctl.sched_idx == schedule.len() {
-                    ctl.sched_idx = 0;
-                    ctl.rounds += 1;
-                    max_rounds = max_rounds.max(ctl.rounds);
-                }
-                if self.pus[bank].exited() {
-                    self.pus[bank].mark_exit_round(ctl.rounds);
-                }
-            }
-            if !any_active {
-                break;
-            }
-        }
-        let end = ctls.iter().map(|c| c.ready).max().unwrap_or(floor).max(floor);
-        Ok((end, *channel.stats(), max_rounds, trace))
     }
 }
 

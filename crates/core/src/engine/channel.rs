@@ -1,0 +1,493 @@
+//! Pure per-channel kernel execution.
+//!
+//! The paper's channels execute independently — the cube's wall-clock is
+//! the slowest channel — so per-channel replay is written as a pure
+//! function over `(&Program, channel state)`: shared read-only inputs in
+//! [`ChannelCtx`] plus this channel's disjoint `&mut` slices of processing
+//! units and bank memories. [`Engine::run`](super::Engine::run) replays
+//! channels serially; [`Engine::run_parallel`](super::Engine::run_parallel)
+//! and the `psim-sched` executor fan the same function out across scoped
+//! worker threads, merging [`ChannelOutcome`]s in channel order so the
+//! result is bit-identical either way.
+
+use super::{EngineConfig, ExecMode, TraceEvent};
+use crate::error::CoreError;
+use crate::isa::Program;
+use crate::memory::{BankMemory, Binding};
+use crate::pu::{ProcessingUnit, DRAM_CYCLES_PER_PU_CYCLE};
+use psim_dram::{Channel, ChannelStats, CmdKind, IssueError, Scope};
+
+/// Read-only inputs shared by every channel of one kernel execution.
+pub(super) struct ChannelCtx<'a> {
+    /// Engine configuration (timing, mode, trace policy).
+    pub cfg: &'a EngineConfig,
+    /// The loaded kernel.
+    pub program: &'a Program,
+    /// Derived per-iteration command schedule.
+    pub schedule: &'a [usize],
+    /// Per-slot region bindings.
+    pub bindings: &'a [Option<Binding>],
+}
+
+/// Everything one channel's replay produces, merged by the engine in
+/// channel order.
+pub(super) struct ChannelOutcome {
+    /// Channel-local wall-clock in DRAM command cycles.
+    pub cycles: u64,
+    /// Command counters.
+    pub stats: ChannelStats,
+    /// Kernel loop iterations.
+    pub rounds: u64,
+    /// Recorded commands (empty unless tracing).
+    pub trace: Vec<TraceEvent>,
+    /// Commands not recorded because the trace hit
+    /// [`EngineConfig::trace_limit`].
+    pub trace_dropped: u64,
+}
+
+/// Bounded command-trace sink: records up to `limit` events and counts the
+/// overflow instead of growing without bound on long kernels.
+struct TraceBuf {
+    events: Vec<TraceEvent>,
+    limit: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl TraceBuf {
+    fn new(cfg: &EngineConfig) -> Self {
+        TraceBuf {
+            events: Vec::new(),
+            limit: cfg.trace_limit,
+            dropped: 0,
+            enabled: cfg.record_trace,
+        }
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.limit {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Issue a command, optionally recording it.
+fn issue_traced(
+    channel: &mut Channel,
+    trace: &mut TraceBuf,
+    ch: usize,
+    scope: Scope,
+    cmd: CmdKind,
+    from: u64,
+) -> Result<psim_dram::Issued, IssueError> {
+    let issued = channel.issue_earliest(scope, cmd, from)?;
+    trace.record(TraceEvent {
+        channel: ch,
+        cycle: issued.issue_cycle,
+        scope,
+        cmd,
+    });
+    Ok(issued)
+}
+
+/// Element width/advance for the engine's open-row cursor at a slot.
+fn slot_advance(ins: &crate::isa::Instruction) -> (usize, usize) {
+    use crate::isa::{Instruction as I, Operand};
+    match *ins {
+        I::Dmov {
+            dst: Operand::Srf, ..
+        }
+        | I::Dmov {
+            src: Operand::Srf, ..
+        } => (8, 1),
+        I::Dmov { precision, .. } | I::SpMov { precision, .. } => {
+            (precision.bytes(), precision.lanes())
+        }
+        I::GthSct {
+            dst: Operand::Bank, ..
+        } => (8, 0), // scatter is random within the open row
+        I::GthSct { precision, .. } => (precision.bytes(), precision.lanes()),
+        I::SpFw { precision, .. } => (precision.bytes(), 3 * precision.lanes()),
+        // Gathers/accumulates address randomly within their (single-row)
+        // region; the cursor stays at the region head.
+        I::IndMov { .. } | I::SpVdv { .. } => (8, 0),
+        _ => (8, 0),
+    }
+}
+
+/// Replay channel `ch` of the kernel to completion over this channel's
+/// banks. `pus`/`mems` are the channel's slice of the cube (bank `i` of
+/// the channel at index `i`); no state outside the slices is touched, so
+/// disjoint channels may run concurrently.
+pub(super) fn run_channel(
+    ctx: &ChannelCtx<'_>,
+    ch: usize,
+    pus: &mut [ProcessingUnit],
+    mems: &mut [BankMemory],
+) -> Result<ChannelOutcome, CoreError> {
+    match ctx.cfg.mode {
+        ExecMode::AllBank => run_channel_allbank(ctx, ch, pus, mems),
+        ExecMode::PerBank => run_channel_perbank(ctx, ch, pus, mems),
+    }
+}
+
+fn run_channel_allbank(
+    ctx: &ChannelCtx<'_>,
+    ch: usize,
+    pus: &mut [ProcessingUnit],
+    mems: &mut [BankMemory],
+) -> Result<ChannelOutcome, CoreError> {
+    let cfg = ctx.cfg;
+    let program = ctx.program;
+    let mut channel = Channel::new(&cfg.hbm);
+    let mut trace = TraceBuf::new(cfg);
+    let row_bytes = cfg.hbm.row_bytes();
+    let col_bytes = cfg.hbm.col_bytes;
+    let nbanks = pus.len();
+    let mut now: u64 = 0;
+
+    // Mode switching (SB→AB→AB-PIM) + CRF programming as MRS commands.
+    let setup_cmds = 2 * psim_dram::mode::SWITCH_SEQUENCE_LEN + program.len();
+    for _ in 0..setup_cmds {
+        now = issue_traced(
+            &mut channel,
+            &mut trace,
+            ch,
+            Scope::AllBanks,
+            CmdKind::Mrs,
+            now,
+        )
+        .map_err(|e| CoreError::Execution(e.to_string()))?
+        .issue_cycle;
+    }
+
+    for b in 0..nbanks {
+        pus[b].run_free(&mut mems[b]);
+    }
+
+    let t_refi = cfg.hbm.timing.t_refi;
+    let mut next_refresh = now + t_refi;
+    let mut cursors: Vec<usize> = (0..program.len())
+        .map(|slot| {
+            ctx.bindings
+                .get(slot)
+                .copied()
+                .flatten()
+                .map_or(0, |b| b.offset)
+        })
+        .collect();
+    let mut open_row: Option<u32> = None;
+    let mut rounds = 0u64;
+    // Read-latency depth the command pipeline hides: PU consumption of
+    // burst k overlaps issue of burst k+1.
+    let pipeline = cfg.hbm.timing.rl + 1;
+    let mut pu_free: u64 = 0;
+
+    'outer: loop {
+        if pus.iter().all(ProcessingUnit::exited) {
+            break;
+        }
+        rounds += 1;
+        if rounds > cfg.max_rounds {
+            return Err(CoreError::Execution(format!(
+                "kernel exceeded {} rounds without exiting",
+                cfg.max_rounds
+            )));
+        }
+        for &slot in ctx.schedule {
+            if cfg.refresh && now >= next_refresh {
+                if open_row.is_some() {
+                    now = issue_traced(
+                        &mut channel,
+                        &mut trace,
+                        ch,
+                        Scope::AllBanks,
+                        CmdKind::Pre,
+                        now,
+                    )
+                    .map_err(|e| CoreError::Execution(e.to_string()))?
+                    .issue_cycle;
+                    open_row = None;
+                }
+                now = issue_traced(
+                    &mut channel,
+                    &mut trace,
+                    ch,
+                    Scope::AllBanks,
+                    CmdKind::Ref,
+                    now,
+                )
+                .map_err(|e| CoreError::Execution(e.to_string()))?
+                .issue_cycle;
+                next_refresh = now + t_refi;
+            }
+            let ins = &program[slot];
+            let binding = ctx.bindings[slot].expect("validated at load");
+            let region_id = binding.region;
+            let (elem_bytes, natural) = slot_advance(ins);
+            let advance = binding.stride.unwrap_or(natural);
+            // Engine-side open-row bookkeeping uses the first bank's
+            // layout; all banks allocate regions identically (equal
+            // rows/bank).
+            let region = mems[0].region(region_id);
+            let byte_off = cursors[slot] * elem_bytes;
+            let want_row = region.start_row() + (byte_off / row_bytes) as u32;
+            if open_row != Some(want_row) {
+                if open_row.is_some() {
+                    now = issue_traced(
+                        &mut channel,
+                        &mut trace,
+                        ch,
+                        Scope::AllBanks,
+                        CmdKind::Pre,
+                        now,
+                    )
+                    .map_err(|e| CoreError::Execution(e.to_string()))?
+                    .issue_cycle;
+                }
+                now = issue_traced(
+                    &mut channel,
+                    &mut trace,
+                    ch,
+                    Scope::AllBanks,
+                    CmdKind::Act { row: want_row },
+                    now,
+                )
+                .map_err(|e| CoreError::Execution(e.to_string()))?
+                .issue_cycle;
+                open_row = Some(want_row);
+            }
+            let col = ((byte_off % row_bytes) / col_bytes) as u32;
+            let kind = if ins.writes_bank() {
+                CmdKind::Wr { col }
+            } else {
+                CmdKind::Rd { col }
+            };
+            let issued = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, kind, now)
+                .map_err(|e| CoreError::Execution(e.to_string()))?;
+            now = issued.issue_cycle;
+
+            let mut max_busy = 0u64;
+            for b in 0..nbanks {
+                let was_exited = pus[b].exited();
+                let rep = pus[b].on_command(slot, &mut mems[b]);
+                max_busy = max_busy.max(rep.pu_cycles);
+                if !was_exited && pus[b].exited() {
+                    pus[b].mark_exit_round(rounds);
+                }
+            }
+            // Lockstep back-pressure with pipelining: the slowest PU
+            // consumes burst k while burst k+1 is in flight; only a PU
+            // that falls behind the read latency stalls the bus.
+            pu_free = pu_free.max(issued.data_cycle) + max_busy * DRAM_CYCLES_PER_PU_CYCLE;
+            now = now.max(pu_free.saturating_sub(pipeline));
+            cursors[slot] += advance;
+
+            if pus.iter().all(ProcessingUnit::exited) {
+                break 'outer;
+            }
+        }
+        // Host completion poll (one MRS status read per iteration).
+        now = issue_traced(
+            &mut channel,
+            &mut trace,
+            ch,
+            Scope::AllBanks,
+            CmdKind::Mrs,
+            now,
+        )
+        .map_err(|e| CoreError::Execution(e.to_string()))?
+        .issue_cycle;
+    }
+    if open_row.is_some() {
+        now = issue_traced(
+            &mut channel,
+            &mut trace,
+            ch,
+            Scope::AllBanks,
+            CmdKind::Pre,
+            now,
+        )
+        .map_err(|e| CoreError::Execution(e.to_string()))?
+        .issue_cycle;
+    }
+    // Switch back to SB mode.
+    for _ in 0..2 * psim_dram::mode::SWITCH_SEQUENCE_LEN {
+        now = issue_traced(
+            &mut channel,
+            &mut trace,
+            ch,
+            Scope::AllBanks,
+            CmdKind::Mrs,
+            now,
+        )
+        .map_err(|e| CoreError::Execution(e.to_string()))?
+        .issue_cycle;
+    }
+    Ok(ChannelOutcome {
+        cycles: now,
+        stats: *channel.stats(),
+        rounds,
+        trace: trace.events,
+        trace_dropped: trace.dropped,
+    })
+}
+
+fn run_channel_perbank(
+    ctx: &ChannelCtx<'_>,
+    ch: usize,
+    pus: &mut [ProcessingUnit],
+    mems: &mut [BankMemory],
+) -> Result<ChannelOutcome, CoreError> {
+    let cfg = ctx.cfg;
+    let program = ctx.program;
+    let schedule = ctx.schedule;
+    let mut channel = Channel::new(&cfg.hbm);
+    let mut trace = TraceBuf::new(cfg);
+    let row_bytes = cfg.hbm.row_bytes();
+    let col_bytes = cfg.hbm.col_bytes;
+    let nbanks = pus.len();
+    let banks_per_group = cfg.hbm.banks_per_group;
+
+    // Per-bank setup: each bank's CRF is programmed individually.
+    let mut now: u64 = 0;
+    let setup_cmds = (2 * psim_dram::mode::SWITCH_SEQUENCE_LEN + program.len()) * nbanks;
+    for i in 0..setup_cmds {
+        let b = i % nbanks;
+        let scope = Scope::OneBank {
+            bg: b / banks_per_group,
+            ba: b % banks_per_group,
+        };
+        now = issue_traced(&mut channel, &mut trace, ch, scope, CmdKind::Mrs, now)
+            .map_err(|e| CoreError::Execution(e.to_string()))?
+            .issue_cycle;
+    }
+
+    struct BankCtl {
+        sched_idx: usize,
+        rounds: u64,
+        cursors: Vec<usize>,
+        open_row: Option<u32>,
+        ready: u64,
+        pu_free: u64,
+    }
+    let init_cursors: Vec<usize> = (0..program.len())
+        .map(|slot| {
+            ctx.bindings
+                .get(slot)
+                .copied()
+                .flatten()
+                .map_or(0, |b| b.offset)
+        })
+        .collect();
+    let pipeline = cfg.hbm.timing.rl + 1;
+    let mut ctls: Vec<BankCtl> = (0..nbanks)
+        .map(|_| BankCtl {
+            sched_idx: 0,
+            rounds: 0,
+            cursors: init_cursors.clone(),
+            open_row: None,
+            ready: now,
+            pu_free: 0,
+        })
+        .collect();
+    for b in 0..nbanks {
+        pus[b].run_free(&mut mems[b]);
+    }
+
+    let mut floor = now;
+    let mut max_rounds = 0u64;
+    loop {
+        let mut any_active = false;
+        for i in 0..nbanks {
+            if pus[i].exited() {
+                continue;
+            }
+            any_active = true;
+            let ctl = &mut ctls[i];
+            if ctl.rounds > cfg.max_rounds {
+                return Err(CoreError::Execution(format!(
+                    "per-bank kernel exceeded {} rounds",
+                    cfg.max_rounds
+                )));
+            }
+            let slot = schedule[ctl.sched_idx];
+            let ins = &program[slot];
+            let binding = ctx.bindings[slot].expect("validated at load");
+            let region_id = binding.region;
+            let (elem_bytes, natural) = slot_advance(ins);
+            let advance = binding.stride.unwrap_or(natural);
+            let region = mems[i].region(region_id);
+            let byte_off = ctl.cursors[slot] * elem_bytes;
+            let want_row = region.start_row() + (byte_off / row_bytes) as u32;
+            let scope = Scope::OneBank {
+                bg: i / banks_per_group,
+                ba: i % banks_per_group,
+            };
+            let mut t = ctl.ready.max(floor);
+            if ctl.open_row != Some(want_row) {
+                if ctl.open_row.is_some() {
+                    t = issue_traced(&mut channel, &mut trace, ch, scope, CmdKind::Pre, t)
+                        .map_err(|e| CoreError::Execution(e.to_string()))?
+                        .issue_cycle;
+                }
+                t = issue_traced(
+                    &mut channel,
+                    &mut trace,
+                    ch,
+                    scope,
+                    CmdKind::Act { row: want_row },
+                    t,
+                )
+                .map_err(|e| CoreError::Execution(e.to_string()))?
+                .issue_cycle;
+                ctl.open_row = Some(want_row);
+            }
+            let col = ((byte_off % row_bytes) / col_bytes) as u32;
+            let kind = if ins.writes_bank() {
+                CmdKind::Wr { col }
+            } else {
+                CmdKind::Rd { col }
+            };
+            let issued = issue_traced(&mut channel, &mut trace, ch, scope, kind, t)
+                .map_err(|e| CoreError::Execution(e.to_string()))?;
+            floor = floor.max(issued.issue_cycle);
+
+            let rep = pus[i].on_command(slot, &mut mems[i]);
+            ctl.pu_free =
+                ctl.pu_free.max(issued.data_cycle) + rep.pu_cycles * DRAM_CYCLES_PER_PU_CYCLE;
+            ctl.ready = issued.issue_cycle.max(ctl.pu_free.saturating_sub(pipeline));
+            ctl.cursors[slot] += advance;
+            ctl.sched_idx += 1;
+            if ctl.sched_idx == schedule.len() {
+                ctl.sched_idx = 0;
+                ctl.rounds += 1;
+                max_rounds = max_rounds.max(ctl.rounds);
+            }
+            if pus[i].exited() {
+                pus[i].mark_exit_round(ctl.rounds);
+            }
+        }
+        if !any_active {
+            break;
+        }
+    }
+    let end = ctls
+        .iter()
+        .map(|c| c.ready)
+        .max()
+        .unwrap_or(floor)
+        .max(floor);
+    Ok(ChannelOutcome {
+        cycles: end,
+        stats: *channel.stats(),
+        rounds: max_rounds,
+        trace: trace.events,
+        trace_dropped: trace.dropped,
+    })
+}

@@ -19,10 +19,12 @@ JUMP   0, 0, 0
 /// A small test cube: 2 channels × (2 bankgroups × 2 banks) = 8 banks,
 /// so tests stay fast while still exercising multi-channel paths.
 fn small_cfg(mode: ExecMode) -> EngineConfig {
-    let mut hbm = HbmConfig::default();
-    hbm.num_bankgroups = 2;
-    hbm.banks_per_group = 2;
-    hbm.num_pseudo_channels = 2;
+    let hbm = HbmConfig {
+        num_bankgroups: 2,
+        banks_per_group: 2,
+        num_pseudo_channels: 2,
+        ..HbmConfig::default()
+    };
     EngineConfig {
         hbm,
         mode,
@@ -65,7 +67,16 @@ fn setup_spmv(
         let r3 = mem.alloc("x", 8, x.to_vec());
         let r4 = mem.alloc_zeroed("y", 8, n);
         if b == 0 {
-            bindings = vec![Some(r0), Some(r1), Some(r2), Some(r3), None, Some(r4), None, None];
+            bindings = vec![
+                Some(r0),
+                Some(r1),
+                Some(r2),
+                Some(r3),
+                None,
+                Some(r4),
+                None,
+                None,
+            ];
         }
     }
     bindings
@@ -130,12 +141,14 @@ fn perbank_spmv_matches_allbank_functionally() {
     let mut ab = Engine::new(small_cfg(ExecMode::AllBank));
     let per_bank = per_bank_entries(ab.num_banks(), n);
     let bind_ab = setup_spmv(&mut ab, &per_bank, &x, n);
-    ab.load_kernel(assemble(SPMV_ASM).unwrap(), bind_ab.clone()).unwrap();
+    ab.load_kernel(assemble(SPMV_ASM).unwrap(), bind_ab.clone())
+        .unwrap();
     ab.run().unwrap();
 
     let mut pb = Engine::new(small_cfg(ExecMode::PerBank));
     let bind_pb = setup_spmv(&mut pb, &per_bank, &x, n);
-    pb.load_kernel(assemble(SPMV_ASM).unwrap(), bind_pb.clone()).unwrap();
+    pb.load_kernel(assemble(SPMV_ASM).unwrap(), bind_pb.clone())
+        .unwrap();
     pb.run().unwrap();
 
     for b in 0..ab.num_banks() {
@@ -183,9 +196,13 @@ fn imbalanced_banks_stretch_rounds_and_record_exits() {
     let x = vec![1.0; n];
     // Bank 0 gets 1 entry; the last bank gets 40.
     let mut per_bank: Vec<Vec<(u32, u32, f64)>> = vec![vec![(0, 0, 1.0)]; nbanks];
-    per_bank[nbanks - 1] = (0..40).map(|i| ((i % 16) as u32, (i % 16) as u32, 1.0)).collect();
+    per_bank[nbanks - 1] = (0..40)
+        .map(|i| ((i % 16) as u32, (i % 16) as u32, 1.0))
+        .collect();
     let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
-    engine.load_kernel(assemble(SPMV_ASM).unwrap(), bindings).unwrap();
+    engine
+        .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+        .unwrap();
     let report = engine.run().unwrap();
     // 40 entries at 4 lanes = 10 iterations minimum on the heavy bank.
     assert!(report.rounds >= 10, "rounds = {}", report.rounds);
@@ -213,7 +230,9 @@ fn active_pus_counts_working_banks() {
     per_bank[0] = vec![(0, 0, 2.0)];
     per_bank[3] = vec![(1, 1, 3.0), (2, 2, 4.0)];
     let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
-    engine.load_kernel(assemble(SPMV_ASM).unwrap(), bindings).unwrap();
+    engine
+        .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+        .unwrap();
     let report = engine.run().unwrap();
     // Banks without entries still execute the (no-op) loads of round 1;
     // active = performed at least one productive mem op, which includes
@@ -231,7 +250,9 @@ fn trace_records_ordered_commands_when_enabled() {
     let x = vec![1.0; n];
     let per_bank = per_bank_entries(nbanks, n);
     let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
-    engine.load_kernel(assemble(SPMV_ASM).unwrap(), bindings).unwrap();
+    engine
+        .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+        .unwrap();
     let report = engine.run().unwrap();
     assert!(!report.trace.is_empty());
     assert_eq!(report.trace.len() as u64, report.commands.total_commands());
@@ -242,15 +263,75 @@ fn trace_records_ordered_commands_when_enabled() {
         assert!(evs.windows(2).all(|w| w[0].cycle <= w[1].cycle));
         assert!(matches!(evs[0].cmd, psim_dram::CmdKind::Mrs));
         // An ACT precedes the first RD.
-        let first_rd = evs.iter().position(|e| matches!(e.cmd, psim_dram::CmdKind::Rd { .. }));
-        let first_act = evs.iter().position(|e| matches!(e.cmd, psim_dram::CmdKind::Act { .. }));
+        let first_rd = evs
+            .iter()
+            .position(|e| matches!(e.cmd, psim_dram::CmdKind::Rd { .. }));
+        let first_act = evs
+            .iter()
+            .position(|e| matches!(e.cmd, psim_dram::CmdKind::Act { .. }));
         assert!(first_act.unwrap() < first_rd.unwrap());
     }
     // Default config records nothing.
     let mut engine2 = Engine::new(small_cfg(ExecMode::AllBank));
     let bindings2 = setup_spmv(&mut engine2, &per_bank, &x, n);
-    engine2.load_kernel(assemble(SPMV_ASM).unwrap(), bindings2).unwrap();
+    engine2
+        .load_kernel(assemble(SPMV_ASM).unwrap(), bindings2)
+        .unwrap();
     assert!(engine2.run().unwrap().trace.is_empty());
+}
+
+#[test]
+fn trace_limit_caps_events_and_counts_drops() {
+    let mut cfg = small_cfg(ExecMode::AllBank);
+    cfg.record_trace = true;
+    cfg.trace_limit = 10;
+    let mut engine = Engine::new(cfg);
+    let n = 8;
+    let per_bank = per_bank_entries(engine.num_banks(), n);
+    let x = vec![1.0; n];
+    let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
+    engine
+        .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+        .unwrap();
+    let report = engine.run().unwrap();
+    // 10 per channel × 2 channels recorded; the rest counted, not stored.
+    assert_eq!(report.trace.len(), 20);
+    assert!(report.trace_dropped > 0);
+    assert_eq!(
+        report.trace.len() as u64 + report.trace_dropped,
+        report.commands.total_commands()
+    );
+}
+
+#[test]
+fn parallel_run_is_bit_identical_to_serial() {
+    let run = |workers: usize, trace: bool| {
+        let mut cfg = small_cfg(ExecMode::AllBank);
+        cfg.record_trace = trace;
+        let mut engine = Engine::new(cfg);
+        let n = 16;
+        let per_bank = per_bank_entries(engine.num_banks(), n);
+        let x: Vec<f64> = (0..n).map(|i| 0.25 + i as f64).collect();
+        let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
+        engine
+            .load_kernel(assemble(SPMV_ASM).unwrap(), bindings.clone())
+            .unwrap();
+        let report = if workers == 1 {
+            engine.run().unwrap()
+        } else {
+            engine.run_parallel(workers).unwrap()
+        };
+        let ys: Vec<Vec<f64>> = (0..engine.num_banks())
+            .map(|b| engine.mem(b).region(bindings[5].unwrap()).data().to_vec())
+            .collect();
+        (report, ys)
+    };
+    let (serial, ys_serial) = run(1, true);
+    for workers in [2, 4, 7] {
+        let (parallel, ys_par) = run(workers, true);
+        assert_eq!(serial, parallel, "{workers} workers");
+        assert_eq!(ys_serial, ys_par, "{workers} workers");
+    }
 }
 
 #[test]
@@ -274,7 +355,9 @@ EXIT
             bindings = vec![Some(rs), Some(rd), None, None];
         }
     }
-    engine.load_kernel(assemble(asm).unwrap(), bindings.clone()).unwrap();
+    engine
+        .load_kernel(assemble(asm).unwrap(), bindings.clone())
+        .unwrap();
     let report = engine.run().unwrap();
     for b in 0..nbanks {
         let dst = engine.mem(b).region(bindings[1].unwrap()).data().to_vec();
@@ -321,7 +404,7 @@ fn refresh_taxes_bandwidth_when_enabled() {
     // tREFI spacing: roughly one REF per channel per tREFI of runtime.
     let expected = without.dram_cycles / 3_900;
     assert!(
-        with.commands.refs as u64 >= expected.saturating_sub(2) * 2,
+        with.commands.refs >= expected.saturating_sub(2) * 2,
         "refs {} vs expected ~{} per channel",
         with.commands.refs,
         expected
@@ -335,10 +418,16 @@ fn bandwidth_utilization_is_positive_and_bounded() {
     let nbanks = engine.num_banks();
     let x = vec![1.0; n];
     let per_bank: Vec<Vec<(u32, u32, f64)>> = (0..nbanks)
-        .map(|b| (0..64).map(|i| (((b + i) % n) as u32, (i % n) as u32, 1.0)).collect())
+        .map(|b| {
+            (0..64)
+                .map(|i| (((b + i) % n) as u32, (i % n) as u32, 1.0))
+                .collect()
+        })
         .collect();
     let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
-    engine.load_kernel(assemble(SPMV_ASM).unwrap(), bindings).unwrap();
+    engine
+        .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+        .unwrap();
     let report = engine.run().unwrap();
     let cfg = &engine.config().hbm;
     assert!(report.data_bytes(cfg) > 0);

@@ -33,7 +33,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::ProgramTooLong { len } => {
-                write!(f, "program has {len} instructions but the control register holds 32")
+                write!(
+                    f,
+                    "program has {len} instructions but the control register holds 32"
+                )
             }
             CoreError::Encode(msg) => write!(f, "encode error: {msg}"),
             CoreError::Decode(word, msg) => write!(f, "cannot decode {word:#010x}: {msg}"),
@@ -52,7 +55,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CoreError::ProgramTooLong { len: 40 }.to_string().contains("40"));
+        assert!(CoreError::ProgramTooLong { len: 40 }
+            .to_string()
+            .contains("40"));
         assert!(CoreError::Decode(7, "bad opcode".into())
             .to_string()
             .contains("0x00000007"));

@@ -17,9 +17,7 @@
 //! JUMP   0, 0, 0
 //! ```
 
-use super::{
-    BinaryOp, Identity, Instruction, Operand, Program, SetMode, SubQueue,
-};
+use super::{BinaryOp, Identity, Instruction, Operand, Program, SetMode, SubQueue};
 use crate::error::CoreError;
 use psim_sparse::Precision;
 
@@ -84,7 +82,10 @@ fn render(ins: &Instruction) -> String {
             src,
             identity,
             precision,
-        } => format!("GTHSCT {dst}, {src}, {}, {precision}", identity_name(identity)),
+        } => format!(
+            "GTHSCT {dst}, {src}, {}, {precision}",
+            identity_name(identity)
+        ),
         Instruction::Sdv {
             dst,
             src,
@@ -97,11 +98,7 @@ fn render(ins: &Instruction) -> String {
             op,
             precision,
         } => format!("SSPV {dst}, {src}, {op}, {precision}"),
-        Instruction::Reduce {
-            src,
-            op,
-            precision,
-        } => format!("REDUCE {src}, {op}, {precision}"),
+        Instruction::Reduce { src, op, precision } => format!("REDUCE {src}, {op}, {precision}"),
         Instruction::Dvdv {
             dst,
             src0,
@@ -165,7 +162,10 @@ fn parse_line(line: &str, lineno: usize) -> Result<Instruction, CoreError> {
 
     let want = |n: usize| -> Result<(), CoreError> {
         if args.len() != n {
-            Err(err(format!("{mnemonic} expects {n} operands, got {}", args.len())))
+            Err(err(format!(
+                "{mnemonic} expects {n} operands, got {}",
+                args.len()
+            )))
         } else {
             Ok(())
         }
@@ -241,7 +241,8 @@ fn parse_line(line: &str, lineno: usize) -> Result<Instruction, CoreError> {
         }
     };
     let int = |s: &str| -> Result<u16, CoreError> {
-        s.parse().map_err(|e| err(format!("bad integer '{s}': {e}")))
+        s.parse()
+            .map_err(|e| err(format!("bad integer '{s}': {e}")))
     };
 
     Ok(match mnemonic.as_str() {

@@ -75,7 +75,12 @@ impl Instruction {
                 if count >= 1024 {
                     return Err(CoreError::Encode(format!("jump count {count} >= 1024")));
                 }
-                c_format(OP_JUMP, u32::from(target), u32::from(order), u32::from(count))
+                c_format(
+                    OP_JUMP,
+                    u32::from(target),
+                    u32::from(order),
+                    u32::from(count),
+                )
             }
             Instruction::Exit => c_format(OP_EXIT, 0, 0, 0),
             Instruction::CExit { queue } => {
@@ -199,11 +204,7 @@ impl Instruction {
                 0,
                 0,
             ),
-            Instruction::Reduce {
-                src,
-                op,
-                precision,
-            } => b_format(
+            Instruction::Reduce { src, op, precision } => b_format(
                 OP_REDUCE,
                 Operand::Srf.code(),
                 src.code(),

@@ -257,11 +257,19 @@ mod tests {
     fn nested_loops_use_separate_orders() {
         // outer ×2 { load; inner ×2 { store } }
         let p = Program::new(vec![
-            load(0),                                                // 0
-            store(),                                                // 1
-            Instruction::Jump { target: 1, order: 1, count: 1 },    // 2: inner
-            Instruction::Jump { target: 0, order: 2, count: 1 },    // 3: outer
-            Instruction::Exit,                                      // 4
+            load(0), // 0
+            store(), // 1
+            Instruction::Jump {
+                target: 1,
+                order: 1,
+                count: 1,
+            }, // 2: inner
+            Instruction::Jump {
+                target: 0,
+                order: 2,
+                count: 1,
+            }, // 3: outer
+            Instruction::Exit, // 4
         ])
         .unwrap();
         assert_eq!(p.command_schedule().unwrap(), vec![0, 1, 1, 0, 1, 1]);

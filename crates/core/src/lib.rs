@@ -45,4 +45,4 @@ pub use error::CoreError;
 pub use host::{ExternalBus, HostController};
 pub use memory::{BankMemory, Region, RegionId};
 pub use pu::ProcessingUnit;
-pub use stats::PuStats;
+pub use stats::{Histogram, PuStats};

@@ -17,7 +17,6 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RegionId(pub usize);
 
-
 /// A memory-instruction slot's view of a region: where its stream starts
 /// and how far each access advances.
 ///
@@ -180,7 +179,12 @@ impl BankMemory {
     }
 
     /// Allocate a region holding `data`, rounded up to whole rows.
-    pub fn alloc(&mut self, name: impl Into<String>, elem_bytes: usize, data: Vec<f64>) -> RegionId {
+    pub fn alloc(
+        &mut self,
+        name: impl Into<String>,
+        elem_bytes: usize,
+        data: Vec<f64>,
+    ) -> RegionId {
         let region = Region {
             name: name.into(),
             start_row: self.next_row,

@@ -19,9 +19,7 @@ mod queue;
 pub use queue::SpQueue;
 
 use crate::error::CoreError;
-use crate::isa::{
-    BinaryOp, Identity, Instruction, Operand, Program, SetMode, SubQueue,
-};
+use crate::isa::{BinaryOp, Identity, Instruction, Operand, Program, SetMode, SubQueue};
 use crate::memory::{BankMemory, Binding, SENTINEL};
 use crate::stats::PuStats;
 use psim_sparse::Precision;
@@ -335,11 +333,7 @@ impl ProcessingUnit {
                 op,
                 precision,
             } => self.exec_sspv(dst, src, op, precision),
-            Instruction::Reduce {
-                src,
-                op,
-                precision,
-            } => {
+            Instruction::Reduce { src, op, precision } => {
                 let folded = self
                     .drf_of(src)
                     .iter()
@@ -574,12 +568,7 @@ impl ProcessingUnit {
         ExecOutcome::Done(1)
     }
 
-    fn exec_memory(
-        &mut self,
-        ins: &Instruction,
-        slot: usize,
-        mem: &mut BankMemory,
-    ) -> ExecOutcome {
+    fn exec_memory(&mut self, ins: &Instruction, slot: usize, mem: &mut BankMemory) -> ExecOutcome {
         let binding = self.bindings[slot].expect("validated at load_kernel");
         let region = binding.region;
         match *ins {
@@ -609,7 +598,8 @@ impl ProcessingUnit {
                         self.cursors[slot] += binding.stride.unwrap_or(lanes);
                     }
                     (Operand::Bank, Operand::Srf) => {
-                        mem.region_mut(region).set(cur, precision.quantize(self.srf));
+                        mem.region_mut(region)
+                            .set(cur, precision.quantize(self.srf));
                         self.cursors[slot] += binding.stride.unwrap_or(1);
                     }
                     _ => unreachable!("non-bank DMOV routed to exec_free"),
@@ -837,7 +827,8 @@ impl ProcessingUnit {
                     if c == SENTINEL {
                         continue;
                     }
-                    mem.region_mut(region).set(c as usize, precision.quantize(v));
+                    mem.region_mut(region)
+                        .set(c as usize, precision.quantize(v));
                     self.stats.lane_ops += 1;
                 }
                 ExecOutcome::Done(1)

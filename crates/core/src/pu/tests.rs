@@ -115,7 +115,10 @@ fn spmv_kernel_handles_many_chunks() {
     let mut pu = ProcessingUnit::new();
     pu.load_kernel(program, bindings.clone()).unwrap();
     let rounds = drive_to_completion(&mut pu, &mut mem, &schedule);
-    assert!(rounds >= 5, "20 entries at 4 lanes need >= 5 rounds, got {rounds}");
+    assert!(
+        rounds >= 5,
+        "20 entries at 4 lanes need >= 5 rounds, got {rounds}"
+    );
 
     let mut want = vec![0.0; n];
     for &(r, c, v) in &entries {
@@ -144,7 +147,9 @@ fn divergent_banks_exit_in_different_rounds() {
     let n = 8;
     let x = vec![1.0; n];
     let light: Vec<(u32, u32, f64)> = vec![(0, 0, 1.0)];
-    let heavy: Vec<(u32, u32, f64)> = (0..24).map(|i| ((i % 8) as u32, (i % 8) as u32, 1.0)).collect();
+    let heavy: Vec<(u32, u32, f64)> = (0..24)
+        .map(|i| ((i % 8) as u32, (i % 8) as u32, 1.0))
+        .collect();
 
     let program = assemble(SPMV_ASM).unwrap();
     let schedule = program.command_schedule().unwrap();
@@ -474,7 +479,8 @@ EXIT
     let rs = mem.alloc("src", 4, vec![v; 8]);
     let rd = mem.alloc_zeroed("dst", 4, 8);
     let mut pu = ProcessingUnit::new();
-    pu.load_kernel(program, vec![Some(rs), Some(rd), None]).unwrap();
+    pu.load_kernel(program, vec![Some(rs), Some(rd), None])
+        .unwrap();
     pu.on_command(0, &mut mem);
     pu.on_command(1, &mut mem);
     assert_eq!(mem.region(rd).data()[0], 1.0, "FP32 store rounds");

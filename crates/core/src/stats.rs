@@ -45,6 +45,153 @@ impl PuStats {
     }
 }
 
+/// Number of logarithmic buckets in a [`Histogram`] (one per power of
+/// two of a `u64` value, plus the zero bucket folded into bucket 0).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Fixed-footprint log2-bucketed latency histogram.
+///
+/// Bucket `i` holds values `v` with `floor(log2(v)) == i` (zero lands in
+/// bucket 0), so the whole `u64` range fits in 64 counters with ≤2×
+/// relative quantile error — plenty for p50/p95/p99 service reporting,
+/// and merging two histograms is exact (bucket-wise add). Used by the
+/// `psim-sched` service-stats layer and the bench report binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Counts per log2 bucket.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of recorded values (for exact means).
+    pub sum: u64,
+    /// Smallest value recorded (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest value recorded.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value.
+    #[must_use]
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record a duration in seconds at nanosecond resolution.
+    pub fn record_seconds(&mut self, seconds: f64) {
+        let ns = if seconds <= 0.0 {
+            0.0
+        } else {
+            (seconds * 1e9).round()
+        };
+        self.record(if ns >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            ns as u64
+        });
+    }
+
+    /// Mean of recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`) with linear interpolation
+    /// inside the winning bucket, clamped to the observed min/max.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                let into = (rank - seen) as f64 / c as f64;
+                let v = lo as f64 + into * (hi - lo) as f64;
+                return (v as u64).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram (exact: bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +219,62 @@ mod tests {
         let mut c = PuStats::new();
         c.merge(&a);
         assert_eq!(c.exit_round, 9);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn histogram_records_and_bounds_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // Log buckets bound quantiles within a factor of two.
+        let p50 = h.p50();
+        assert!((250..=1000).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!((495..=1000).contains(&p99), "p99 = {p99}");
+        // Quantiles are monotone in q and clamped to observed extremes.
+        assert!(h.quantile(0.0) >= h.min);
+        assert!(h.quantile(1.0) <= h.max);
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 17, 900, 0, 65_536] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 4096, 12] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn histogram_record_seconds_uses_nanos() {
+        let mut h = Histogram::new();
+        h.record_seconds(1.5e-6);
+        assert_eq!(h.min, 1500);
+        h.record_seconds(-4.0);
+        assert_eq!(h.min, 0);
     }
 }

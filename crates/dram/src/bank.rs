@@ -96,15 +96,14 @@ impl Bank {
             CmdKind::Rd { .. } => match self.state {
                 BankState::Idle => None,
                 BankState::Active { .. } => Some(
-                    (self.last_act + t.t_rcd as i64)
-                        .max(self.last_wr + (t.wl + t.t_wtr) as i64),
+                    (self.last_act + t.t_rcd as i64).max(self.last_wr + (t.wl + t.t_wtr) as i64),
                 ),
             },
             CmdKind::Wr { .. } => match self.state {
                 BankState::Idle => None,
-                BankState::Active { .. } => Some(
-                    (self.last_act + t.t_rcd as i64).max(self.last_rd + t.rl as i64),
-                ),
+                BankState::Active { .. } => {
+                    Some((self.last_act + t.t_rcd as i64).max(self.last_rd + t.rl as i64))
+                }
             },
             CmdKind::Pre => match self.state {
                 BankState::Idle => None,
@@ -194,10 +193,7 @@ mod tests {
         b.apply(CmdKind::Act { row: 5 }, 0, &tm);
         b.apply(CmdKind::Rd { col: 0 }, tm.t_rcd as i64, &tm);
         let e = b.earliest(CmdKind::Pre, &tm).unwrap();
-        assert_eq!(
-            e,
-            (tm.t_ras as i64).max(tm.t_rcd as i64 + tm.t_rtp as i64)
-        );
+        assert_eq!(e, (tm.t_ras as i64).max(tm.t_rcd as i64 + tm.t_rtp as i64));
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl fmt::Display for IssueError {
             IssueError::TooEarly {
                 requested,
                 earliest,
-            } => write!(f, "issue at {requested} precedes earliest legal cycle {earliest}"),
+            } => write!(
+                f,
+                "issue at {requested} precedes earliest legal cycle {earliest}"
+            ),
             IssueError::IllegalState(msg) => write!(f, "illegal command: {msg}"),
         }
     }
@@ -290,7 +293,9 @@ mod tests {
     #[test]
     fn allbank_act_then_columns() {
         let mut c = ch();
-        let a = c.issue_earliest(Scope::AllBanks, CmdKind::Act { row: 9 }, 0).unwrap();
+        let a = c
+            .issue_earliest(Scope::AllBanks, CmdKind::Act { row: 9 }, 0)
+            .unwrap();
         assert_eq!(a.issue_cycle, 0);
         let r = c
             .issue_earliest(Scope::AllBanks, CmdKind::Rd { col: 0 }, 0)
@@ -307,9 +312,14 @@ mod tests {
     #[test]
     fn allbank_columns_pace_at_tccd_l() {
         let mut c = ch();
-        c.issue_earliest(Scope::AllBanks, CmdKind::Act { row: 0 }, 0).unwrap();
-        let r1 = c.issue_earliest(Scope::AllBanks, CmdKind::Rd { col: 0 }, 0).unwrap();
-        let r2 = c.issue_earliest(Scope::AllBanks, CmdKind::Rd { col: 1 }, 0).unwrap();
+        c.issue_earliest(Scope::AllBanks, CmdKind::Act { row: 0 }, 0)
+            .unwrap();
+        let r1 = c
+            .issue_earliest(Scope::AllBanks, CmdKind::Rd { col: 0 }, 0)
+            .unwrap();
+        let r2 = c
+            .issue_earliest(Scope::AllBanks, CmdKind::Rd { col: 1 }, 0)
+            .unwrap();
         assert_eq!(r2.issue_cycle - r1.issue_cycle, c.config().timing.t_ccd_l);
     }
 
@@ -360,8 +370,11 @@ mod tests {
     #[test]
     fn too_early_is_rejected() {
         let mut c = ch();
-        c.issue_earliest(Scope::AllBanks, CmdKind::Act { row: 0 }, 0).unwrap();
-        let err = c.issue(Scope::AllBanks, CmdKind::Rd { col: 0 }, 1).unwrap_err();
+        c.issue_earliest(Scope::AllBanks, CmdKind::Act { row: 0 }, 0)
+            .unwrap();
+        let err = c
+            .issue(Scope::AllBanks, CmdKind::Rd { col: 0 }, 1)
+            .unwrap_err();
         assert!(matches!(err, IssueError::TooEarly { .. }));
     }
 
@@ -377,16 +390,21 @@ mod tests {
     #[test]
     fn read_data_arrives_after_rl() {
         let mut c = ch();
-        c.issue_earliest(Scope::AllBanks, CmdKind::Act { row: 0 }, 0).unwrap();
-        let r = c.issue_earliest(Scope::AllBanks, CmdKind::Rd { col: 0 }, 0).unwrap();
+        c.issue_earliest(Scope::AllBanks, CmdKind::Act { row: 0 }, 0)
+            .unwrap();
+        let r = c
+            .issue_earliest(Scope::AllBanks, CmdKind::Rd { col: 0 }, 0)
+            .unwrap();
         assert_eq!(r.data_cycle, r.issue_cycle + c.config().timing.rl + 1);
     }
 
     #[test]
     fn stats_count_scope_and_kind() {
         let mut c = ch();
-        c.issue_earliest(Scope::AllBanks, CmdKind::Act { row: 0 }, 0).unwrap();
-        c.issue_earliest(Scope::AllBanks, CmdKind::Rd { col: 0 }, 0).unwrap();
+        c.issue_earliest(Scope::AllBanks, CmdKind::Act { row: 0 }, 0)
+            .unwrap();
+        c.issue_earliest(Scope::AllBanks, CmdKind::Rd { col: 0 }, 0)
+            .unwrap();
         c.issue_earliest(Scope::AllBanks, CmdKind::Pre, 0).unwrap();
         let s = c.stats();
         assert_eq!(s.total_commands(), 3);
@@ -401,7 +419,8 @@ mod tests {
         // ACT -> 32 reads -> PRE -> ACT again must take >= tRC.
         let mut c = ch();
         let t = c.config().timing;
-        c.issue_earliest(Scope::AllBanks, CmdKind::Act { row: 0 }, 0).unwrap();
+        c.issue_earliest(Scope::AllBanks, CmdKind::Act { row: 0 }, 0)
+            .unwrap();
         let mut cur = 0;
         for col in 0..4 {
             cur = c
@@ -409,7 +428,9 @@ mod tests {
                 .unwrap()
                 .issue_cycle;
         }
-        let p = c.issue_earliest(Scope::AllBanks, CmdKind::Pre, cur).unwrap();
+        let p = c
+            .issue_earliest(Scope::AllBanks, CmdKind::Pre, cur)
+            .unwrap();
         let a = c
             .issue_earliest(Scope::AllBanks, CmdKind::Act { row: 1 }, p.issue_cycle)
             .unwrap();

@@ -118,7 +118,10 @@ impl ModeController {
         }
         let legal = matches!(
             (self.mode, to),
-            (Mode::Sb, Mode::Ab) | (Mode::Ab, Mode::Sb) | (Mode::Ab, Mode::AbPim) | (Mode::AbPim, Mode::Ab)
+            (Mode::Sb, Mode::Ab)
+                | (Mode::Ab, Mode::Sb)
+                | (Mode::Ab, Mode::AbPim)
+                | (Mode::AbPim, Mode::Ab)
         );
         if !legal {
             return Err(ModeError {

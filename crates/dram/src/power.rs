@@ -153,10 +153,12 @@ mod tests {
             }
             stats.merge(&ch);
         }
-        let mut e = EnergyStats::default();
-        e.dram_pj = m.dram_energy_pj(&stats, 0);
-        e.pu_pj = m.pu_op_energy_pj(8, stats.bank_bursts * 4);
-        e.background_pj = m.background_pj(seconds, 256);
+        let e = EnergyStats {
+            dram_pj: m.dram_energy_pj(&stats, 0),
+            pu_pj: m.pu_op_energy_pj(8, stats.bank_bursts * 4),
+            background_pj: m.background_pj(seconds, 256),
+            ..EnergyStats::default()
+        };
         let w = e.avg_watts(seconds);
         assert!(w < 5.0, "streaming power {w:.2} W exceeds the 5 W ceiling");
         assert!(w > 1.0, "streaming power {w:.2} W implausibly low");

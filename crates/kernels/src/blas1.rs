@@ -86,10 +86,10 @@ impl Blas1Pim {
         let mut out = vec![0.0; n];
         for b in 0..self.nbanks() {
             let data = engine.mem(b).region(id).data();
-            for i in 0..sl {
+            for (i, &d) in data.iter().enumerate().take(sl) {
                 let g = b * sl + i;
                 if g < n {
-                    out[g] = data[i];
+                    out[g] = d;
                 }
             }
         }
@@ -220,7 +220,6 @@ impl Blas1Pim {
             run,
         })
     }
-
 
     /// Element-wise `z <- x (op) y` (DVDV over any Binary-field op —
     /// MIN/MAX drive the graph-application masks).
@@ -396,14 +395,25 @@ impl Blas1Pim {
         let mut rprod = RegionId(0);
         for b in 0..nbanks {
             // SpFW writes (row, col, value) triples: three slots per product.
-            rprod = engine
-                .mem_mut(b)
-                .alloc_zeroed("products", self.precision.bytes(), 3 * max_nnz.max(1));
+            rprod = engine.mem_mut(b).alloc_zeroed(
+                "products",
+                self.precision.bytes(),
+                3 * max_nnz.max(1),
+            );
         }
         let mut run = self.execute(
             &mut engine,
             &programs::spdot(self.precision),
-            vec![Some(r0), Some(r1), Some(r2), Some(ry), None, Some(rprod), None, None],
+            vec![
+                Some(r0),
+                Some(r1),
+                Some(r2),
+                Some(ry),
+                None,
+                Some(rprod),
+                None,
+                None,
+            ],
             None,
         )?;
         let mut host = self.device.make_host();

@@ -52,10 +52,12 @@ impl PimDevice {
     /// 2 × 2 banks.
     #[must_use]
     pub fn tiny(channels: usize) -> Self {
-        let mut hbm = HbmConfig::default();
-        hbm.num_bankgroups = 2;
-        hbm.banks_per_group = 2;
-        hbm.num_pseudo_channels = channels;
+        let hbm = HbmConfig {
+            num_bankgroups: 2,
+            banks_per_group: 2,
+            num_pseudo_channels: channels,
+            ..HbmConfig::default()
+        };
         PimDevice {
             hbm,
             mode: ExecMode::AllBank,
@@ -67,6 +69,36 @@ impl PimDevice {
     #[must_use]
     pub fn total_banks(&self) -> usize {
         self.hbm.total_banks() * self.cubes
+    }
+
+    /// Split the device into `shards` equal slices of its pseudo-channels.
+    ///
+    /// Channels execute independently in the paper's design, so a slice of
+    /// `num_pseudo_channels / shards` channels behaves exactly like a
+    /// proportionally smaller device; external and internal bandwidth scale
+    /// with the slice. This is how the `psim-sched` executor carves one
+    /// cube into independent execution lanes that serve different jobs
+    /// concurrently.
+    ///
+    /// Returns `None` when `shards` is zero, exceeds the channel count, or
+    /// does not divide it evenly (unequal shards would break the
+    /// equal-rows-per-bank layout assumptions).
+    #[must_use]
+    pub fn shard(&self, shards: usize) -> Option<PimDevice> {
+        let channels = self.hbm.num_pseudo_channels;
+        if shards == 0 || shards > channels || !channels.is_multiple_of(shards) {
+            return None;
+        }
+        let mut hbm = self.hbm.clone();
+        hbm.num_pseudo_channels = channels / shards;
+        let frac = 1.0 / shards as f64;
+        hbm.external_bw *= frac;
+        hbm.internal_bw *= frac;
+        Some(PimDevice {
+            hbm,
+            mode: self.mode,
+            cubes: self.cubes,
+        })
     }
 
     /// Aggregate external bandwidth in bytes/s.
@@ -109,6 +141,10 @@ pub struct KernelRun {
     pub host_s: f64,
     /// Bytes moved over the external interface.
     pub external_bytes: u64,
+    /// DRAM command cycles summed over sequential phases (max over
+    /// channels inside each phase) — the integer form of `kernel_s`, which
+    /// schedulers use for exact deterministic accounting.
+    pub dram_cycles: u64,
     /// DRAM commands issued (all phases, all cubes).
     pub commands: u64,
     /// Commands issued with all-bank scope.
@@ -131,6 +167,7 @@ impl Default for KernelRun {
             kernel_s: 0.0,
             host_s: 0.0,
             external_bytes: 0,
+            dram_cycles: 0,
             commands: 0,
             all_bank_commands: 0,
             per_bank_commands: 0,
@@ -153,6 +190,7 @@ impl KernelRun {
     /// Fold one engine phase plus its host activity into the run.
     pub fn absorb_phase(&mut self, report: &RunReport, host: &HostController) {
         self.kernel_s += report.seconds;
+        self.dram_cycles += report.dram_cycles;
         self.commands += report.commands.total_commands();
         self.all_bank_commands += report.commands.all_bank_commands;
         self.per_bank_commands += report.commands.per_bank_commands;
@@ -178,6 +216,7 @@ impl KernelRun {
         self.kernel_s += other.kernel_s;
         self.host_s += other.host_s;
         self.external_bytes += other.external_bytes;
+        self.dram_cycles += other.dram_cycles;
         self.commands += other.commands;
         self.all_bank_commands += other.all_bank_commands;
         self.per_bank_commands += other.per_bank_commands;
@@ -196,7 +235,6 @@ pub fn mode_cycle(host: &mut HostController, program_len: usize) {
     host.switch_to(Mode::AbPim);
     host.switch_to(Mode::Sb);
 }
-
 
 /// Pack sparse entries into the interleaved triples layout the batched
 /// stream kernel expects: chunk pairs of `[rowsA|colsA|valsA|rowsB|colsB|
@@ -287,6 +325,22 @@ mod tests {
         assert!((PimDevice::psync_3x().external_bw() - 768e9).abs() < 1.0);
         assert_eq!(PimDevice::per_bank().mode, ExecMode::PerBank);
         assert_eq!(PimDevice::tiny(2).total_banks(), 8);
+    }
+
+    #[test]
+    fn shard_splits_channels_and_bandwidth() {
+        let dev = PimDevice::psync_1x();
+        let quarter = dev.shard(4).unwrap();
+        assert_eq!(quarter.hbm.num_pseudo_channels, 4);
+        assert_eq!(quarter.total_banks(), 64);
+        assert!((quarter.external_bw() - dev.external_bw() / 4.0).abs() < 1.0);
+        assert_eq!(quarter.mode, dev.mode);
+        // Identity shard is the device itself.
+        assert_eq!(dev.shard(1).unwrap().total_banks(), dev.total_banks());
+        // Invalid splits are rejected.
+        assert!(dev.shard(0).is_none());
+        assert!(dev.shard(3).is_none());
+        assert!(dev.shard(32).is_none());
     }
 
     #[test]

@@ -151,10 +151,10 @@ impl Gemv {
             let ry = bindings[5].expect("output bound");
             for b in 0..nbanks {
                 let data = engine.mem(b).region(ry).data();
-                for i in 0..rows_per_bank {
+                for (i, &d) in data.iter().enumerate().take(rows_per_bank) {
                     let r = b * rows_per_bank + i;
                     if r < nrows {
-                        y[r] += data[i];
+                        y[r] += d;
                     }
                 }
             }
@@ -255,7 +255,7 @@ mod tests {
         let x_want = gen::dense_vector(n, 5);
         // b = A x
         let b: Vec<f64> = (0..n)
-            .map(|r| (0..n).map(|c| a[r * n + c] * x_want[c]).sum::<f64>() )
+            .map(|r| (0..n).map(|c| a[r * n + c] * x_want[c]).sum::<f64>())
             .collect();
         let (x, run) = runner().dtrsv(&a, n, Triangle::Lower, &b).unwrap();
         for (g, w) in x.iter().zip(&x_want) {
@@ -278,7 +278,11 @@ mod panel_tests {
         let x = gen::dense_vector(nc, 22);
         let g = Gemv::new(PimDevice::tiny(1), Precision::Fp64);
         let res = g.dgemv(&a, nr, nc, &x).unwrap();
-        assert!(res.panels > 1, "expected multiple panels, got {}", res.panels);
+        assert!(
+            res.panels > 1,
+            "expected multiple panels, got {}",
+            res.panels
+        );
         let want: Vec<f64> = (0..nr)
             .map(|r| (0..nc).map(|c| a[r * nc + c] * x[c]).sum())
             .collect();
@@ -290,7 +294,9 @@ mod panel_tests {
     #[test]
     fn int8_gemv_quantizes_and_runs_wider_lanes() {
         let (nr, nc) = (8usize, 64usize);
-        let a: Vec<f64> = (0..nr * nc).map(|i| f64::from((i % 5) as i32 - 2)).collect();
+        let a: Vec<f64> = (0..nr * nc)
+            .map(|i| f64::from((i % 5) as i32 - 2))
+            .collect();
         let x: Vec<f64> = (0..nc).map(|i| f64::from((i % 3) as i32)).collect();
         let g = Gemv::new(PimDevice::tiny(1), Precision::Int8);
         let res = g.dgemv(&a, nr, nc, &x).unwrap();

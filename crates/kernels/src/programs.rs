@@ -37,7 +37,6 @@ pub fn sparse_stream(p: Precision, acc_op: &str) -> String {
     sparse_stream_semiring(p, "MUL", acc_op)
 }
 
-
 /// Batched variant of [`sparse_stream_semiring`]: two chunks per loop
 /// iteration. The triples live *interleaved* in one region
 /// (`[rowsA|colsA|valsA|rowsB|colsB|valsB]` blocks — the paper's "32 B
@@ -66,7 +65,6 @@ JUMP   0, 0, 0
 "
     )
 }
-
 
 /// A bounded loop back-edge: `JUMP` executes its body `iters` times; a
 /// single-iteration loop degenerates to `NOP` (a zero-count JUMP would be
@@ -160,7 +158,6 @@ EXIT
         loop_line = loop_line(0, 1, chunks as usize)
     )
 }
-
 
 /// Element-wise dense binary op `z <- x (op) y` (the DVDV workhorse used
 /// by graph-app masks and solver updates). Slots: 0 load x, 1 load y,

@@ -9,9 +9,13 @@
 //! CEXIT. The host replicates compacted input-vector slices and accumulates
 //! non-zero partial outputs over the external bus.
 
-use crate::device::{batched_sparse_bindings, mode_cycle, pack_triples, triple_pairs, KernelRun, PimDevice};
+use crate::device::{
+    batched_sparse_bindings, mode_cycle, pack_triples, triple_pairs, KernelRun, PimDevice,
+};
 use crate::programs;
-use psim_sparse::partition::{BankPartition, DistPolicy, PartitionConfig, PartitionStats, SubMatrix};
+use psim_sparse::partition::{
+    BankPartition, DistPolicy, PartitionConfig, PartitionStats, SubMatrix,
+};
 use psim_sparse::{Coo, Precision};
 use psyncpim_core::isa::{assemble, BinaryOp};
 use psyncpim_core::memory::Binding;
@@ -68,7 +72,12 @@ impl SpmvPim {
     /// Runner over an arbitrary semiring `(mul, acc)` — the GraphBLAS-style
     /// generality the PU's Binary field provides (paper Table IV).
     #[must_use]
-    pub fn with_semiring(device: PimDevice, precision: Precision, mul: BinaryOp, acc: BinaryOp) -> Self {
+    pub fn with_semiring(
+        device: PimDevice,
+        precision: Precision,
+        mul: BinaryOp,
+        acc: BinaryOp,
+    ) -> Self {
         SpmvPim {
             device,
             precision,

@@ -19,7 +19,9 @@
 //! that makes high-level-count matrices (the paper's `parabolic_fem`) slow
 //! on pSyncPIM; the model reproduces that directly.
 
-use crate::device::{batched_sparse_bindings, mode_cycle, pack_triples, triple_pairs, KernelRun, PimDevice};
+use crate::device::{
+    batched_sparse_bindings, mode_cycle, pack_triples, triple_pairs, KernelRun, PimDevice,
+};
 use crate::programs;
 use crate::spmv::SpmvPim;
 use psim_sparse::triangular::UnitTriangular;
@@ -147,7 +149,11 @@ impl SptrsvPim {
         let stripe = m.div_ceil(nbanks).max(1);
         let lanes = self.precision.lanes();
         let ebytes = self.precision.bytes();
-        let program = assemble(&programs::sparse_stream_batched(self.precision, "MUL", "RSUB"))?;
+        let program = assemble(&programs::sparse_stream_batched(
+            self.precision,
+            "MUL",
+            "RSUB",
+        ))?;
         let mut host = self.device.make_host();
 
         // One engine lives for the whole block: stripe regions persist
@@ -241,10 +247,10 @@ impl SptrsvPim {
         // Read the solved stripes back into the host copy.
         for bank in 0..nbanks {
             let data = engine.mem(bank).region(stripe_region).data();
-            for i in 0..stripe {
+            for (i, &d) in data.iter().enumerate().take(stripe) {
                 let r = bank * stripe + i;
                 if r < m {
-                    x[lo + r] = data[i];
+                    x[lo + r] = d;
                 }
             }
         }
@@ -258,7 +264,9 @@ impl SptrsvPim {
 /// reductions; exposed for diagnostics).
 #[must_use]
 pub fn srf_values(engine: &Engine) -> Vec<f64> {
-    (0..engine.num_banks()).map(|b| engine.pu(b).srf()).collect()
+    (0..engine.num_banks())
+        .map(|b| engine.pu(b).srf())
+        .collect()
 }
 
 #[cfg(test)]
@@ -307,7 +315,11 @@ mod tests {
         let b = t.matvec(&want_x);
         let r = runner();
         let res = r.run(&t, &b).unwrap();
-        assert!(res.solve_steps > 1, "expected recursion: {}", res.solve_steps);
+        assert!(
+            res.solve_steps > 1,
+            "expected recursion: {}",
+            res.solve_steps
+        );
         assert!(res.update_steps >= 1);
         for (g, w) in res.x.iter().zip(&want_x) {
             assert!((g - w).abs() < 1e-8, "{g} vs {w}");

@@ -1,0 +1,428 @@
+//! Channel-sharded job executor.
+//!
+//! The device's pseudo-channels are independent (the cube's wall-clock is
+//! just the slowest channel), so the executor carves one device into
+//! `shards` equal channel slices via [`PimDevice::shard`] and serves
+//! different jobs on different shards *concurrently in simulated time*:
+//! each shard has its own simulated clock that advances by the service
+//! time of every job it runs, and the batch's makespan is the busiest
+//! shard's clock instead of the serial sum.
+//!
+//! Determinism contract: `shards` is a *simulated resource* parameter and
+//! changes results (a shard is a smaller device), but `host_threads` is
+//! pure host-side parallelism and never does. Job→shard placement is
+//! computed up front from a priori cost estimates, every shard runs its
+//! jobs in assignment order, and shard outcomes are merged in shard order
+//! — so an N-thread run is byte-identical to a serial one, which the
+//! determinism tests check via [`SimStats`] JSON and job values.
+
+use std::time::Instant;
+
+use psim_kernels::blas1::Blas1Pim;
+use psim_kernels::{KernelRun, PimDevice, SpmvPim, SptrsvPim};
+use psyncpim_core::CoreError;
+
+use crate::job::{Job, JobClass, JobId, JobKind, JobValue};
+use crate::queue::JobQueue;
+use crate::stats::{HostStats, ServiceStats, SimStats};
+
+/// Executor construction error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The requested shard count does not evenly divide the device's
+    /// pseudo-channels.
+    BadShardSplit {
+        /// Pseudo-channels on the device.
+        channels: usize,
+        /// Requested shard count.
+        shards: usize,
+    },
+    /// A job's kernel failed.
+    JobFailed {
+        /// The failing job.
+        id: JobId,
+        /// The kernel error message.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::BadShardSplit { channels, shards } => write!(
+                f,
+                "cannot split {channels} pseudo-channels into {shards} shards"
+            ),
+            SchedError::JobFailed { id, error } => write!(f, "job {id} failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// The device to carve up.
+    pub device: PimDevice,
+    /// Channel shards (simulated concurrency; must divide the device's
+    /// pseudo-channel count).
+    pub shards: usize,
+    /// Host worker threads (host-side parallelism; never affects
+    /// results). Clamped to the shard count.
+    pub host_threads: usize,
+}
+
+impl ExecutorConfig {
+    /// Serial execution of the whole device: one shard, one thread.
+    #[must_use]
+    pub fn serial(device: PimDevice) -> Self {
+        ExecutorConfig {
+            device,
+            shards: 1,
+            host_threads: 1,
+        }
+    }
+
+    /// `shards` shards served by as many host threads.
+    #[must_use]
+    pub fn sharded(device: PimDevice, shards: usize) -> Self {
+        ExecutorConfig {
+            device,
+            shards,
+            host_threads: shards,
+        }
+    }
+}
+
+/// One finished job with its service accounting.
+#[derive(Debug, Clone)]
+pub struct CompletedJob {
+    /// Queue id.
+    pub id: JobId,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Deadline class.
+    pub class: JobClass,
+    /// Kernel-family label.
+    pub kind: &'static str,
+    /// Shard the job ran on.
+    pub shard: usize,
+    /// The numeric result.
+    pub value: JobValue,
+    /// Kernel-level accounting (commands, energy, bytes).
+    pub run: KernelRun,
+    /// Simulated seconds the job waited behind earlier jobs on its shard.
+    pub wait_s: f64,
+    /// Simulated service seconds (kernel + host interface).
+    pub service_s: f64,
+    /// Service DRAM command cycles (kernel portion, exact integer).
+    pub service_cycles: u64,
+}
+
+/// Result of executing one batch.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Every job, sorted by id.
+    pub jobs: Vec<CompletedJob>,
+    /// Aggregated service statistics.
+    pub stats: ServiceStats,
+}
+
+impl BatchReport {
+    /// A completed job by id.
+    #[must_use]
+    pub fn job(&self, id: JobId) -> Option<&CompletedJob> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+}
+
+/// The channel-sharded executor.
+#[derive(Debug, Clone)]
+pub struct ShardExecutor {
+    cfg: ExecutorConfig,
+    shard_device: PimDevice,
+}
+
+impl ShardExecutor {
+    /// Build an executor, validating the shard split.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::BadShardSplit`] when `shards` does not evenly divide
+    /// the device's pseudo-channels.
+    pub fn new(cfg: ExecutorConfig) -> Result<Self, SchedError> {
+        let shard_device = cfg
+            .device
+            .shard(cfg.shards)
+            .ok_or(SchedError::BadShardSplit {
+                channels: cfg.device.hbm.num_pseudo_channels,
+                shards: cfg.shards,
+            })?;
+        Ok(ShardExecutor { cfg, shard_device })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.cfg
+    }
+
+    /// The per-shard device slice jobs actually run on.
+    #[must_use]
+    pub fn shard_device(&self) -> &PimDevice {
+        &self.shard_device
+    }
+
+    /// Drain every job currently queued (in the queue's fairness order)
+    /// and execute the batch.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::JobFailed`] when a kernel fails.
+    pub fn drain_and_run(&self, queue: &JobQueue) -> Result<BatchReport, SchedError> {
+        self.run_jobs(queue.drain())
+    }
+
+    /// Execute a batch of jobs (already ordered by the scheduling policy).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::JobFailed`] when a kernel fails.
+    pub fn run_jobs(&self, jobs: Vec<Job>) -> Result<BatchReport, SchedError> {
+        let started = Instant::now();
+        let shards = self.cfg.shards;
+        let plan = assign_shards(jobs, shards);
+        let threads = self.cfg.host_threads.clamp(1, shards);
+
+        // One result slot per shard, merged in shard order below.
+        let mut outcomes: Vec<Option<Result<Vec<CompletedJob>, SchedError>>> =
+            (0..shards).map(|_| None).collect();
+        if threads <= 1 {
+            for (shard, (lane, slot)) in plan.into_iter().zip(outcomes.iter_mut()).enumerate() {
+                *slot = Some(self.run_shard(shard, lane));
+            }
+        } else {
+            let mut buckets: Vec<Vec<_>> = (0..threads).map(|_| Vec::new()).collect();
+            for (shard, (lane, slot)) in plan.into_iter().zip(outcomes.iter_mut()).enumerate() {
+                buckets[shard % threads].push((shard, lane, slot));
+            }
+            std::thread::scope(|s| {
+                for bucket in buckets {
+                    s.spawn(|| {
+                        for (shard, lane, slot) in bucket {
+                            *slot = Some(self.run_shard(shard, lane));
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut completed = Vec::new();
+        for slot in outcomes {
+            completed.extend(slot.expect("every shard executed")?);
+        }
+        completed.sort_by_key(|j| j.id);
+        let sim = SimStats::from_jobs(&completed, shards);
+        Ok(BatchReport {
+            jobs: completed,
+            stats: ServiceStats {
+                sim,
+                host: HostStats {
+                    walltime_s: started.elapsed().as_secs_f64(),
+                    threads,
+                },
+            },
+        })
+    }
+
+    /// Run one shard's job lane sequentially, advancing its simulated
+    /// clock.
+    fn run_shard(&self, shard: usize, lane: Vec<Job>) -> Result<Vec<CompletedJob>, SchedError> {
+        let mut clock_s = 0.0f64;
+        let mut out = Vec::with_capacity(lane.len());
+        for job in lane {
+            let (value, run) = self.run_kernel(&job).map_err(|e| SchedError::JobFailed {
+                id: job.id,
+                error: e.to_string(),
+            })?;
+            let service_s = run.total_s();
+            out.push(CompletedJob {
+                id: job.id,
+                tenant: job.spec.tenant,
+                class: job.spec.class,
+                kind: job.spec.kind.label(),
+                shard,
+                value,
+                wait_s: clock_s,
+                service_s,
+                service_cycles: run.dram_cycles,
+                run,
+            });
+            clock_s += service_s;
+        }
+        Ok(out)
+    }
+
+    /// Dispatch one job's kernel on the shard device.
+    fn run_kernel(&self, job: &Job) -> Result<(JobValue, KernelRun), CoreError> {
+        let dev = self.shard_device.clone();
+        let precision = job.spec.precision;
+        let blas = || Blas1Pim::new(self.shard_device.clone(), precision);
+        match &job.spec.kind {
+            JobKind::Spmv { a, x, mul, acc } => {
+                let r = SpmvPim::with_semiring(dev, precision, *mul, *acc).run(a, x)?;
+                Ok((JobValue::Vector(r.y), r.run))
+            }
+            JobKind::Sptrsv { t, b } => {
+                let mut solver = SptrsvPim::new(dev);
+                solver.precision = precision;
+                let r = solver.run(t, b)?;
+                Ok((JobValue::Vector(r.x), r.run))
+            }
+            JobKind::Axpy { alpha, x, y } => {
+                let r = blas().daxpy(*alpha, x, y)?;
+                Ok((JobValue::Vector(r.v), r.run))
+            }
+            JobKind::Scal { alpha, x } => {
+                let r = blas().dscal(*alpha, x)?;
+                Ok((JobValue::Vector(r.v), r.run))
+            }
+            JobKind::Vv { x, y, op } => {
+                let r = blas().dvdv(x, y, *op)?;
+                Ok((JobValue::Vector(r.v), r.run))
+            }
+            JobKind::Dot { x, y } => {
+                let r = blas().ddot(x, y)?;
+                Ok((JobValue::Scalar(r.s), r.run))
+            }
+            JobKind::Norm2 { x } => {
+                let r = blas().dnrm2(x)?;
+                Ok((JobValue::Scalar(r.s), r.run))
+            }
+        }
+    }
+}
+
+/// Deterministic job→shard placement: longest-processing-time-style greedy
+/// by a priori cost — each job (in scheduling order) goes to the shard
+/// with the least accumulated estimated cost, ties to the lowest shard id.
+fn assign_shards(jobs: Vec<Job>, shards: usize) -> Vec<Vec<Job>> {
+    let mut lanes: Vec<Vec<Job>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut load = vec![0u64; shards];
+    for job in jobs {
+        let target = (0..shards)
+            .min_by_key(|&s| (load[s], s))
+            .expect("shards >= 1");
+        load[target] += job.cost_estimate();
+        lanes[target].push(job);
+    }
+    lanes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use std::sync::Arc;
+
+    fn scal_job(tenant: &str, n: usize) -> JobSpec {
+        JobSpec::batch(
+            tenant,
+            JobKind::Scal {
+                alpha: 2.0,
+                x: vec![1.0; n],
+            },
+        )
+    }
+
+    #[test]
+    fn bad_shard_split_is_rejected() {
+        let cfg = ExecutorConfig::sharded(PimDevice::tiny(4), 3);
+        assert!(matches!(
+            ShardExecutor::new(cfg),
+            Err(SchedError::BadShardSplit {
+                channels: 4,
+                shards: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn assignment_balances_estimated_cost() {
+        let jobs: Vec<Job> = [100, 100, 10, 10, 10, 10]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Job {
+                id: i as u64,
+                spec: scal_job("t", n),
+            })
+            .collect();
+        let lanes = assign_shards(jobs, 2);
+        // Greedy: 100→s0, 100→s1, then the small jobs alternate.
+        let cost = |lane: &Vec<Job>| lane.iter().map(Job::cost_estimate).sum::<u64>();
+        assert_eq!(cost(&lanes[0]), 120);
+        assert_eq!(cost(&lanes[1]), 120);
+    }
+
+    #[test]
+    fn executes_jobs_and_preserves_values() {
+        let queue = JobQueue::bounded(16);
+        let a = Arc::new(psim_sparse::gen::rmat(32, 2, 3));
+        let x: Vec<f64> = (0..32).map(|i| 1.0 + i as f64).collect();
+        let id_spmv = queue
+            .submit(JobSpec::batch(
+                "t0",
+                JobKind::spmv(Arc::clone(&a), x.clone()),
+            ))
+            .unwrap();
+        let id_dot = queue
+            .submit(JobSpec::batch(
+                "t1",
+                JobKind::Dot {
+                    x: x.clone(),
+                    y: x.clone(),
+                },
+            ))
+            .unwrap();
+        let exec = ShardExecutor::new(ExecutorConfig::serial(PimDevice::tiny(2))).unwrap();
+        let report = exec.drain_and_run(&queue).unwrap();
+        assert_eq!(report.jobs.len(), 2);
+        let y = report.job(id_spmv).unwrap().value.as_vector().unwrap();
+        let want = a.spmv(&x);
+        for (g, w) in y.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+        let d = report.job(id_dot).unwrap().value.as_scalar().unwrap();
+        let want_d: f64 = x.iter().map(|v| v * v).sum();
+        assert!((d - want_d).abs() < 1e-6 * want_d);
+        assert!(report.stats.sim.makespan_s > 0.0);
+        assert!(report.stats.host.walltime_s > 0.0);
+    }
+
+    #[test]
+    fn sharded_concurrency_beats_serial_in_sim_time() {
+        let mk_queue = || {
+            let q = JobQueue::bounded(64);
+            for i in 0..8 {
+                q.submit(scal_job(&format!("t{}", i % 4), 64)).unwrap();
+            }
+            q
+        };
+        let serial = ShardExecutor::new(ExecutorConfig::serial(PimDevice::tiny(4)))
+            .unwrap()
+            .drain_and_run(&mk_queue())
+            .unwrap();
+        let sharded = ShardExecutor::new(ExecutorConfig::sharded(PimDevice::tiny(4), 4))
+            .unwrap()
+            .drain_and_run(&mk_queue())
+            .unwrap();
+        assert!(
+            sharded.stats.sim.makespan_s < serial.stats.sim.makespan_s,
+            "sharded {} vs serial {}",
+            sharded.stats.sim.makespan_s,
+            serial.stats.sim.makespan_s
+        );
+        assert!(sharded.stats.sim.speedup_vs_serial > 1.0);
+    }
+}

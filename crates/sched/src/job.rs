@@ -1,0 +1,317 @@
+//! Job descriptions: what a tenant asks the device to do.
+//!
+//! A [`JobSpec`] names the tenant, a deadline [`JobClass`], the element
+//! [`Precision`] and the requested operation ([`JobKind`]). Matrices are
+//! held behind [`std::sync::Arc`] (see [`MatrixStore`]) so many queued jobs
+//! can reference the same operand without cloning megabytes per job.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use psim_sparse::triangular::UnitTriangular;
+use psim_sparse::{Coo, Precision};
+use psyncpim_core::isa::BinaryOp;
+use serde::{Deserialize, Serialize};
+
+/// Monotonically increasing job identifier (assigned at submission).
+pub type JobId = u64;
+
+/// Deadline class, in strictly decreasing scheduling priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum JobClass {
+    /// Latency-sensitive: always served before lower classes.
+    Interactive,
+    /// Default throughput class.
+    Batch,
+    /// Served only when nothing else is waiting.
+    BestEffort,
+}
+
+impl JobClass {
+    /// All classes in scheduling-priority order.
+    pub const ALL: [JobClass; 3] = [JobClass::Interactive, JobClass::Batch, JobClass::BestEffort];
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            JobClass::Interactive => "interactive",
+            JobClass::Batch => "batch",
+            JobClass::BestEffort => "best-effort",
+        }
+    }
+}
+
+/// The requested operation.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// `y = A x` over an arbitrary `(mul, acc)` semiring; arithmetic SpMV
+    /// uses `(Mul, Add)`.
+    Spmv {
+        /// The matrix.
+        a: Arc<Coo>,
+        /// The dense operand.
+        x: Vec<f64>,
+        /// Semiring multiply.
+        mul: BinaryOp,
+        /// Semiring accumulate.
+        acc: BinaryOp,
+    },
+    /// Solve `T x = b` for unit triangular `T`.
+    Sptrsv {
+        /// The triangular factor.
+        t: Arc<UnitTriangular>,
+        /// Right-hand side.
+        b: Vec<f64>,
+    },
+    /// `y <- alpha x + y`.
+    Axpy {
+        /// Scale factor.
+        alpha: f64,
+        /// Scaled operand.
+        x: Vec<f64>,
+        /// Accumulated operand.
+        y: Vec<f64>,
+    },
+    /// `x <- alpha x`.
+    Scal {
+        /// Scale factor.
+        alpha: f64,
+        /// The vector.
+        x: Vec<f64>,
+    },
+    /// Element-wise `z = x (op) y`.
+    Vv {
+        /// Left operand.
+        x: Vec<f64>,
+        /// Right operand.
+        y: Vec<f64>,
+        /// The element-wise operator.
+        op: BinaryOp,
+    },
+    /// Dot product.
+    Dot {
+        /// Left operand.
+        x: Vec<f64>,
+        /// Right operand.
+        y: Vec<f64>,
+    },
+    /// Euclidean norm.
+    Norm2 {
+        /// The vector.
+        x: Vec<f64>,
+    },
+}
+
+impl JobKind {
+    /// Arithmetic SpMV (`mul = Mul`, `acc = Add`).
+    #[must_use]
+    pub fn spmv(a: Arc<Coo>, x: Vec<f64>) -> Self {
+        JobKind::Spmv {
+            a,
+            x,
+            mul: BinaryOp::Mul,
+            acc: BinaryOp::Add,
+        }
+    }
+
+    /// Short kernel-family label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Spmv { .. } => "spmv",
+            JobKind::Sptrsv { .. } => "sptrsv",
+            JobKind::Axpy { .. } => "axpy",
+            JobKind::Scal { .. } => "scal",
+            JobKind::Vv { .. } => "vv",
+            JobKind::Dot { .. } => "dot",
+            JobKind::Norm2 { .. } => "norm2",
+        }
+    }
+
+    /// A priori work estimate in abstract units (nonzeros for sparse
+    /// kernels, elements for dense ones). The scheduler uses this for
+    /// fairness accounting and shard placement *before* a job runs; it
+    /// never affects results, only ordering.
+    #[must_use]
+    pub fn cost_estimate(&self) -> u64 {
+        let est = match self {
+            JobKind::Spmv { a, x, .. } => a.nnz() + x.len(),
+            JobKind::Sptrsv { t, b } => t.nnz() + b.len(),
+            JobKind::Axpy { x, y, .. } => x.len() + y.len(),
+            JobKind::Scal { x, .. } => x.len(),
+            JobKind::Vv { x, y, .. } => x.len() + y.len(),
+            JobKind::Dot { x, y } => x.len() + y.len(),
+            JobKind::Norm2 { x } => x.len(),
+        };
+        est.max(1) as u64
+    }
+}
+
+/// A tenant's request, ready for submission.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Submitting tenant (fairness accounting key).
+    pub tenant: String,
+    /// Deadline class.
+    pub class: JobClass,
+    /// Element precision for the kernels.
+    pub precision: Precision,
+    /// The operation.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// A batch-class FP64 job — the common case.
+    #[must_use]
+    pub fn batch(tenant: &str, kind: JobKind) -> Self {
+        JobSpec {
+            tenant: tenant.to_string(),
+            class: JobClass::Batch,
+            precision: Precision::Fp64,
+            kind,
+        }
+    }
+
+    /// Same job in a different class.
+    #[must_use]
+    pub fn with_class(mut self, class: JobClass) -> Self {
+        self.class = class;
+        self
+    }
+}
+
+/// A submitted job: spec plus its queue identity.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Queue-assigned identifier (submission order).
+    pub id: JobId,
+    /// What to run.
+    pub spec: JobSpec,
+}
+
+impl Job {
+    /// The job's a priori cost estimate.
+    #[must_use]
+    pub fn cost_estimate(&self) -> u64 {
+        self.spec.kind.cost_estimate()
+    }
+}
+
+/// The numeric result a job produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobValue {
+    /// Vector-valued kernels (SpMV, SpTRSV, AXPY, SCAL, VV).
+    Vector(Vec<f64>),
+    /// Scalar-valued kernels (DOT, NRM2).
+    Scalar(f64),
+}
+
+impl JobValue {
+    /// The vector, if this is a vector result.
+    #[must_use]
+    pub fn as_vector(&self) -> Option<&[f64]> {
+        match self {
+            JobValue::Vector(v) => Some(v),
+            JobValue::Scalar(_) => None,
+        }
+    }
+
+    /// The scalar, if this is a scalar result.
+    #[must_use]
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            JobValue::Scalar(s) => Some(*s),
+            JobValue::Vector(_) => None,
+        }
+    }
+}
+
+/// Shared matrix registry: tenants register operands once and submit many
+/// jobs against the returned handles.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixStore {
+    matrices: HashMap<String, Arc<Coo>>,
+    triangulars: HashMap<String, Arc<UnitTriangular>>,
+}
+
+impl MatrixStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a matrix under a name, returning its shared handle.
+    pub fn insert(&mut self, name: &str, a: Coo) -> Arc<Coo> {
+        let arc = Arc::new(a);
+        self.matrices.insert(name.to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Register a triangular factor under a name.
+    pub fn insert_triangular(&mut self, name: &str, t: UnitTriangular) -> Arc<UnitTriangular> {
+        let arc = Arc::new(t);
+        self.triangulars.insert(name.to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Look up a registered matrix.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<Coo>> {
+        self.matrices.get(name).cloned()
+    }
+
+    /// Look up a registered triangular factor.
+    #[must_use]
+    pub fn get_triangular(&self, name: &str) -> Option<Arc<UnitTriangular>> {
+        self.triangulars.get(name).cloned()
+    }
+
+    /// Number of registered operands.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.matrices.len() + self.triangulars.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.matrices.is_empty() && self.triangulars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psim_sparse::gen;
+
+    #[test]
+    fn cost_estimates_scale_with_work() {
+        let small = Arc::new(gen::rmat(16, 2, 1));
+        let large = Arc::new(gen::rmat(256, 8, 1));
+        let x_small = vec![1.0; 16];
+        let x_large = vec![1.0; 256];
+        let c_small = JobKind::spmv(Arc::clone(&small), x_small).cost_estimate();
+        let c_large = JobKind::spmv(Arc::clone(&large), x_large).cost_estimate();
+        assert!(c_large > c_small);
+        assert!(JobKind::Norm2 { x: vec![] }.cost_estimate() >= 1);
+    }
+
+    #[test]
+    fn store_shares_matrices() {
+        let mut store = MatrixStore::new();
+        let a = store.insert("web", gen::rmat(32, 2, 7));
+        let b = store.get("web").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(store.get("absent").is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn class_priority_order() {
+        assert!(JobClass::Interactive < JobClass::Batch);
+        assert!(JobClass::Batch < JobClass::BestEffort);
+        assert_eq!(JobClass::ALL[0], JobClass::Interactive);
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-job service statistics.
+//!
+//! Split into two halves on purpose:
+//!
+//! * [`SimStats`] is computed entirely from *simulated* quantities (DRAM
+//!   cycles, modeled seconds) in deterministic merge order, so its JSON
+//!   serialization is byte-identical across host thread counts — the
+//!   determinism tests compare exactly this.
+//! * [`HostStats`] is the host-side measurement (walltime, threads used)
+//!   and is excluded from determinism comparisons.
+
+use psyncpim_core::Histogram;
+use serde::Serialize;
+
+use crate::executor::CompletedJob;
+use crate::job::JobClass;
+
+/// Latency breakdown for one deadline class.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClassStats {
+    /// Class label (`interactive`, `batch`, `best-effort`).
+    pub class: String,
+    /// Jobs completed in this class.
+    pub jobs: u64,
+    /// End-to-end simulated latency (queue wait + service), nanoseconds.
+    pub latency_ns: Histogram,
+}
+
+/// Deterministic simulated-time statistics for one executed batch.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimStats {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Shards the device was split into.
+    pub shards: usize,
+    /// Simulated makespan: the busiest shard's total service time, in
+    /// DRAM command cycles (kernel portion).
+    pub makespan_cycles: u64,
+    /// Simulated makespan in seconds (kernel + host-interface service).
+    pub makespan_s: f64,
+    /// Sum of every job's service seconds — what a 1-shard device would
+    /// need (its makespan is the full serial sum).
+    pub serial_s: f64,
+    /// `serial_s / makespan_s`: concurrency the shard split achieved.
+    pub speedup_vs_serial: f64,
+    /// Completed jobs per simulated second (`jobs / makespan_s`).
+    pub jobs_per_sim_s: f64,
+    /// Queue-wait (time on the shard's run queue), nanoseconds.
+    pub wait_ns: Histogram,
+    /// Service time (kernel + host interface), nanoseconds.
+    pub service_ns: Histogram,
+    /// End-to-end latency (wait + service), nanoseconds.
+    pub latency_ns: Histogram,
+    /// Per-class latency breakdown, in class-priority order (classes with
+    /// no jobs omitted).
+    pub per_class: Vec<ClassStats>,
+    /// Busy cycles per shard, in shard order (load-balance visibility).
+    pub per_shard_busy_cycles: Vec<u64>,
+}
+
+impl SimStats {
+    /// Aggregate per-job records (must already be in deterministic order;
+    /// the executor sorts by job id).
+    #[must_use]
+    pub fn from_jobs(jobs: &[CompletedJob], shards: usize) -> Self {
+        let mut wait_ns = Histogram::new();
+        let mut service_ns = Histogram::new();
+        let mut latency_ns = Histogram::new();
+        let mut per_shard_busy_cycles = vec![0u64; shards];
+        let mut serial_s = 0.0;
+        let mut class_hists: [(u64, Histogram); 3] = [
+            (0, Histogram::new()),
+            (0, Histogram::new()),
+            (0, Histogram::new()),
+        ];
+        for job in jobs {
+            wait_ns.record_seconds(job.wait_s);
+            service_ns.record_seconds(job.service_s);
+            latency_ns.record_seconds(job.wait_s + job.service_s);
+            serial_s += job.service_s;
+            per_shard_busy_cycles[job.shard] += job.service_cycles;
+            let slot = &mut class_hists[job.class as usize];
+            slot.0 += 1;
+            slot.1.record_seconds(job.wait_s + job.service_s);
+        }
+        // Makespan: per-shard completion is wait + service of the shard's
+        // last job; equivalently the max accumulated service per shard.
+        let mut shard_end_s = vec![0.0f64; shards];
+        for job in jobs {
+            shard_end_s[job.shard] = shard_end_s[job.shard].max(job.wait_s + job.service_s);
+        }
+        let makespan_s = shard_end_s.iter().copied().fold(0.0f64, f64::max);
+        let makespan_cycles = per_shard_busy_cycles.iter().copied().max().unwrap_or(0);
+        let per_class = JobClass::ALL
+            .iter()
+            .filter_map(|&c| {
+                let (n, h) = &class_hists[c as usize];
+                (*n > 0).then(|| ClassStats {
+                    class: c.label().to_string(),
+                    jobs: *n,
+                    latency_ns: *h,
+                })
+            })
+            .collect();
+        SimStats {
+            jobs: jobs.len() as u64,
+            shards,
+            makespan_cycles,
+            makespan_s,
+            serial_s,
+            speedup_vs_serial: if makespan_s > 0.0 {
+                serial_s / makespan_s
+            } else {
+                0.0
+            },
+            jobs_per_sim_s: if makespan_s > 0.0 {
+                jobs.len() as f64 / makespan_s
+            } else {
+                0.0
+            },
+            wait_ns,
+            service_ns,
+            latency_ns,
+            per_class,
+            per_shard_busy_cycles,
+        }
+    }
+}
+
+/// Host-side (non-deterministic) measurements for one executed batch.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HostStats {
+    /// Wall-clock seconds the host spent executing the batch.
+    pub walltime_s: f64,
+    /// Host worker threads used.
+    pub threads: usize,
+}
+
+/// Full service report: deterministic simulated half plus host half.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServiceStats {
+    /// Simulated-time statistics (deterministic; compare this).
+    pub sim: SimStats,
+    /// Host-side measurements (informational only).
+    pub host: HostStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::CompletedJob;
+    use crate::job::JobValue;
+
+    fn job(id: u64, shard: usize, class: JobClass, wait_s: f64, service_s: f64) -> CompletedJob {
+        CompletedJob {
+            id,
+            tenant: "t".to_string(),
+            class,
+            kind: "scal",
+            shard,
+            value: JobValue::Scalar(0.0),
+            run: psim_kernels::KernelRun::default(),
+            wait_s,
+            service_s,
+            service_cycles: (service_s * 1e9) as u64,
+        }
+    }
+
+    #[test]
+    fn aggregates_makespan_and_speedup() {
+        let jobs = vec![
+            job(0, 0, JobClass::Batch, 0.0, 2e-6),
+            job(1, 1, JobClass::Batch, 0.0, 1e-6),
+            job(2, 1, JobClass::Interactive, 1e-6, 1e-6),
+        ];
+        let s = SimStats::from_jobs(&jobs, 2);
+        assert_eq!(s.jobs, 3);
+        assert!((s.serial_s - 4e-6).abs() < 1e-18);
+        assert!((s.makespan_s - 2e-6).abs() < 1e-18);
+        assert!((s.speedup_vs_serial - 2.0).abs() < 1e-9);
+        assert_eq!(s.per_shard_busy_cycles, vec![2000, 2000]);
+        // Interactive class appears first in the per-class breakdown.
+        assert_eq!(s.per_class[0].class, "interactive");
+        assert_eq!(s.per_class[0].jobs, 1);
+        assert_eq!(s.per_class[1].jobs, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_well_defined() {
+        let s = SimStats::from_jobs(&[], 4);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.makespan_cycles, 0);
+        assert_eq!(s.jobs_per_sim_s, 0.0);
+        assert!(s.per_class.is_empty());
+    }
+
+    #[test]
+    fn sim_stats_serialize_to_json() {
+        use serde::Serialize as _;
+        let jobs = vec![job(0, 0, JobClass::Batch, 0.0, 5e-7)];
+        let s = SimStats::from_jobs(&jobs, 1);
+        let js = s.to_json();
+        assert!(js.starts_with('{'), "{js}");
+        assert!(js.contains("\"makespan_cycles\""));
+        assert!(js.contains("\"per_class\""));
+    }
+}

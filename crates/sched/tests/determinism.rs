@@ -1,0 +1,167 @@
+//! Determinism contract of the sharded executor: the host thread count is
+//! a pure performance knob — an N-thread run must be *byte-identical* to a
+//! serial run of the same batch (job values, shard placement, and the
+//! serialized simulated statistics), for hand-built batches and for
+//! proptest-generated random multi-tenant job mixes.
+
+use proptest::prelude::*;
+use psim_kernels::PimDevice;
+use psim_sched::{
+    BatchReport, ExecutorConfig, JobClass, JobKind, JobQueue, JobSpec, ShardExecutor,
+};
+use psim_sparse::gen;
+use psim_sparse::Coo;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Run the same batch with a given host thread count.
+fn run_with_threads(specs: &[JobSpec], shards: usize, threads: usize) -> BatchReport {
+    let queue = JobQueue::bounded(specs.len().max(1));
+    for spec in specs {
+        queue.submit(spec.clone()).unwrap();
+    }
+    let exec = ShardExecutor::new(ExecutorConfig {
+        device: PimDevice::tiny(shards.max(2)),
+        shards,
+        host_threads: threads,
+    })
+    .unwrap();
+    exec.drain_and_run(&queue).unwrap()
+}
+
+/// Everything that must be reproducible: the deterministic half of the
+/// stats plus every job's placement and numeric result.
+fn fingerprint(report: &BatchReport) -> String {
+    let mut s = report.stats.sim.to_json();
+    for job in &report.jobs {
+        s.push_str(&format!(
+            "|{}:{}:{}:{}:{}:{:x}:{:x}",
+            job.id,
+            job.tenant,
+            job.class.label(),
+            job.kind,
+            job.shard,
+            job.wait_s.to_bits(),
+            job.service_s.to_bits(),
+        ));
+        match &job.value {
+            psim_sched::JobValue::Scalar(v) => s.push_str(&format!("={:x}", v.to_bits())),
+            psim_sched::JobValue::Vector(v) => {
+                for x in v {
+                    s.push_str(&format!(",{:x}", x.to_bits()));
+                }
+            }
+        }
+    }
+    s
+}
+
+fn mixed_batch() -> Vec<JobSpec> {
+    let a = Arc::new(gen::rmat(48, 3, 11));
+    let b = Arc::new(gen::rmat(24, 2, 12));
+    let x48: Vec<f64> = (0..48).map(|i| 0.5 + i as f64).collect();
+    let x24: Vec<f64> = (0..24).map(|i| 1.0 + (i % 5) as f64).collect();
+    vec![
+        JobSpec::batch("alice", JobKind::spmv(Arc::clone(&a), x48.clone())),
+        JobSpec::batch("bob", JobKind::spmv(Arc::clone(&b), x24.clone())),
+        JobSpec::batch(
+            "carol",
+            JobKind::Dot {
+                x: x48.clone(),
+                y: x48.clone(),
+            },
+        )
+        .with_class(JobClass::Interactive),
+        JobSpec::batch(
+            "alice",
+            JobKind::Axpy {
+                alpha: 1.5,
+                x: x24.clone(),
+                y: x24.clone(),
+            },
+        ),
+        JobSpec::batch("bob", JobKind::Norm2 { x: x48.clone() }).with_class(JobClass::BestEffort),
+        JobSpec::batch(
+            "carol",
+            JobKind::Scal {
+                alpha: -2.0,
+                x: x24,
+            },
+        ),
+        JobSpec::batch("dave", JobKind::spmv(a, x48)),
+    ]
+}
+
+#[test]
+fn threaded_run_is_byte_identical_to_serial() {
+    let specs = mixed_batch();
+    let serial = run_with_threads(&specs, 4, 1);
+    let serial_fp = fingerprint(&serial);
+    for threads in [2, 3, 4, 8] {
+        let parallel = run_with_threads(&specs, 4, threads);
+        assert_eq!(
+            serial_fp,
+            fingerprint(&parallel),
+            "{threads} host threads diverged from serial"
+        );
+        // Host half may differ — but must report what actually ran.
+        assert_eq!(parallel.stats.host.threads, threads.min(4));
+    }
+}
+
+#[test]
+fn shard_count_is_a_simulated_parameter_not_noise() {
+    // Different shard counts ARE allowed to differ (a shard is a smaller
+    // device) — but each must be self-consistent across thread counts.
+    let specs = mixed_batch();
+    for shards in [1, 2, 4] {
+        let one = run_with_threads(&specs, shards, 1);
+        let many = run_with_threads(&specs, shards, 4);
+        assert_eq!(fingerprint(&one), fingerprint(&many), "shards = {shards}");
+    }
+}
+
+/// Random multi-tenant job mixes for the property test.
+fn arb_specs() -> impl Strategy<Value = Vec<JobSpec>> {
+    let tenant = prop::sample::select(vec!["t0", "t1", "t2", "t3"]);
+    let class = prop::sample::select(vec![
+        JobClass::Interactive,
+        JobClass::Batch,
+        JobClass::BestEffort,
+    ]);
+    let kind = (2usize..24, 0u64..1000, 0usize..4).prop_map(|(n, seed, which)| {
+        let x = gen::dense_vector(n, seed);
+        let y = gen::dense_vector(n, seed.wrapping_add(7));
+        match which {
+            0 => {
+                let degree = (n / 8).max(1);
+                let a: Arc<Coo> = Arc::new(gen::rmat(n.next_power_of_two(), degree, seed));
+                let x = gen::dense_vector(n.next_power_of_two(), seed);
+                JobKind::spmv(a, x)
+            }
+            1 => JobKind::Axpy {
+                alpha: 0.5 + seed as f64 / 100.0,
+                x,
+                y,
+            },
+            2 => JobKind::Dot { x, y },
+            _ => JobKind::Norm2 { x },
+        }
+    });
+    prop::collection::vec(
+        (tenant, class, kind)
+            .prop_map(|(tenant, class, kind)| JobSpec::batch(tenant, kind).with_class(class)),
+        1..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_job_mixes_are_deterministic_across_threads(specs in arb_specs()) {
+        let serial = run_with_threads(&specs, 2, 1);
+        let parallel = run_with_threads(&specs, 2, 4);
+        prop_assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+    }
+}

@@ -70,16 +70,16 @@ impl BitmapMatrix {
         assert_eq!(x.len(), self.ncols, "spmv operand length mismatch");
         let mut y = vec![0.0; self.nrows];
         let mut vi = 0usize;
-        for r in 0..self.nrows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for c in 0..self.ncols {
+            for (c, &xc) in x.iter().enumerate() {
                 let pos = r * self.ncols + c;
                 if self.bits[pos / 64] >> (pos % 64) & 1 == 1 {
-                    acc += self.values[vi] * x[c];
+                    acc += self.values[vi] * xc;
                     vi += 1;
                 }
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }

@@ -161,13 +161,7 @@ impl BlockPlan {
     }
 }
 
-fn recurse(
-    triangle: Triangle,
-    lo: usize,
-    hi: usize,
-    max_block: usize,
-    steps: &mut Vec<BlockStep>,
-) {
+fn recurse(triangle: Triangle, lo: usize, hi: usize, max_block: usize, steps: &mut Vec<BlockStep>) {
     let n = hi - lo;
     if n <= max_block {
         steps.push(BlockStep::Solve { lo, hi });
@@ -274,7 +268,10 @@ mod tests {
     fn upper_plan_solves_trailing_block_first() {
         let plan = BlockPlan::build(Triangle::Upper, 20, 10);
         assert_eq!(plan.steps()[0], BlockStep::Solve { lo: 10, hi: 20 });
-        assert!(matches!(plan.steps()[1], BlockStep::Update { row_lo: 0, .. }));
+        assert!(matches!(
+            plan.steps()[1],
+            BlockStep::Update { row_lo: 0, .. }
+        ));
     }
 
     #[test]
@@ -289,6 +286,6 @@ mod tests {
     fn mismatched_dims_rejected() {
         let t = random_lower(10, 1);
         let plan = BlockPlan::build(Triangle::Lower, 20, 8);
-        assert!(plan.execute_reference(&t, &vec![0.0; 20]).is_err());
+        assert!(plan.execute_reference(&t, &[0.0; 20]).is_err());
     }
 }

@@ -322,8 +322,16 @@ impl FromIterator<Entry> for Coo {
     /// Collect entries; the shape is inferred as one past the maximum index.
     fn from_iter<T: IntoIterator<Item = Entry>>(iter: T) -> Self {
         let entries: Vec<Entry> = iter.into_iter().collect();
-        let nrows = entries.iter().map(|e| e.row as usize + 1).max().unwrap_or(0);
-        let ncols = entries.iter().map(|e| e.col as usize + 1).max().unwrap_or(0);
+        let nrows = entries
+            .iter()
+            .map(|e| e.row as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let ncols = entries
+            .iter()
+            .map(|e| e.col as usize + 1)
+            .max()
+            .unwrap_or(0);
         Coo {
             nrows,
             ncols,

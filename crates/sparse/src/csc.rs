@@ -112,8 +112,7 @@ impl Csc {
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols, "spmv operand length mismatch");
         let mut y = vec![0.0; self.nrows];
-        for c in 0..self.ncols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc == 0.0 {
                 continue;
             }

@@ -168,12 +168,12 @@ impl Csr {
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols, "spmv operand length mismatch");
         let mut y = vec![0.0; self.nrows];
-        for r in 0..self.nrows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row(r) {
                 acc += v * x[c];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }

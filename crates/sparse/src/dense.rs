@@ -36,7 +36,10 @@ impl SparseVec {
             "sparse vector index out of range"
         );
         pairs.sort_by_key(|&(i, _)| i);
-        SparseVec { dim, entries: pairs }
+        SparseVec {
+            dim,
+            entries: pairs,
+        }
     }
 
     /// Gather the non-zeros of a dense vector (the GATHER kernel).
@@ -101,7 +104,12 @@ impl SparseVec {
     /// the *union* of patterns (missing side contributes the identity).
     /// This is the semantics of the PU's index calculator in union mode.
     #[must_use]
-    pub fn union_op(&self, other: &SparseVec, identity: f64, op: impl Fn(f64, f64) -> f64) -> SparseVec {
+    pub fn union_op(
+        &self,
+        other: &SparseVec,
+        identity: f64,
+        op: impl Fn(f64, f64) -> f64,
+    ) -> SparseVec {
         assert_eq!(self.dim, other.dim, "union_op dimension mismatch");
         let (mut i, mut j) = (0usize, 0usize);
         let mut out = Vec::new();
@@ -176,7 +184,11 @@ impl FromIterator<(u32, f64)> for SparseVec {
     /// Collect pairs; the dimension is inferred as one past the max index.
     fn from_iter<T: IntoIterator<Item = (u32, f64)>>(iter: T) -> Self {
         let pairs: Vec<(u32, f64)> = iter.into_iter().collect();
-        let dim = pairs.iter().map(|&(i, _)| i as usize + 1).max().unwrap_or(0);
+        let dim = pairs
+            .iter()
+            .map(|&(i, _)| i as usize + 1)
+            .max()
+            .unwrap_or(0);
         SparseVec::from_pairs(dim, pairs)
     }
 }

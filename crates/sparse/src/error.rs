@@ -56,7 +56,10 @@ impl fmt::Display for SparseError {
                 write!(f, "matrix is {nrows}x{ncols} but must be square")
             }
             SparseError::DimensionMismatch { expected, found } => {
-                write!(f, "vector length {found} does not match dimension {expected}")
+                write!(
+                    f,
+                    "vector length {found} does not match dimension {expected}"
+                )
             }
             SparseError::SingularDiagonal { row } => {
                 write!(f, "zero or missing diagonal element at row {row}")

@@ -72,7 +72,8 @@ pub fn rmat_seeded(n: usize, avg_deg: usize, seed_salt: u64, seed: u64) -> Coo {
 /// Uniform Erdős–Rényi sparsity: each of `nnz` entries drawn uniformly.
 #[must_use]
 pub fn erdos_renyi(nrows: usize, ncols: usize, nnz: usize, seed_salt: u64) -> Coo {
-    let mut rng = StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0xA24B_AED4_963E_E407));
+    let mut rng =
+        StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0xA24B_AED4_963E_E407));
     let mut m = Coo::new(nrows, ncols);
     for _ in 0..nnz {
         let r = rng.gen_range(0..nrows) as u32;
@@ -89,7 +90,8 @@ pub fn erdos_renyi(nrows: usize, ncols: usize, nnz: usize, seed_salt: u64) -> Co
 /// concentration, low level-count triangles).
 #[must_use]
 pub fn banded_fem(n: usize, bandwidth: usize, per_row: usize, seed_salt: u64) -> Coo {
-    let mut rng = StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    let mut rng =
+        StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
     let mut m = Coo::new(n, n);
     for i in 0..n {
         m.push(i as u32, i as u32, 4.0 + rng.gen::<f64>());
@@ -110,7 +112,8 @@ pub fn banded_fem(n: usize, bandwidth: usize, per_row: usize, seed_salt: u64) ->
 /// mimics multibody matrices like `crankseg_2` (high density, clustered).
 #[must_use]
 pub fn block_diag_fem(n: usize, block: usize, fill: f64, seed_salt: u64) -> Coo {
-    let mut rng = StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0x1656_67B1_9E37_79F9));
+    let mut rng =
+        StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0x1656_67B1_9E37_79F9));
     let mut m = Coo::new(n, n);
     let nblocks = n.div_ceil(block);
     for b in 0..nblocks {
@@ -143,7 +146,8 @@ pub fn block_diag_fem(n: usize, block: usize, fill: f64, seed_salt: u64) -> Coo 
 /// proportional to a Zipf weight.
 #[must_use]
 pub fn web_hubs(n: usize, nnz: usize, seed_salt: u64) -> Coo {
-    let mut rng = StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0x27D4_EB2F_1656_67C5));
+    let mut rng =
+        StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0x27D4_EB2F_1656_67C5));
     let mut m = Coo::new(n, n);
     for _ in 0..nnz {
         let r = rng.gen_range(0..n) as u32;
@@ -156,7 +160,6 @@ pub fn web_hubs(n: usize, nnz: usize, seed_salt: u64) -> Coo {
     m
 }
 
-
 /// Layered DAG matrix: rows split into `layers` index-contiguous layers;
 /// each row (outside layer 0) draws `deg` dependencies uniformly from the
 /// *previous* layer. The lower triangle therefore has exactly `layers`
@@ -165,7 +168,8 @@ pub fn web_hubs(n: usize, nnz: usize, seed_salt: u64) -> Coo {
 /// it in one launch (paper §VII-C).
 #[must_use]
 pub fn layered_dag(n: usize, deg: usize, layers: usize, seed_salt: u64) -> Coo {
-    let mut rng = StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0xB492_B66F_BE98_F273));
+    let mut rng =
+        StdRng::seed_from_u64(DEFAULT_SEED ^ seed_salt.wrapping_mul(0xB492_B66F_BE98_F273));
     let layers = layers.clamp(2, n.max(2));
     let layer_len = n.div_ceil(layers);
     let mut m = Coo::new(n, n);
@@ -264,7 +268,10 @@ mod tests {
         let counts = m.col_counts();
         let max = *counts.iter().max().unwrap();
         let avg = m.nnz() as f64 / 256.0;
-        assert!(max as f64 > 4.0 * avg, "hub skew expected: max={max} avg={avg}");
+        assert!(
+            max as f64 > 4.0 * avg,
+            "hub skew expected: max={max} avg={avg}"
+        );
     }
 
     #[test]

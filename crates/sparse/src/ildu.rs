@@ -57,7 +57,11 @@ impl Ildu {
         let max_diag = (0..n)
             .filter_map(|i| rows[i].get(&(i as u32)).map(|v| v.abs()))
             .fold(0.0f64, f64::max);
-        let shift = if max_diag > 0.0 { max_diag * 1e-8 } else { 1e-8 };
+        let shift = if max_diag > 0.0 {
+            max_diag * 1e-8
+        } else {
+            1e-8
+        };
 
         // IKJ ILU(0): for each row i, eliminate with previous pivot rows k
         // present in row i's pattern.
@@ -152,8 +156,7 @@ impl Ildu {
         let mut out = vec![vec![0.0; n]; n];
         let ucsr = Csr::from(&uf);
         for i in 0..n {
-            for k in 0..n {
-                let lik = ld[i][k];
+            for (k, &lik) in ld[i].iter().enumerate() {
                 if lik == 0.0 {
                     continue;
                 }
@@ -189,8 +192,8 @@ pub fn make_spd(a: &Coo) -> Coo {
     for e in m.iter() {
         row_abs[e.row as usize] += e.val.abs();
     }
-    for i in 0..n {
-        m.push(i as u32, i as u32, row_abs[i] + 1.0);
+    for (i, ra) in row_abs.iter().enumerate() {
+        m.push(i as u32, i as u32, ra + 1.0);
     }
     m
 }
@@ -265,11 +268,7 @@ mod tests {
         let x = vec![1.0; 16];
         // b = L D U x
         let ux = f.u.matvec(&x);
-        let dux: Vec<f64> = ux
-            .iter()
-            .zip(&f.inv_d)
-            .map(|(v, inv)| v / inv)
-            .collect();
+        let dux: Vec<f64> = ux.iter().zip(&f.inv_d).map(|(v, inv)| v / inv).collect();
         let b = f.l.matvec(&dux);
         let got = f.apply(&b).unwrap();
         for (g, want) in got.iter().zip(&x) {

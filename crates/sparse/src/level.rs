@@ -120,7 +120,6 @@ impl LevelSchedule {
     }
 }
 
-
 /// Apply the level-order row reordering (paper §VI-D) to a triangular
 /// system: rows are renumbered level-by-level, which turns either triangle
 /// into a *lower* unit triangular system whose rows within a level are
@@ -138,7 +137,11 @@ pub fn reorder_to_lower(t: &UnitTriangular) -> (UnitTriangular, Vec<usize>) {
     for e in t.strict().iter() {
         // Dependencies always map to earlier positions, so the result is
         // strictly lower triangular for both source triangles.
-        strict.push(pos[e.row as usize] as u32, pos[e.col as usize] as u32, e.val);
+        strict.push(
+            pos[e.row as usize] as u32,
+            pos[e.col as usize] as u32,
+            e.val,
+        );
     }
     let reordered = UnitTriangular::from_strict(Triangle::Lower, strict)
         .expect("level order places dependencies below the diagonal");
@@ -232,7 +235,7 @@ mod tests {
         assert_eq!(lower.triangle(), Triangle::Lower);
         let pb: Vec<f64> = perm.iter().map(|&old| b[old]).collect();
         let px = lower.solve_colwise(&pb).unwrap();
-        let mut x = vec![0.0; 4];
+        let mut x = [0.0; 4];
         for (new, &old) in perm.iter().enumerate() {
             x[old] = px[new];
         }

@@ -26,7 +26,9 @@ pub fn read_str(text: &str) -> Result<Coo, SparseError> {
         .ok_or_else(|| SparseError::Parse("empty file".to_string()))?;
     let header_lc = header.to_ascii_lowercase();
     if !header_lc.starts_with("%%matrixmarket") {
-        return Err(SparseError::Parse("missing MatrixMarket banner".to_string()));
+        return Err(SparseError::Parse(
+            "missing MatrixMarket banner".to_string(),
+        ));
     }
     if !header_lc.contains("coordinate") {
         return Err(SparseError::Parse(
@@ -107,8 +109,7 @@ pub fn write_str(m: &Coo) -> String {
 ///
 /// Returns [`SparseError::Parse`] wrapping I/O failures.
 pub fn write_file(m: &Coo, path: impl AsRef<Path>) -> Result<(), SparseError> {
-    fs::write(path.as_ref(), write_str(m))
-        .map_err(|e| SparseError::Parse(format!("io error: {e}")))
+    fs::write(path.as_ref(), write_str(m)).map_err(|e| SparseError::Parse(format!("io error: {e}")))
 }
 
 fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, SparseError>
@@ -137,7 +138,8 @@ mod tests {
 
     #[test]
     fn parses_comments_and_pattern() {
-        let text = "%%MatrixMarket matrix coordinate pattern general\n% comment\n\n2 2 2\n1 1\n2 2\n";
+        let text =
+            "%%MatrixMarket matrix coordinate pattern general\n% comment\n\n2 2 2\n1 1\n2 2\n";
         let m = read_str(text).unwrap();
         assert_eq!(m.nnz(), 2);
         assert_eq!(m.entries()[0], Entry::new(0, 0, 1.0));

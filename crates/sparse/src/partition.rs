@@ -281,8 +281,7 @@ impl BankPartition {
             })
             .sum();
         let vbytes = self.config.precision.bytes();
-        let external_bytes =
-            input_replication * vbytes + output_accumulation * (vbytes + 4);
+        let external_bytes = input_replication * vbytes + output_accumulation * (vbytes + 4);
         PartitionStats {
             num_submatrices: self.submatrices.len(),
             banks_used,

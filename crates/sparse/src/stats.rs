@@ -90,17 +90,29 @@ impl MatrixStats {
             ncols,
             nnz,
             density: a.density(),
-            avg_row_nnz: if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 },
+            avg_row_nnz: if nrows == 0 {
+                0.0
+            } else {
+                nnz as f64 / nrows as f64
+            },
             max_row_nnz: max,
             row_skew: if mean > 0.0 { max as f64 / mean } else { 1.0 },
             row_cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
-            normalized_bandwidth: if nnz == 0 { 0.0 } else { band_sum / nnz as f64 / dim },
+            normalized_bandwidth: if nnz == 0 {
+                0.0
+            } else {
+                band_sum / nnz as f64 / dim
+            },
             pattern_symmetry: if off_diag == 0 {
                 1.0
             } else {
                 mirrored as f64 / off_diag as f64
             },
-            diagonal_fraction: if nnz == 0 { 0.0 } else { diag as f64 / nnz as f64 },
+            diagonal_fraction: if nnz == 0 {
+                0.0
+            } else {
+                diag as f64 / nnz as f64
+            },
         }
     }
 
@@ -156,7 +168,11 @@ mod tests {
     fn banded_matrix_has_small_bandwidth_and_low_skew() {
         let a = gen::banded_fem(512, 8, 4, 1);
         let s = MatrixStats::analyze(&a);
-        assert!(s.normalized_bandwidth < 0.02, "band {}", s.normalized_bandwidth);
+        assert!(
+            s.normalized_bandwidth < 0.02,
+            "band {}",
+            s.normalized_bandwidth
+        );
         assert!(s.row_skew < 2.5, "skew {}", s.row_skew);
         assert!(s.diagonal_fraction > 0.1);
     }
@@ -166,7 +182,11 @@ mod tests {
         let a = gen::rmat(512, 8, 2);
         let s = MatrixStats::analyze(&a);
         assert!(s.row_skew > 2.5, "skew {}", s.row_skew);
-        assert!(s.normalized_bandwidth > 0.05, "band {}", s.normalized_bandwidth);
+        assert!(
+            s.normalized_bandwidth > 0.05,
+            "band {}",
+            s.normalized_bandwidth
+        );
     }
 
     #[test]

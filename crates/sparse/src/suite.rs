@@ -119,10 +119,9 @@ impl MatrixSpec {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-        })
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 const FP64: Precision = Precision::Fp64;
@@ -130,32 +129,240 @@ const INT8: Precision = Precision::Int8;
 
 /// All 26 matrices of Table IX.
 pub const TABLE_IX: [MatrixSpec; 26] = [
-    MatrixSpec { name: "2cubes_sphere", dim: 101_492, density: 1.60e-5, family: Family::BandedFem { bandwidth_frac: 0.01 }, tags: &[Tag::SpTrsv, Tag::Pcg], precision: FP64 },
-    MatrixSpec { name: "amazon0312", dim: 400_727, density: 1.99e-5, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
-    MatrixSpec { name: "bcsstk32", dim: 44_609, density: 1.01e-3, family: Family::BandedFem { bandwidth_frac: 0.002 }, tags: &[Tag::SpMv], precision: FP64 },
-    MatrixSpec { name: "ca-CondMat", dim: 23_133, density: 3.49e-4, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
-    MatrixSpec { name: "cant", dim: 62_451, density: 1.03e-3, family: Family::BandedFem { bandwidth_frac: 0.005 }, tags: &[Tag::SpMv], precision: FP64 },
-    MatrixSpec { name: "consph", dim: 83_334, density: 8.66e-4, family: Family::BandedFem { bandwidth_frac: 0.005 }, tags: &[Tag::SpMv], precision: FP64 },
-    MatrixSpec { name: "crankseg_2", dim: 63_838, density: 3.47e-3, family: Family::BlockedFem, tags: &[Tag::SpMv], precision: FP64 },
-    MatrixSpec { name: "ct20stif", dim: 52_329, density: 9.50e-4, family: Family::BandedFem { bandwidth_frac: 0.01 }, tags: &[Tag::SpMv], precision: FP64 },
-    MatrixSpec { name: "email-Enron", dim: 36_692, density: 2.73e-4, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
-    MatrixSpec { name: "facebook", dim: 4_039, density: 5.41e-3, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
-    MatrixSpec { name: "lhr71", dim: 70_304, density: 3.02e-4, family: Family::Uniform, tags: &[Tag::SpMv], precision: FP64 },
-    MatrixSpec { name: "offshore", dim: 259_789, density: 6.29e-5, family: Family::BandedFem { bandwidth_frac: 0.008 }, tags: &[Tag::SpTrsv, Tag::Pcg], precision: FP64 },
-    MatrixSpec { name: "ohne2", dim: 181_343, density: 2.09e-4, family: Family::BandedFem { bandwidth_frac: 0.01 }, tags: &[Tag::SpMv], precision: FP64 },
-    MatrixSpec { name: "p2p-Gnutella31", dim: 62_586, density: 3.62e-5, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
-    MatrixSpec { name: "parabolic_fem", dim: 525_825, density: 1.33e-5, family: Family::Layered { layers: 10 }, tags: &[Tag::SpTrsv, Tag::Pcg], precision: FP64 },
-    MatrixSpec { name: "pdb1HYS", dim: 36_417, density: 3.28e-3, family: Family::BlockedFem, tags: &[Tag::SpMv], precision: FP64 },
-    MatrixSpec { name: "poisson3Da", dim: 13_514, density: 1.93e-3, family: Family::BandedFem { bandwidth_frac: 0.05 }, tags: &[Tag::SpTrsv], precision: FP64 },
-    MatrixSpec { name: "pwtk", dim: 217_918, density: 2.43e-4, family: Family::BandedFem { bandwidth_frac: 0.002 }, tags: &[Tag::SpMv], precision: FP64 },
-    MatrixSpec { name: "rma10", dim: 46_835, density: 1.06e-3, family: Family::BandedFem { bandwidth_frac: 0.01 }, tags: &[Tag::SpMv, Tag::SpTrsv], precision: FP64 },
-    MatrixSpec { name: "roadNet-CA", dim: 1_971_281, density: 1.42e-6, family: Family::BandedFem { bandwidth_frac: 0.001 }, tags: &[Tag::Graphs], precision: FP64 },
-    MatrixSpec { name: "shipsec1", dim: 140_874, density: 1.80e-4, family: Family::BandedFem { bandwidth_frac: 0.003 }, tags: &[Tag::SpMv], precision: FP64 },
-    MatrixSpec { name: "soc-sign-epinions", dim: 131_828, density: 4.84e-5, family: Family::PowerLawGraph, tags: &[Tag::SpMv], precision: INT8 },
-    MatrixSpec { name: "Stanford", dim: 281_903, density: 2.90e-5, family: Family::WebHubs, tags: &[Tag::SpMv, Tag::Graphs], precision: INT8 },
-    MatrixSpec { name: "webbase-1M", dim: 1_000_005, density: 3.11e-6, family: Family::WebHubs, tags: &[Tag::SpMv], precision: FP64 },
-    MatrixSpec { name: "wiki-Vote", dim: 8_297, density: 1.51e-3, family: Family::PowerLawGraph, tags: &[Tag::Graphs], precision: FP64 },
-    MatrixSpec { name: "xenon2", dim: 157_464, density: 1.56e-4, family: Family::BandedFem { bandwidth_frac: 0.005 }, tags: &[Tag::SpMv], precision: FP64 },
+    MatrixSpec {
+        name: "2cubes_sphere",
+        dim: 101_492,
+        density: 1.60e-5,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.01,
+        },
+        tags: &[Tag::SpTrsv, Tag::Pcg],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "amazon0312",
+        dim: 400_727,
+        density: 1.99e-5,
+        family: Family::PowerLawGraph,
+        tags: &[Tag::Graphs],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "bcsstk32",
+        dim: 44_609,
+        density: 1.01e-3,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.002,
+        },
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "ca-CondMat",
+        dim: 23_133,
+        density: 3.49e-4,
+        family: Family::PowerLawGraph,
+        tags: &[Tag::Graphs],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "cant",
+        dim: 62_451,
+        density: 1.03e-3,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.005,
+        },
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "consph",
+        dim: 83_334,
+        density: 8.66e-4,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.005,
+        },
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "crankseg_2",
+        dim: 63_838,
+        density: 3.47e-3,
+        family: Family::BlockedFem,
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "ct20stif",
+        dim: 52_329,
+        density: 9.50e-4,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.01,
+        },
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "email-Enron",
+        dim: 36_692,
+        density: 2.73e-4,
+        family: Family::PowerLawGraph,
+        tags: &[Tag::Graphs],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "facebook",
+        dim: 4_039,
+        density: 5.41e-3,
+        family: Family::PowerLawGraph,
+        tags: &[Tag::Graphs],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "lhr71",
+        dim: 70_304,
+        density: 3.02e-4,
+        family: Family::Uniform,
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "offshore",
+        dim: 259_789,
+        density: 6.29e-5,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.008,
+        },
+        tags: &[Tag::SpTrsv, Tag::Pcg],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "ohne2",
+        dim: 181_343,
+        density: 2.09e-4,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.01,
+        },
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "p2p-Gnutella31",
+        dim: 62_586,
+        density: 3.62e-5,
+        family: Family::PowerLawGraph,
+        tags: &[Tag::Graphs],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "parabolic_fem",
+        dim: 525_825,
+        density: 1.33e-5,
+        family: Family::Layered { layers: 10 },
+        tags: &[Tag::SpTrsv, Tag::Pcg],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "pdb1HYS",
+        dim: 36_417,
+        density: 3.28e-3,
+        family: Family::BlockedFem,
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "poisson3Da",
+        dim: 13_514,
+        density: 1.93e-3,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.05,
+        },
+        tags: &[Tag::SpTrsv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "pwtk",
+        dim: 217_918,
+        density: 2.43e-4,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.002,
+        },
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "rma10",
+        dim: 46_835,
+        density: 1.06e-3,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.01,
+        },
+        tags: &[Tag::SpMv, Tag::SpTrsv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "roadNet-CA",
+        dim: 1_971_281,
+        density: 1.42e-6,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.001,
+        },
+        tags: &[Tag::Graphs],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "shipsec1",
+        dim: 140_874,
+        density: 1.80e-4,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.003,
+        },
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "soc-sign-epinions",
+        dim: 131_828,
+        density: 4.84e-5,
+        family: Family::PowerLawGraph,
+        tags: &[Tag::SpMv],
+        precision: INT8,
+    },
+    MatrixSpec {
+        name: "Stanford",
+        dim: 281_903,
+        density: 2.90e-5,
+        family: Family::WebHubs,
+        tags: &[Tag::SpMv, Tag::Graphs],
+        precision: INT8,
+    },
+    MatrixSpec {
+        name: "webbase-1M",
+        dim: 1_000_005,
+        density: 3.11e-6,
+        family: Family::WebHubs,
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "wiki-Vote",
+        dim: 8_297,
+        density: 1.51e-3,
+        family: Family::PowerLawGraph,
+        tags: &[Tag::Graphs],
+        precision: FP64,
+    },
+    MatrixSpec {
+        name: "xenon2",
+        dim: 157_464,
+        density: 1.56e-4,
+        family: Family::BandedFem {
+            bandwidth_frac: 0.005,
+        },
+        tags: &[Tag::SpMv],
+        precision: FP64,
+    },
 ];
 
 /// Specs carrying a tag, in Table IX order.

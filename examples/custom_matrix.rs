@@ -47,8 +47,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  submatrices          {}", stats.num_submatrices);
     println!("  banks used           {} / 256", stats.banks_used);
     println!("  load imbalance       {:.2}", stats.imbalance());
-    println!("  input replication    {} elements", stats.input_replication);
-    println!("  external traffic     {:.1} KiB", stats.external_bytes as f64 / 1024.0);
+    println!(
+        "  input replication    {} elements",
+        stats.input_replication
+    );
+    println!(
+        "  external traffic     {:.1} KiB",
+        stats.external_bytes as f64 / 1024.0
+    );
 
     println!("\nexecution:");
     println!("  waves                {}", res.waves);

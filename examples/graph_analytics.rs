@@ -8,7 +8,7 @@
 //! ```
 
 use psyncpim::apps::{bfs, cc, pagerank, sssp};
-use psyncpim::apps::{GpuRuntime, GpuStack, PimRuntime, Runtime};
+use psyncpim::apps::{GpuRuntime, GpuStack, PimRuntime};
 use psyncpim::baselines::GpuModel;
 use psyncpim::kernels::PimDevice;
 use psyncpim::sparse::{gen, Precision};

@@ -8,7 +8,7 @@
 //! ```
 
 use psyncpim::apps::cg::pcg;
-use psyncpim::apps::{GpuRuntime, GpuStack, PimRuntime, Runtime};
+use psyncpim::apps::{GpuRuntime, GpuStack, PimRuntime};
 use psyncpim::baselines::GpuModel;
 use psyncpim::kernels::{PimDevice, SptrsvPim};
 use psyncpim::sparse::level::reorder_to_lower;
@@ -66,12 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p.run.total_s(),
         p.run.breakdown.fractions()[1] * 100.0
     );
-    let err = p
-        .x
-        .iter()
-        .zip(&x_true)
-        .map(|(g, w)| (g - w).abs())
-        .fold(0.0f64, f64::max);
+    let err =
+        p.x.iter()
+            .zip(&x_true)
+            .map(|(g, w)| (g - w).abs())
+            .fold(0.0f64, f64::max);
     println!("  max |x - x_true| on PIM = {err:.2e}");
     assert!(p.converged && g.converged);
     Ok(())

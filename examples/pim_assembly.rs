@@ -41,7 +41,10 @@ EXIT
     let rx = mem.alloc("x", 8, x.clone());
     let ry = mem.alloc("y", 8, y.clone());
     let mut pu = ProcessingUnit::new();
-    pu.load_kernel(program.clone(), vec![Some(rx), Some(ry), None, None, Some(ry), None, None])?;
+    pu.load_kernel(
+        program.clone(),
+        vec![Some(rx), Some(ry), None, None, Some(ry), None, None],
+    )?;
     pu.set_srf(3.0);
     for &slot in &program.command_schedule()? {
         pu.on_command(slot, &mut mem);
@@ -52,7 +55,11 @@ EXIT
     let got = mem.region(ry).data();
     let want: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| 3.0 * xi + yi).collect();
     assert_eq!(got, want.as_slice());
-    println!("executed on one PU: y[0..4] = {:?} (expected {:?})", &got[..4], &want[..4]);
+    println!(
+        "executed on one PU: y[0..4] = {:?} (expected {:?})",
+        &got[..4],
+        &want[..4]
+    );
     println!(
         "stats: {} instructions, {} memory ops, {} PU cycles busy",
         pu.stats().instructions,

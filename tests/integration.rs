@@ -2,7 +2,7 @@
 //! device against golden references, baseline orderings, and application
 //! agreement across devices.
 
-use psyncpim::apps::runtime::{GpuRuntime, GpuStack, PimRuntime, Runtime};
+use psyncpim::apps::runtime::{GpuRuntime, GpuStack, PimRuntime};
 use psyncpim::apps::{bfs, cc, cg, sssp};
 use psyncpim::baselines::{GpuModel, SpaceAModel};
 use psyncpim::kernels::blas1::Blas1Pim;
@@ -183,5 +183,8 @@ fn energy_and_power_within_envelope() {
         .unwrap();
     let watts = res.run.energy_j / res.run.kernel_s.max(1e-30);
     assert!(watts > 0.05, "implausibly low power {watts} W");
-    assert!(watts < 5.0, "power {watts} W above the paper's HBM2 ceiling");
+    assert!(
+        watts < 5.0,
+        "power {watts} W above the paper's HBM2 ceiling"
+    );
 }

@@ -67,7 +67,12 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         (
             arb_operand(),
             arb_operand(),
-            prop::sample::select(vec![SubQueue::Row, SubQueue::Col, SubQueue::Val, SubQueue::All]),
+            prop::sample::select(vec![
+                SubQueue::Row,
+                SubQueue::Col,
+                SubQueue::Val,
+                SubQueue::All
+            ]),
             arb_precision()
         )
             .prop_map(|(dst, src, sub, precision)| Instruction::SpMov {
@@ -76,8 +81,7 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
                 sub,
                 precision,
             }),
-        (0u8..3, arb_precision())
-            .prop_map(|(src, precision)| Instruction::SpFw { src, precision }),
+        (0u8..3, arb_precision()).prop_map(|(src, precision)| Instruction::SpFw { src, precision }),
         (
             arb_operand(),
             arb_operand(),
@@ -283,10 +287,10 @@ proptest! {
             .run(&a, &x)
             .expect("spmv");
         let want = a.spmv(&x);
-        for i in 0..want.len() {
+        for (i, (yi, wi)) in res.y.iter().zip(&want).enumerate() {
             prop_assert!(
-                (res.y[i] - want[i]).abs() < 1e-9 * want[i].abs().max(1.0),
-                "row {}: {} vs {}", i, res.y[i], want[i]
+                (yi - wi).abs() < 1e-9 * wi.abs().max(1.0),
+                "row {}: {} vs {}", i, yi, wi
             );
         }
     }
@@ -299,8 +303,8 @@ proptest! {
         let res = psyncpim::kernels::SptrsvPim::new(PimDevice::tiny(1))
             .run(&t, &b)
             .expect("sptrsv");
-        for i in 0..want_x.len() {
-            prop_assert!((res.x[i] - want_x[i]).abs() < 1e-8, "row {}", i);
+        for (i, (xi, wi)) in res.x.iter().zip(&want_x).enumerate() {
+            prop_assert!((xi - wi).abs() < 1e-8, "row {}", i);
         }
     }
 }

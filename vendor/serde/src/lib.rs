@@ -1,0 +1,255 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the subset of serde the workspace actually uses: the
+//! [`Serialize`] / [`Deserialize`] traits, derivable through the companion
+//! `serde_derive` proc-macro (re-exported under the `derive` feature), and
+//! a concrete JSON backend ([`json`]) so reports and service stats can be
+//! serialized to a machine-readable form.
+//!
+//! Design notes:
+//!
+//! * [`Serialize`] is a *direct-to-JSON* trait rather than serde's
+//!   visitor architecture — every consumer in this workspace serializes to
+//!   JSON (TSV/report tooling), and the flat design keeps the vendored
+//!   derive macro dependency-free (no `syn`/`quote` in the image).
+//! * [`Deserialize`] is a marker trait: nothing in the workspace parses
+//!   serialized data back, but the derives keep compiling unchanged.
+//! * Output is deterministic: struct fields serialize in declaration
+//!   order, floats use Rust's shortest round-trip formatting, and
+//!   non-finite floats map to `null` (JSON has no NaN/Inf).
+
+/// Serialize a value to JSON.
+///
+/// Implemented for primitives/collections here and derived for workspace
+/// types by `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+
+    /// The JSON encoding of `self` as a fresh string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.serialize_json(&mut s);
+        s
+    }
+}
+
+/// Marker for deserializable types (no runtime behaviour; the workspace
+/// never parses serialized data back).
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Helpers used by the derive macro and hand-written impls.
+pub mod json {
+    use super::Serialize;
+
+    /// Append a JSON string literal (with escaping) to `out`.
+    pub fn write_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Append `"key":` to `out`.
+    pub fn write_key(out: &mut String, key: &str) {
+        write_str(out, key);
+        out.push(':');
+    }
+
+    /// Append a finite-checked JSON number for `v` (`null` for NaN/Inf).
+    pub fn write_f64(out: &mut String, v: f64) {
+        if v.is_finite() {
+            // `{:?}` is Rust's shortest round-trip float formatting.
+            out.push_str(&format!("{v:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+
+    /// Serialize any `Serialize` slice as a JSON array.
+    pub fn write_seq<T: Serialize>(out: &mut String, items: &[T]) {
+        out.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_f64(out, *self);
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_f64(out, f64::from(*self));
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_str(out, &self.to_string());
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_str(out, self);
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_seq(out, self);
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_seq(out, self);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_seq(out, self);
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(3u64.to_json(), "3");
+        assert_eq!((-5i32).to_json(), "-5");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b".to_json(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers_serialize() {
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Some(1u8).to_json(), "1");
+        assert_eq!(Option::<u8>::None.to_json(), "null");
+        assert_eq!((1u8, "x").to_json(), "[1,\"x\"]");
+        assert_eq!([1.0f64, 2.0].to_json(), "[1.0,2.0]");
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` crate without `syn`/`quote` (unavailable offline): the
+//! item is parsed directly from the raw [`TokenStream`]. Supported shapes —
+//! the ones the workspace uses — are non-generic structs (named, tuple,
+//! unit) and non-generic enums (unit, tuple and struct variants), encoded
+//! with serde's conventions: structs as objects, newtype structs
+//! transparently, enums externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive target's fields.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed derive target.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Split a token list into top-level comma-separated chunks.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                out.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.into_iter().filter(|c| !c.is_empty()).collect()
+}
+
+/// Drop leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn strip_attrs_and_vis(mut tokens: &[TokenTree]) -> &[TokenTree] {
+    loop {
+        match tokens {
+            [TokenTree::Punct(p), TokenTree::Group(_), rest @ ..] if p.as_char() == '#' => {
+                tokens = rest;
+            }
+            [TokenTree::Ident(i), TokenTree::Group(g), rest @ ..]
+                if i.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                tokens = rest;
+            }
+            [TokenTree::Ident(i), rest @ ..] if i.to_string() == "pub" => {
+                tokens = rest;
+            }
+            _ => return tokens,
+        }
+    }
+}
+
+/// Field names of a named-fields body (`{ a: T, b: U }`).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_commas(tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            match chunk {
+                [TokenTree::Ident(name), ..] => Some(name.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Parse the derive input into an [`Item`].
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility ahead of the struct/enum keyword.
+    let is_enum = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "struct" => break false,
+            TokenTree::Ident(id) if id.to_string() == "enum" => break true,
+            _ => i += 1,
+        }
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "vendored serde derive does not support generic type `{name}`"
+        );
+    }
+    if is_enum {
+        let body = match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde derive: expected enum body, found {other}"),
+        };
+        let body: Vec<TokenTree> = body.into_iter().collect();
+        let variants = split_commas(&body)
+            .iter()
+            .filter_map(|chunk| {
+                let chunk = strip_attrs_and_vis(chunk);
+                let (name, rest) = match chunk {
+                    [TokenTree::Ident(n), rest @ ..] => (n.to_string(), rest),
+                    _ => return None,
+                };
+                let fields = match rest.first() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Named(parse_named_fields(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Tuple(split_commas(&inner).len())
+                    }
+                    _ => Fields::Unit,
+                };
+                Some(Variant { name, fields })
+            })
+            .collect();
+        Item::Enum { name, variants }
+    } else {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(split_commas(&inner).len())
+            }
+            _ => Fields::Unit,
+        };
+        Item::Struct { name, fields }
+    }
+}
+
+/// Emit statements serializing named fields bound as `__f_<name>` (enum
+/// variants) or reachable as `&self.<name>` (structs).
+fn gen_named_body(out: &mut String, fields: &[String], accessor: impl Fn(&str) -> String) {
+    out.push_str("out.push('{');\n");
+    for (k, f) in fields.iter().enumerate() {
+        if k > 0 {
+            out.push_str("out.push(',');\n");
+        }
+        out.push_str(&format!("::serde::json::write_key(out, \"{f}\");\n"));
+        out.push_str(&format!(
+            "::serde::Serialize::serialize_json({}, out);\n",
+            accessor(f)
+        ));
+    }
+    out.push_str("out.push('}');\n");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut body = String::new();
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    match item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Named(fs) => gen_named_body(&mut body, &fs, |f| format!("&self.{f}")),
+            Fields::Tuple(1) => {
+                // Newtype structs serialize transparently, as in serde.
+                body.push_str("::serde::Serialize::serialize_json(&self.0, out);\n");
+            }
+            Fields::Tuple(n) => {
+                body.push_str("out.push('[');\n");
+                for k in 0..n {
+                    if k > 0 {
+                        body.push_str("out.push(',');\n");
+                    }
+                    body.push_str(&format!(
+                        "::serde::Serialize::serialize_json(&self.{k}, out);\n"
+                    ));
+                }
+                body.push_str("out.push(']');\n");
+            }
+            Fields::Unit => body.push_str("out.push_str(\"null\");\n"),
+        },
+        Item::Enum { variants, .. } => {
+            body.push_str("match self {\n");
+            for v in &variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        body.push_str(&format!(
+                            "{name}::{vname} => ::serde::json::write_str(out, \"{vname}\"),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        body.push_str(&format!("{name}::{vname}({}) => {{\n", binders.join(", ")));
+                        body.push_str("out.push('{');\n");
+                        body.push_str(&format!("::serde::json::write_key(out, \"{vname}\");\n"));
+                        if *n == 1 {
+                            body.push_str("::serde::Serialize::serialize_json(__f0, out);\n");
+                        } else {
+                            body.push_str("out.push('[');\n");
+                            for (k, b) in binders.iter().enumerate() {
+                                if k > 0 {
+                                    body.push_str("out.push(',');\n");
+                                }
+                                body.push_str(&format!(
+                                    "::serde::Serialize::serialize_json({b}, out);\n"
+                                ));
+                            }
+                            body.push_str("out.push(']');\n");
+                        }
+                        body.push_str("out.push('}');\n}\n");
+                    }
+                    Fields::Named(fs) => {
+                        let binders = fs.join(", ");
+                        body.push_str(&format!("{name}::{vname} {{ {binders} }} => {{\n"));
+                        body.push_str("out.push('{');\n");
+                        body.push_str(&format!("::serde::json::write_key(out, \"{vname}\");\n"));
+                        gen_named_body(&mut body, fs, |f| f.to_string());
+                        body.push_str("out.push('}');\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n{body}}}\n}}\n"
+    );
+    out.parse().expect("serde derive generated invalid code")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}\n")
+        .parse()
+        .expect("serde derive generated invalid code")
+}
