@@ -9,6 +9,9 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> psim-check (protocol + kernel-semantics validation gate)"
+cargo run -q --release -p psim-bench --bin psim_check
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

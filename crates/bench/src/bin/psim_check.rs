@@ -1,0 +1,84 @@
+//! psim-check: the fast validation gate for CI.
+//!
+//! Runs the full kernel self-test battery (every kernel family, both
+//! execution modes) and a differential-oracle sweep (randomized matrices
+//! diffed against CPU references) with the independent JEDEC protocol
+//! checker attached to every command stream. Exits non-zero on any
+//! numeric mismatch, accounting-invariant failure, or protocol
+//! violation, so a timing bug in the channel model fails the build even
+//! when the numerics still come out right.
+
+use psim_kernels::{all_pass, run_oracle, selftest, PimDevice};
+use psyncpim_core::ExecMode;
+
+fn main() {
+    let mut failures = 0usize;
+
+    // Self-test battery: one instance of every kernel family per mode,
+    // validation forced on inside selftest.
+    for (label, device) in [
+        ("all-bank", PimDevice::tiny(2)),
+        ("per-bank", {
+            let mut d = PimDevice::tiny(2);
+            d.mode = ExecMode::PerBank;
+            d
+        }),
+    ] {
+        match selftest(&device) {
+            Ok(results) => {
+                for r in &results {
+                    let status = if r.pass { "ok" } else { "FAIL" };
+                    println!(
+                        "selftest\t{label}\t{}\t{status}\tmax_err={:.3e}",
+                        r.kernel, r.max_err
+                    );
+                }
+                if !all_pass(&results) {
+                    failures += results.iter().filter(|r| !r.pass).count();
+                }
+            }
+            Err(e) => {
+                println!("selftest\t{label}\tERROR\t{e}");
+                failures += 1;
+            }
+        }
+    }
+
+    // Differential oracle: randomized matrix suite through SpMV, SpTRSV
+    // and BLAS-1, numerics + accounting invariants per case.
+    for (label, device, cases) in [
+        ("all-bank", PimDevice::tiny(2), 6),
+        (
+            "per-bank",
+            {
+                let mut d = PimDevice::tiny(2);
+                d.mode = ExecMode::PerBank;
+                d
+            },
+            2,
+        ),
+    ] {
+        match run_oracle(&device, cases, 0x0005_C111_A7E5) {
+            Ok(report) => {
+                for c in &report.cases {
+                    let status = if c.pass { "ok" } else { "FAIL" };
+                    println!(
+                        "oracle\t{label}\t{}\t{}\t{status}\tmax_err={:.3e}\taudit={:?}",
+                        c.kernel, c.matrix, c.max_err, c.audit
+                    );
+                }
+                failures += report.failures().len();
+            }
+            Err(e) => {
+                println!("oracle\t{label}\tERROR\t{e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("psim-check: {failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("psim-check: all checks passed");
+}

@@ -19,15 +19,16 @@
 //! in channel order). Modeling notes (see DESIGN.md §8): the engine tracks
 //! open rows with its own non-stalling cursor per program slot (banks that
 //! predicate off catch up within later iterations of the same rows), and
-//! host completion detection is modeled as one MRS status poll per
-//! iteration.
+//! host completion detection is modeled as one status poll per iteration —
+//! a column read of the status location while a row is open, an MRS
+//! register read otherwise (MRS is only legal with every bank idle).
 
 use crate::error::CoreError;
 use crate::isa::Program;
 use crate::memory::{BankMemory, Binding};
 use crate::pu::ProcessingUnit;
 use crate::stats::PuStats;
-use psim_dram::{ChannelStats, CmdKind, EnergyModel, EnergyStats, HbmConfig, Scope};
+use psim_dram::{ChannelStats, CmdKind, EnergyModel, EnergyStats, HbmConfig, Scope, Violation};
 use serde::{Deserialize, Serialize};
 
 mod channel;
@@ -61,11 +62,16 @@ pub struct EngineConfig {
     /// are counted in [`RunReport::trace_dropped`] instead of growing the
     /// trace without bound on long kernels.
     pub trace_limit: usize,
-    /// Model periodic refresh (all-bank mode): every tREFI the engine
-    /// precharges, issues an all-bank REF and reopens lazily — the
-    /// bandwidth tax real DRAM pays. Off by default (kernel windows
-    /// between refreshes, as DRAMsim3-based studies commonly evaluate).
+    /// Model periodic refresh: every tREFI the engine precharges, issues
+    /// an all-bank REF and reopens lazily — the bandwidth tax real DRAM
+    /// pays. On by default; a kernel that runs refresh-free silently
+    /// violates the JEDEC refresh contract the checker audits.
     pub refresh: bool,
+    /// Self-audit: replay every issued command through an independent
+    /// [`psim_dram::ProtocolChecker`] per channel and cross-check PU
+    /// invariants, surfacing findings in [`RunReport::violations`] and
+    /// [`RunReport::pu_audit`]. Costs one extra state machine per channel.
+    pub validate: bool,
 }
 
 impl Default for EngineConfig {
@@ -77,7 +83,8 @@ impl Default for EngineConfig {
             max_rounds: 50_000_000,
             record_trace: false,
             trace_limit: 1 << 22,
-            refresh: false,
+            refresh: true,
+            validate: false,
         }
     }
 }
@@ -120,6 +127,14 @@ pub struct RunReport {
     /// Commands not recorded because a channel hit
     /// [`EngineConfig::trace_limit`].
     pub trace_dropped: u64,
+    /// Protocol violations found by the independent checker (empty unless
+    /// [`EngineConfig::validate`]; a non-empty list means the timing model
+    /// issued an illegal stream and the run's numbers are suspect).
+    pub violations: Vec<Violation>,
+    /// Violations beyond the per-report cap, counted but not stored.
+    pub violations_suppressed: u64,
+    /// PU-invariant audit failures (empty unless [`EngineConfig::validate`]).
+    pub pu_audit: Vec<String>,
 }
 
 impl RunReport {
@@ -145,6 +160,14 @@ impl RunReport {
     #[must_use]
     pub fn internal_utilization(&self, cfg: &HbmConfig) -> f64 {
         self.achieved_bandwidth(cfg) / cfg.internal_bw
+    }
+
+    /// Total validation findings: protocol violations (stored plus
+    /// suppressed) and PU audit failures. Zero for a clean validated run —
+    /// and trivially zero when validation was off.
+    #[must_use]
+    pub fn violation_count(&self) -> u64 {
+        self.violations.len() as u64 + self.violations_suppressed + self.pu_audit.len() as u64
     }
 }
 
@@ -312,6 +335,7 @@ impl Engine {
         let mut max_rounds_seen = 0u64;
         let mut trace: Vec<TraceEvent> = Vec::new();
         let mut trace_dropped = 0u64;
+        let mut check = psim_dram::CheckReport::default();
         for slot in results {
             let outcome = slot.expect("every channel executed")?;
             per_channel_cycles.push(outcome.cycles);
@@ -319,12 +343,17 @@ impl Engine {
             max_rounds_seen = max_rounds_seen.max(outcome.rounds);
             trace.extend(outcome.trace);
             trace_dropped += outcome.trace_dropped;
+            if let Some(c) = outcome.check {
+                check.merge(&c);
+            }
         }
 
         let dram_cycles = per_channel_cycles.iter().copied().max().unwrap_or(0);
         let seconds = dram_cycles as f64 * self.cfg.hbm.cycle_seconds();
 
-        let mut pu_stats = PuStats::new();
+        // exit_round: max-merge with u64::MAX (still running) dominating,
+        // so the identity is the all-zero default, not PuStats::new().
+        let mut pu_stats = PuStats::default();
         let mut active_pus = 0usize;
         let mut lane_op_energy = 0.0;
         for pu in &self.pus {
@@ -341,6 +370,12 @@ impl Engine {
         energy.pu_pj = lane_op_energy;
         energy.background_pj = self.cfg.energy.background_pj(seconds, active_pus);
 
+        let pu_audit = if self.cfg.validate {
+            self.audit_pus(max_rounds_seen, &commands)
+        } else {
+            Vec::new()
+        };
+
         Ok(RunReport {
             dram_cycles,
             seconds,
@@ -352,7 +387,49 @@ impl Engine {
             active_pus,
             trace,
             trace_dropped,
+            violations: check.violations,
+            violations_suppressed: check.suppressed,
+            pu_audit,
         })
+    }
+
+    /// Cross-check the PU-level invariants of a completed run: every PU
+    /// exited with a recorded `exit_round` no later than the executed
+    /// round count, retired nothing after exiting, and collectively
+    /// consumed no more memory ops than the channels delivered bursts.
+    #[must_use]
+    pub fn audit_pus(&self, rounds: u64, commands: &ChannelStats) -> Vec<String> {
+        let mut failures = Vec::new();
+        let mut total_mem_ops = 0u64;
+        for (b, pu) in self.pus.iter().enumerate() {
+            let s = pu.stats();
+            total_mem_ops += s.mem_ops;
+            if !pu.exited() {
+                failures.push(format!("PU {b} never exited"));
+                continue;
+            }
+            if s.exit_round == u64::MAX {
+                failures.push(format!("PU {b} exited but no exit_round was recorded"));
+            } else if s.exit_round > rounds {
+                failures.push(format!(
+                    "PU {b} exit_round {} exceeds executed rounds {rounds}",
+                    s.exit_round
+                ));
+            }
+            if s.instructions != s.instructions_at_exit {
+                failures.push(format!(
+                    "PU {b} retired instructions after exit: {} at exit, {} now",
+                    s.instructions_at_exit, s.instructions
+                ));
+            }
+        }
+        if total_mem_ops > commands.bank_bursts {
+            failures.push(format!(
+                "PUs consumed {total_mem_ops} memory ops from only {} bank bursts",
+                commands.bank_bursts
+            ));
+        }
+        failures
     }
 }
 

@@ -15,7 +15,9 @@ use crate::error::CoreError;
 use crate::isa::Program;
 use crate::memory::{BankMemory, Binding};
 use crate::pu::{ProcessingUnit, DRAM_CYCLES_PER_PU_CYCLE};
-use psim_dram::{Channel, ChannelStats, CmdKind, IssueError, Scope};
+use psim_dram::{
+    Channel, ChannelStats, CheckPolicy, CheckReport, CmdKind, IssueError, ProtocolChecker, Scope,
+};
 
 /// Read-only inputs shared by every channel of one kernel execution.
 pub(super) struct ChannelCtx<'a> {
@@ -43,6 +45,9 @@ pub(super) struct ChannelOutcome {
     /// Commands not recorded because the trace hit
     /// [`EngineConfig::trace_limit`].
     pub trace_dropped: u64,
+    /// Independent protocol-checker verdict (`Some` only when
+    /// [`EngineConfig::validate`] is set).
+    pub check: Option<CheckReport>,
 }
 
 /// Bounded command-trace sink: records up to `limit` events and counts the
@@ -76,10 +81,12 @@ impl TraceBuf {
     }
 }
 
-/// Issue a command, optionally recording it.
+/// Issue a command, optionally recording it and feeding it to the
+/// independent protocol checker.
 fn issue_traced(
     channel: &mut Channel,
     trace: &mut TraceBuf,
+    checker: &mut Option<ProtocolChecker>,
     ch: usize,
     scope: Scope,
     cmd: CmdKind,
@@ -92,7 +99,27 @@ fn issue_traced(
         scope,
         cmd,
     });
+    if let Some(c) = checker.as_mut() {
+        c.observe(issued.issue_cycle, scope, cmd);
+    }
     Ok(issued)
+}
+
+/// An independent checker for this channel when self-auditing is on. The
+/// lockstep invariant only applies to all-bank execution; refresh is
+/// audited exactly when the engine models it.
+fn make_checker(cfg: &EngineConfig, ch: usize) -> Option<ProtocolChecker> {
+    cfg.validate.then(|| {
+        ProtocolChecker::with_policy(
+            &cfg.hbm,
+            CheckPolicy {
+                lockstep: matches!(cfg.mode, ExecMode::AllBank),
+                expect_refresh: cfg.refresh,
+                ..CheckPolicy::default()
+            },
+        )
+        .for_channel(ch)
+    })
 }
 
 /// Element width/advance for the engine's open-row cursor at a slot.
@@ -146,6 +173,7 @@ fn run_channel_allbank(
     let program = ctx.program;
     let mut channel = Channel::new(&cfg.hbm);
     let mut trace = TraceBuf::new(cfg);
+    let mut checker = make_checker(cfg, ch);
     let row_bytes = cfg.hbm.row_bytes();
     let col_bytes = cfg.hbm.col_bytes;
     let nbanks = pus.len();
@@ -157,6 +185,7 @@ fn run_channel_allbank(
         now = issue_traced(
             &mut channel,
             &mut trace,
+            &mut checker,
             ch,
             Scope::AllBanks,
             CmdKind::Mrs,
@@ -205,6 +234,7 @@ fn run_channel_allbank(
                     now = issue_traced(
                         &mut channel,
                         &mut trace,
+                        &mut checker,
                         ch,
                         Scope::AllBanks,
                         CmdKind::Pre,
@@ -217,6 +247,7 @@ fn run_channel_allbank(
                 now = issue_traced(
                     &mut channel,
                     &mut trace,
+                    &mut checker,
                     ch,
                     Scope::AllBanks,
                     CmdKind::Ref,
@@ -242,6 +273,7 @@ fn run_channel_allbank(
                     now = issue_traced(
                         &mut channel,
                         &mut trace,
+                        &mut checker,
                         ch,
                         Scope::AllBanks,
                         CmdKind::Pre,
@@ -253,6 +285,7 @@ fn run_channel_allbank(
                 now = issue_traced(
                     &mut channel,
                     &mut trace,
+                    &mut checker,
                     ch,
                     Scope::AllBanks,
                     CmdKind::Act { row: want_row },
@@ -268,8 +301,16 @@ fn run_channel_allbank(
             } else {
                 CmdKind::Rd { col }
             };
-            let issued = issue_traced(&mut channel, &mut trace, ch, Scope::AllBanks, kind, now)
-                .map_err(|e| CoreError::Execution(e.to_string()))?;
+            let issued = issue_traced(
+                &mut channel,
+                &mut trace,
+                &mut checker,
+                ch,
+                Scope::AllBanks,
+                kind,
+                now,
+            )
+            .map_err(|e| CoreError::Execution(e.to_string()))?;
             now = issued.issue_cycle;
 
             let mut max_busy = 0u64;
@@ -292,22 +333,38 @@ fn run_channel_allbank(
                 break 'outer;
             }
         }
-        // Host completion poll (one MRS status read per iteration).
+        // Host completion poll once per iteration: a column read of the
+        // status location while a row is open (HBM-PIM style polling), an
+        // MRS register read otherwise — MRS is illegal with an open row.
+        let poll = if open_row.is_some() {
+            CmdKind::Rd { col: 0 }
+        } else {
+            CmdKind::Mrs
+        };
         now = issue_traced(
             &mut channel,
             &mut trace,
+            &mut checker,
             ch,
             Scope::AllBanks,
-            CmdKind::Mrs,
+            poll,
             now,
         )
         .map_err(|e| CoreError::Execution(e.to_string()))?
         .issue_cycle;
     }
+    // PUs that exited during the free prelude never went through the
+    // in-round exit bookkeeping; mark_exit_round is idempotent.
+    for pu in pus.iter_mut() {
+        if pu.exited() {
+            pu.mark_exit_round(rounds);
+        }
+    }
     if open_row.is_some() {
         now = issue_traced(
             &mut channel,
             &mut trace,
+            &mut checker,
             ch,
             Scope::AllBanks,
             CmdKind::Pre,
@@ -321,6 +378,7 @@ fn run_channel_allbank(
         now = issue_traced(
             &mut channel,
             &mut trace,
+            &mut checker,
             ch,
             Scope::AllBanks,
             CmdKind::Mrs,
@@ -335,6 +393,7 @@ fn run_channel_allbank(
         rounds,
         trace: trace.events,
         trace_dropped: trace.dropped,
+        check: checker.map(|c| c.finish(now)),
     })
 }
 
@@ -349,6 +408,7 @@ fn run_channel_perbank(
     let schedule = ctx.schedule;
     let mut channel = Channel::new(&cfg.hbm);
     let mut trace = TraceBuf::new(cfg);
+    let mut checker = make_checker(cfg, ch);
     let row_bytes = cfg.hbm.row_bytes();
     let col_bytes = cfg.hbm.col_bytes;
     let nbanks = pus.len();
@@ -363,9 +423,17 @@ fn run_channel_perbank(
             bg: b / banks_per_group,
             ba: b % banks_per_group,
         };
-        now = issue_traced(&mut channel, &mut trace, ch, scope, CmdKind::Mrs, now)
-            .map_err(|e| CoreError::Execution(e.to_string()))?
-            .issue_cycle;
+        now = issue_traced(
+            &mut channel,
+            &mut trace,
+            &mut checker,
+            ch,
+            scope,
+            CmdKind::Mrs,
+            now,
+        )
+        .map_err(|e| CoreError::Execution(e.to_string()))?
+        .issue_cycle;
     }
 
     struct BankCtl {
@@ -400,9 +468,55 @@ fn run_channel_perbank(
         pus[b].run_free(&mut mems[b]);
     }
 
+    let t_refi = cfg.hbm.timing.t_refi;
+    let mut next_refresh = now + t_refi;
     let mut floor = now;
     let mut max_rounds = 0u64;
     loop {
+        // Refresh is a channel-global event even in per-bank mode: close
+        // every open row, then issue one all-bank REF that stalls all
+        // per-bank streams for tRFC.
+        if cfg.refresh && floor >= next_refresh {
+            for (i, ctl) in ctls.iter_mut().enumerate() {
+                if ctl.open_row.is_some() {
+                    let scope = Scope::OneBank {
+                        bg: i / banks_per_group,
+                        ba: i % banks_per_group,
+                    };
+                    let from = ctl.ready.max(floor);
+                    let p = issue_traced(
+                        &mut channel,
+                        &mut trace,
+                        &mut checker,
+                        ch,
+                        scope,
+                        CmdKind::Pre,
+                        from,
+                    )
+                    .map_err(|e| CoreError::Execution(e.to_string()))?
+                    .issue_cycle;
+                    floor = floor.max(p);
+                    ctl.open_row = None;
+                    ctl.ready = ctl.ready.max(p);
+                }
+            }
+            let r = issue_traced(
+                &mut channel,
+                &mut trace,
+                &mut checker,
+                ch,
+                Scope::AllBanks,
+                CmdKind::Ref,
+                floor,
+            )
+            .map_err(|e| CoreError::Execution(e.to_string()))?
+            .issue_cycle;
+            for ctl in ctls.iter_mut() {
+                ctl.ready = ctl.ready.max(r);
+            }
+            floor = floor.max(r);
+            next_refresh = r + t_refi;
+        }
         let mut any_active = false;
         for i in 0..nbanks {
             if pus[i].exited() {
@@ -432,13 +546,22 @@ fn run_channel_perbank(
             let mut t = ctl.ready.max(floor);
             if ctl.open_row != Some(want_row) {
                 if ctl.open_row.is_some() {
-                    t = issue_traced(&mut channel, &mut trace, ch, scope, CmdKind::Pre, t)
-                        .map_err(|e| CoreError::Execution(e.to_string()))?
-                        .issue_cycle;
+                    t = issue_traced(
+                        &mut channel,
+                        &mut trace,
+                        &mut checker,
+                        ch,
+                        scope,
+                        CmdKind::Pre,
+                        t,
+                    )
+                    .map_err(|e| CoreError::Execution(e.to_string()))?
+                    .issue_cycle;
                 }
                 t = issue_traced(
                     &mut channel,
                     &mut trace,
+                    &mut checker,
                     ch,
                     scope,
                     CmdKind::Act { row: want_row },
@@ -454,7 +577,7 @@ fn run_channel_perbank(
             } else {
                 CmdKind::Rd { col }
             };
-            let issued = issue_traced(&mut channel, &mut trace, ch, scope, kind, t)
+            let issued = issue_traced(&mut channel, &mut trace, &mut checker, ch, scope, kind, t)
                 .map_err(|e| CoreError::Execution(e.to_string()))?;
             floor = floor.max(issued.issue_cycle);
 
@@ -477,6 +600,14 @@ fn run_channel_perbank(
             break;
         }
     }
+    // PUs that exited during the free prelude were skipped by the issue
+    // loop and never recorded an exit round; mark_exit_round is
+    // idempotent.
+    for (pu, ctl) in pus.iter_mut().zip(ctls.iter()) {
+        if pu.exited() {
+            pu.mark_exit_round(ctl.rounds);
+        }
+    }
     let end = ctls
         .iter()
         .map(|c| c.ready)
@@ -489,5 +620,6 @@ fn run_channel_perbank(
         rounds: max_rounds,
         trace: trace.events,
         trace_dropped: trace.dropped,
+        check: checker.map(|c| c.finish(end)),
     })
 }

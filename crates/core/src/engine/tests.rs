@@ -434,3 +434,108 @@ fn bandwidth_utilization_is_positive_and_bounded() {
     let util = report.internal_utilization(cfg);
     assert!(util > 0.0 && util < 1.0, "utilization {util}");
 }
+
+#[test]
+fn validated_runs_are_protocol_clean_in_both_modes() {
+    for mode in [ExecMode::AllBank, ExecMode::PerBank] {
+        let mut cfg = small_cfg(mode);
+        cfg.validate = true;
+        let mut engine = Engine::new(cfg);
+        let n = 16;
+        let nbanks = engine.num_banks();
+        let x = vec![1.0; n];
+        // Enough work that refresh windows elapse, so the checker audits
+        // the refresh contract too (refresh defaults to on).
+        let per_bank: Vec<Vec<(u32, u32, f64)>> = (0..nbanks)
+            .map(|b| {
+                (0..400)
+                    .map(|i| (((b + i) % n) as u32, ((b * 3 + i) % n) as u32, 1.0))
+                    .collect()
+            })
+            .collect();
+        let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
+        engine
+            .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+            .unwrap();
+        let report = engine.run().unwrap();
+        assert!(
+            report.violations.is_empty(),
+            "{mode:?}: {:?}",
+            report.violations
+        );
+        assert_eq!(report.violations_suppressed, 0, "{mode:?}");
+        assert!(
+            report.pu_audit.is_empty(),
+            "{mode:?}: {:?}",
+            report.pu_audit
+        );
+        assert_eq!(report.violation_count(), 0, "{mode:?}");
+    }
+}
+
+#[test]
+fn validation_defaults_off_and_reports_nothing() {
+    let cfg = small_cfg(ExecMode::AllBank);
+    assert!(!cfg.validate);
+    let mut engine = Engine::new(cfg);
+    let n = 8;
+    let per_bank = per_bank_entries(engine.num_banks(), n);
+    let x = vec![1.0; n];
+    let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
+    engine
+        .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+        .unwrap();
+    let report = engine.run().unwrap();
+    assert!(report.violations.is_empty());
+    assert!(report.pu_audit.is_empty());
+}
+
+#[test]
+fn perbank_refresh_issues_refs_on_long_runs() {
+    // Refresh defaults to on and applies to the per-bank baseline too:
+    // rows close, one all-bank REF is issued, and the run stays legal.
+    let mut cfg = small_cfg(ExecMode::PerBank);
+    cfg.validate = true;
+    assert!(cfg.refresh, "refresh must default to on");
+    let mut engine = Engine::new(cfg);
+    let n = 16;
+    let nbanks = engine.num_banks();
+    let x = vec![1.0; n];
+    let per_bank: Vec<Vec<(u32, u32, f64)>> = (0..nbanks)
+        .map(|b| {
+            (0..400)
+                .map(|i| (((b + i) % n) as u32, ((b * 3 + i) % n) as u32, 1.0))
+                .collect()
+        })
+        .collect();
+    let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
+    engine
+        .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+        .unwrap();
+    let report = engine.run().unwrap();
+    assert!(report.commands.refs > 0, "expected REFs in per-bank mode");
+    assert_eq!(report.violation_count(), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn pu_audit_flags_inconsistent_claims() {
+    let mut engine = Engine::new(small_cfg(ExecMode::AllBank));
+    let n = 8;
+    let per_bank = per_bank_entries(engine.num_banks(), n);
+    let x = vec![1.0; n];
+    let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
+    engine
+        .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+        .unwrap();
+    let report = engine.run().unwrap();
+    // Auditing the real run against its own command stats is clean.
+    assert!(engine.audit_pus(report.rounds, &report.commands).is_empty());
+    // Auditing against an impossible claim (zero rounds, zero bursts)
+    // flags both the exit rounds and the mem-op budget.
+    let audit = engine.audit_pus(0, &psim_dram::ChannelStats::default());
+    assert!(
+        audit.iter().any(|f| f.contains("exceeds executed rounds")),
+        "{audit:?}"
+    );
+    assert!(audit.iter().any(|f| f.contains("bank bursts")), "{audit:?}");
+}

@@ -139,9 +139,12 @@ impl ProcessingUnit {
     }
 
     /// Record the round in which the unit exited (called by the engine).
+    /// Also freezes the instruction count so the validation layer can
+    /// verify nothing retires after exit.
     pub fn mark_exit_round(&mut self, round: u64) {
         if self.stats.exit_round == u64::MAX {
             self.stats.exit_round = round;
+            self.stats.instructions_at_exit = self.stats.instructions;
         }
     }
 

@@ -172,6 +172,41 @@ mod tests {
     }
 
     #[test]
+    fn peek_cols_mid_burst_is_bounded_by_complete_triples() {
+        // Mid-burst, the col sub-queue can run ahead of row/val. The
+        // gather addresses must only cover complete triples — peeking the
+        // raw col queue would hand IndMOV addresses for elements whose
+        // values have not arrived yet.
+        let mut q = SpQueue::new();
+        q.push_sub(SubQueue::Col, 10.0);
+        q.push_sub(SubQueue::Col, 20.0);
+        q.push_sub(SubQueue::Col, 30.0);
+        assert_eq!(q.peek_cols(4), Vec::<f64>::new());
+        q.push_sub(SubQueue::Row, 0.0);
+        q.push_sub(SubQueue::Val, 1.0);
+        assert_eq!(q.peek_cols(4), vec![10.0]);
+        // The peek never consumes, even repeated mid-burst.
+        assert_eq!(q.peek_cols(4), vec![10.0]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_sub_all_consumes_evenly_across_partial_fill() {
+        // pop_sub(All) must drain one element from every sub-queue (a
+        // whole triple), never skewing an unevenly filled queue further.
+        let mut q = SpQueue::new();
+        q.push(0.0, 10.0, 1.0);
+        q.push_sub(SubQueue::Row, 5.0); // stray row, no col/val yet
+        assert_eq!(q.pop_sub(SubQueue::All), Some(1.0));
+        // The complete triple is gone; only the stray row remains.
+        assert_eq!(q.len(), 0);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop_sub(SubQueue::All), None);
+        assert_eq!(q.pop_sub(SubQueue::Row), Some(5.0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn peek_cols_does_not_consume() {
         let mut q = SpQueue::new();
         q.push(0.0, 10.0, 1.0);

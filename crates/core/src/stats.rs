@@ -18,6 +18,9 @@ pub struct PuStats {
     /// The round (loop iteration) in which this PU exited; `u64::MAX`
     /// while still running.
     pub exit_round: u64,
+    /// `instructions` as sampled at the moment the PU exited — the
+    /// validation layer checks that no instruction retires afterwards.
+    pub instructions_at_exit: u64,
 }
 
 impl PuStats {
@@ -31,17 +34,19 @@ impl PuStats {
     }
 
     /// Merge another PU's counters (for aggregate reporting; `exit_round`
-    /// keeps the maximum, i.e. the last PU to finish).
+    /// keeps the maximum, i.e. the last PU to finish). A still-running PU
+    /// (`exit_round == u64::MAX`) dominates: the aggregate must not report
+    /// a partially drained set of PUs as finished. Use
+    /// [`PuStats::default`] (exit_round 0) as the merge identity, not
+    /// [`PuStats::new`].
     pub fn merge(&mut self, other: &PuStats) {
         self.instructions += other.instructions;
         self.mem_ops += other.mem_ops;
         self.predicated_off += other.predicated_off;
         self.lane_ops += other.lane_ops;
         self.busy_cycles += other.busy_cycles;
-        self.exit_round = match (self.exit_round, other.exit_round) {
-            (u64::MAX, r) | (r, u64::MAX) => r,
-            (a, b) => a.max(b),
-        };
+        self.exit_round = self.exit_round.max(other.exit_round);
+        self.instructions_at_exit += other.instructions_at_exit;
     }
 }
 
@@ -140,6 +145,11 @@ impl Histogram {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            // The 0-quantile is the smallest observation by definition;
+            // interpolating inside the min's bucket would overshoot it.
+            return self.min;
+        }
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -216,9 +226,38 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.instructions, 12);
         assert_eq!(a.exit_round, 9);
-        let mut c = PuStats::new();
+        // Default (exit_round 0) is the merge identity.
+        let mut c = PuStats::default();
         c.merge(&a);
         assert_eq!(c.exit_round, 9);
+    }
+
+    #[test]
+    fn merge_running_pu_dominates_finished() {
+        // Regression: merging a still-running PU (exit_round == u64::MAX)
+        // with a finished one used to report the aggregate as finished, so
+        // a partially drained channel looked complete in reports.
+        let finished = PuStats {
+            exit_round: 9,
+            ..Default::default()
+        };
+        let mut agg = PuStats::new(); // still running
+        agg.merge(&finished);
+        assert_eq!(agg.exit_round, u64::MAX, "running must dominate");
+        let mut agg = finished;
+        agg.merge(&PuStats::new());
+        assert_eq!(agg.exit_round, u64::MAX, "order must not matter");
+    }
+
+    #[test]
+    fn quantile_zero_returns_min() {
+        // Regression: interpolation inside the minimum's log2 bucket used
+        // to return a value above the observed minimum at q = 0.
+        let mut h = Histogram::new();
+        h.record(512);
+        h.record(600);
+        assert_eq!(h.quantile(0.0), 512);
+        assert_eq!(h.quantile(1.0), 600);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub struct Bank {
     last_pre: i64,
     last_rd: i64,
     last_wr: i64,
+    last_ref: i64,
     row_hits: u64,
     row_misses: u64,
 }
@@ -48,6 +49,7 @@ impl Bank {
             last_pre: NEVER,
             last_rd: NEVER,
             last_wr: NEVER,
+            last_ref: NEVER,
             row_hits: 0,
             row_misses: 0,
         }
@@ -91,7 +93,9 @@ impl Bank {
         match cmd {
             CmdKind::Act { .. } => match self.state {
                 BankState::Active { .. } => None,
-                BankState::Idle => Some(self.last_pre + t.t_rp as i64),
+                BankState::Idle => {
+                    Some((self.last_pre + t.t_rp as i64).max(self.last_ref + t.t_rfc as i64))
+                }
             },
             CmdKind::Rd { .. } => match self.state {
                 BankState::Idle => None,
@@ -113,12 +117,15 @@ impl Bank {
                         .max(self.last_wr + (t.wl + t.t_wr) as i64),
                 ),
             },
-            CmdKind::Ref => match self.state {
+            // REF and MRS are legal only while the bank is idle, and must
+            // wait out both tRP after the closing precharge and tRFC after
+            // any in-flight refresh.
+            CmdKind::Ref | CmdKind::Mrs => match self.state {
                 BankState::Active { .. } => None,
-                BankState::Idle => Some(self.last_pre + t.t_rp as i64),
+                BankState::Idle => {
+                    Some((self.last_pre + t.t_rp as i64).max(self.last_ref + t.t_rfc as i64))
+                }
             },
-            // MRS is legal whenever the bank is idle.
-            CmdKind::Mrs => Some(self.last_pre + t.t_rp as i64),
         }
     }
 
@@ -152,8 +159,10 @@ impl Bank {
                 self.last_pre = at;
             }
             CmdKind::Ref => {
-                // Model refresh as busying the bank for tRFC via last_pre.
-                self.last_pre = at + t.t_rfc as i64 - t.t_rp as i64;
+                // The bank is busy until `at + tRFC`; ACT/REF/MRS earliest
+                // all consult `last_ref` directly rather than back-dating
+                // `last_pre` (which would corrupt the tRP history).
+                self.last_ref = at;
             }
             CmdKind::Mrs => {}
         }
@@ -247,5 +256,38 @@ mod tests {
         b.apply(CmdKind::Ref, r, &tm);
         let a = b.earliest(CmdKind::Act { row: 0 }, &tm).unwrap();
         assert_eq!(a, r + tm.t_rfc as i64);
+    }
+
+    #[test]
+    fn mrs_is_illegal_while_a_row_is_open() {
+        // Regression: the MRS arm used to return `Some(..)` regardless of
+        // bank state, letting mode switches land mid-row-cycle.
+        let tm = t();
+        let mut b = Bank::new();
+        assert!(b.earliest(CmdKind::Mrs, &tm).is_some(), "idle bank: legal");
+        b.apply(CmdKind::Act { row: 3 }, 0, &tm);
+        assert!(
+            b.earliest(CmdKind::Mrs, &tm).is_none(),
+            "MRS must be rejected while row 3 is open"
+        );
+        let p = b.earliest(CmdKind::Pre, &tm).unwrap();
+        b.apply(CmdKind::Pre, p, &tm);
+        assert_eq!(b.earliest(CmdKind::Mrs, &tm).unwrap(), p + tm.t_rp as i64);
+    }
+
+    #[test]
+    fn back_to_back_refreshes_obey_trfc() {
+        // Regression: REF used to back-date `last_pre` to fake the tRFC
+        // busy window, which broke as soon as anything else read last_pre.
+        let tm = t();
+        let mut b = Bank::new();
+        b.apply(CmdKind::Ref, 0, &tm);
+        assert_eq!(b.earliest(CmdKind::Ref, &tm).unwrap(), tm.t_rfc as i64);
+        assert_eq!(b.earliest(CmdKind::Mrs, &tm).unwrap(), tm.t_rfc as i64);
+        b.apply(CmdKind::Ref, tm.t_rfc as i64, &tm);
+        // A row cycle after the second refresh still honors tRP from the
+        // genuine precharge history, not a synthetic one.
+        let a = b.earliest(CmdKind::Act { row: 0 }, &tm).unwrap();
+        assert_eq!(a, 2 * tm.t_rfc as i64);
     }
 }

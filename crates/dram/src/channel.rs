@@ -68,8 +68,13 @@ impl std::error::Error for IssueError {}
 pub struct Channel {
     cfg: HbmConfig,
     banks: Vec<Bank>, // indexed bg * banks_per_group + ba
-    /// Issue cycles of the last two commands (bus slots).
-    bus: [i64; 2],
+    /// Bus occupancy: the latest cycle that carried a command and how many
+    /// commands it carried. Issue is monotonic (nothing may issue before
+    /// `bus_cycle`), so one `(cycle, count)` pair models the 2-slot bus
+    /// exactly — the old two-slot array forgot older cycles and let 3+
+    /// commands share a slot under out-of-order probing.
+    bus_cycle: i64,
+    bus_count: u8,
     /// Last column-command issue per bank group (for tCCD_L) and channel
     /// wide (for tCCD_S).
     last_col_group: Vec<i64>,
@@ -91,7 +96,8 @@ impl Channel {
         Channel {
             cfg: cfg.clone(),
             banks: (0..cfg.banks_per_channel()).map(|_| Bank::new()).collect(),
-            bus: [NEVER; 2],
+            bus_cycle: NEVER,
+            bus_count: 0,
             last_col_group: vec![NEVER; cfg.num_bankgroups],
             last_col_any: NEVER,
             last_act_group: vec![NEVER; cfg.num_bankgroups],
@@ -138,12 +144,22 @@ impl Channel {
         let t = &self.cfg.timing;
         let mut e = from;
 
-        // Bus: at most 2 commands on the same cycle.
-        let bus_free = |cyc: i64, bus: &[i64; 2]| -> i64 {
-            if bus[0] == cyc && bus[1] == cyc {
-                cyc + 1
-            } else {
-                cyc
+        // Bus: at most 2 commands on the same cycle. The bus is monotonic —
+        // a candidate cycle behind `bus_cycle` is clamped forward, and after
+        // bumping off a full cycle the new cycle is re-checked (the pre-fix
+        // code bumped once without re-checking, so a stale candidate could
+        // become the 3rd command on an already-full slot).
+        let bus_free = |mut cyc: i64| -> i64 {
+            loop {
+                if cyc < self.bus_cycle {
+                    cyc = self.bus_cycle;
+                    continue;
+                }
+                if cyc == self.bus_cycle && self.bus_count >= 2 {
+                    cyc += 1;
+                    continue;
+                }
+                return cyc;
             }
         };
 
@@ -182,7 +198,7 @@ impl Channel {
             CmdKind::Pre | CmdKind::Ref | CmdKind::Mrs => {}
         }
 
-        e = bus_free(e, &self.bus);
+        e = bus_free(e);
         Some(e)
     }
 
@@ -237,17 +253,14 @@ impl Channel {
             _ => {}
         }
 
-        // Bus slot bookkeeping.
-        if self.bus[0] == at_i || self.bus[1] == at_i {
-            // Second command this cycle: fill the other slot.
-            if self.bus[0] == at_i {
-                self.bus[1] = at_i;
-            } else {
-                self.bus[0] = at_i;
-            }
+        // Bus slot bookkeeping: `earliest_inner` guarantees at_i is either
+        // on the current (non-full) bus cycle or strictly after it.
+        if at_i == self.bus_cycle {
+            self.bus_count += 1;
         } else {
-            self.bus[0] = at_i;
-            self.bus[1] = NEVER;
+            debug_assert!(at_i > self.bus_cycle, "bus issue went backwards");
+            self.bus_cycle = at_i;
+            self.bus_count = 1;
         }
 
         self.stats.record(scope, cmd, bank_indices.len());
@@ -412,6 +425,42 @@ mod tests {
         assert_eq!(s.reads, 1);
         assert_eq!(s.pres, 1);
         assert_eq!(s.bank_activations, 16); // one AB ACT opens 16 banks
+    }
+
+    #[test]
+    fn bus_admits_at_most_two_commands_per_cycle_under_saturation() {
+        // MRS has no timing constraints, so a burst of them saturates the
+        // command bus: 6 commands must spread over >= 3 distinct cycles
+        // with never more than 2 sharing one.
+        let mut c = ch();
+        let mut cycles = Vec::new();
+        for _ in 0..6 {
+            cycles.push(
+                c.issue_earliest(Scope::AllBanks, CmdKind::Mrs, 0)
+                    .unwrap()
+                    .issue_cycle,
+            );
+        }
+        assert_eq!(cycles, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn bus_rejects_third_command_on_a_past_slot() {
+        // Regression: with the old two-slot array, issuing at cycle 0, then
+        // cycle 2, evicted the record of cycle 0 — two further commands at
+        // cycle 0 then issued, putting 3 commands on one bus slot.
+        let mut c = ch();
+        c.issue(Scope::AllBanks, CmdKind::Mrs, 0).unwrap();
+        c.issue(Scope::AllBanks, CmdKind::Mrs, 2).unwrap();
+        let err = c.issue(Scope::AllBanks, CmdKind::Mrs, 0).unwrap_err();
+        assert!(
+            matches!(err, IssueError::TooEarly { earliest: 2, .. }),
+            "bus must stay monotonic: {err:?}"
+        );
+        // Cycle 2 still has a free slot; cycle 3 is fresh.
+        c.issue(Scope::AllBanks, CmdKind::Mrs, 2).unwrap();
+        let err = c.issue(Scope::AllBanks, CmdKind::Mrs, 2).unwrap_err();
+        assert!(matches!(err, IssueError::TooEarly { earliest: 3, .. }));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod address;
 pub mod bank;
 pub mod channel;
+pub mod checker;
 pub mod command;
 pub mod config;
 pub mod mode;
@@ -38,6 +39,7 @@ pub mod stats;
 pub use address::{AddressMapping, DecodedAddress};
 pub use bank::Bank;
 pub use channel::{Channel, IssueError, Issued};
+pub use checker::{check_trace, CheckPolicy, CheckReport, ProtocolChecker, Rule, Violation};
 pub use command::{CmdKind, Scope};
 pub use config::{HbmConfig, Timing};
 pub use mode::{Mode, ModeController, ModeError};

@@ -113,12 +113,8 @@ impl Blas1Pim {
         let report = engine.run()?;
         let mut run = KernelRun::default();
         run.kernel_s += report.seconds;
-        run.commands = report.commands.total_commands();
-        run.all_bank_commands = report.commands.all_bank_commands;
-        run.per_bank_commands = report.commands.per_bank_commands;
-        run.rounds = report.rounds;
-        run.energy_j = report.energy.total_j();
-        run.active_pus = report.active_pus;
+        run.dram_cycles += report.dram_cycles;
+        run.absorb_engine(&report);
         run.phases = 1;
         run.absorb_host(&host);
         Ok(run)

@@ -15,6 +15,9 @@ pub struct PimDevice {
     /// Number of cubes ganged together (the paper's 3× configuration uses
     /// 3 cubes for 768 GB/s of external bandwidth to match an RTX 3080).
     pub cubes: usize,
+    /// Run every engine phase with the independent protocol checker
+    /// attached; violations surface in [`KernelRun::violations`].
+    pub validate: bool,
 }
 
 impl PimDevice {
@@ -25,6 +28,7 @@ impl PimDevice {
             hbm: HbmConfig::default(),
             mode: ExecMode::AllBank,
             cubes: 1,
+            validate: false,
         }
     }
 
@@ -35,6 +39,7 @@ impl PimDevice {
             hbm: HbmConfig::default(),
             mode: ExecMode::AllBank,
             cubes: 3,
+            validate: false,
         }
     }
 
@@ -45,6 +50,7 @@ impl PimDevice {
             hbm: HbmConfig::default(),
             mode: ExecMode::PerBank,
             cubes: 1,
+            validate: false,
         }
     }
 
@@ -62,6 +68,7 @@ impl PimDevice {
             hbm,
             mode: ExecMode::AllBank,
             cubes: 1,
+            validate: false,
         }
     }
 
@@ -98,6 +105,7 @@ impl PimDevice {
             hbm,
             mode: self.mode,
             cubes: self.cubes,
+            validate: self.validate,
         })
     }
 
@@ -113,6 +121,7 @@ impl PimDevice {
         Engine::new(EngineConfig {
             hbm: self.hbm.clone(),
             mode: self.mode,
+            validate: self.validate,
             ..Default::default()
         })
     }
@@ -159,6 +168,14 @@ pub struct KernelRun {
     pub phases: u64,
     /// PUs that did productive work in at least one phase.
     pub active_pus: usize,
+    /// Protocol/PU-invariant violations found by the independent checker
+    /// (always zero unless [`PimDevice::validate`] is set).
+    pub violations: u64,
+    /// Memory instructions the PUs consumed productively (all phases).
+    pub mem_ops: u64,
+    /// Bank-level data bursts the channels delivered (all phases); the
+    /// validation layer checks `mem_ops <= bank_bursts`.
+    pub bank_bursts: u64,
 }
 
 impl Default for KernelRun {
@@ -175,6 +192,9 @@ impl Default for KernelRun {
             energy_j: 0.0,
             phases: 0,
             active_pus: 0,
+            violations: 0,
+            mem_ops: 0,
+            bank_bursts: 0,
         }
     }
 }
@@ -187,17 +207,29 @@ impl KernelRun {
         self.kernel_s + self.host_s
     }
 
-    /// Fold one engine phase plus its host activity into the run.
-    pub fn absorb_phase(&mut self, report: &RunReport, host: &HostController) {
-        self.kernel_s += report.seconds;
-        self.dram_cycles += report.dram_cycles;
+    /// Fold one engine report's counters into the run — everything except
+    /// the wall-clock fields (`kernel_s`, `dram_cycles`, `phases`), whose
+    /// parallel-vs-sequential composition is kernel-specific (cubes inside
+    /// one wave overlap; waves are sequential).
+    pub fn absorb_engine(&mut self, report: &RunReport) {
         self.commands += report.commands.total_commands();
         self.all_bank_commands += report.commands.all_bank_commands;
         self.per_bank_commands += report.commands.per_bank_commands;
         self.rounds = self.rounds.max(report.rounds);
         self.energy_j += report.energy.total_j();
-        self.phases += 1;
         self.active_pus = self.active_pus.max(report.active_pus);
+        self.violations += report.violation_count();
+        self.mem_ops += report.pu.mem_ops;
+        self.bank_bursts += report.commands.bank_bursts;
+    }
+
+    /// Fold one sequential engine phase plus its host activity into the
+    /// run.
+    pub fn absorb_phase(&mut self, report: &RunReport, host: &HostController) {
+        self.kernel_s += report.seconds;
+        self.dram_cycles += report.dram_cycles;
+        self.absorb_engine(report);
+        self.phases += 1;
         // Host time is absorbed once at the end via absorb_host; nothing
         // per-phase here beyond what the report carries.
         let _ = host;
@@ -224,6 +256,9 @@ impl KernelRun {
         self.energy_j += other.energy_j;
         self.phases += other.phases;
         self.active_pus = self.active_pus.max(other.active_pus);
+        self.violations += other.violations;
+        self.mem_ops += other.mem_ops;
+        self.bank_bursts += other.bank_bursts;
     }
 }
 

@@ -135,12 +135,8 @@ impl Gemv {
             engine.set_srf_all(0.0);
             let report = engine.run()?;
             run.kernel_s += report.seconds;
-            run.commands += report.commands.total_commands();
-            run.all_bank_commands += report.commands.all_bank_commands;
-            run.per_bank_commands += report.commands.per_bank_commands;
-            run.rounds = run.rounds.max(report.rounds);
-            run.energy_j += report.energy.total_j();
-            run.active_pus = run.active_pus.max(report.active_pus);
+            run.dram_cycles += report.dram_cycles;
+            run.absorb_engine(&report);
             run.phases += 1;
             if panels > 1 {
                 // Host accumulates per-panel partials.

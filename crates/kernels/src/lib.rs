@@ -21,12 +21,14 @@
 pub mod blas1;
 pub mod device;
 pub mod gemv;
+pub mod oracle;
 pub mod programs;
 pub mod selftest;
 pub mod spmv;
 pub mod sptrsv;
 
 pub use device::{KernelRun, PimDevice};
+pub use oracle::{audit_run, run_oracle, OracleCase, OracleReport};
 pub use selftest::{all_pass, selftest, CheckResult};
 pub use spmv::SpmvPim;
 pub use sptrsv::SptrsvPim;

@@ -1,0 +1,290 @@
+//! Differential kernel oracle: run the PIM kernels against plain CPU
+//! references over a randomized matrix suite and cross-check both the
+//! numerics and the run-level accounting invariants.
+//!
+//! The [`selftest`](crate::selftest) battery checks one instance of every
+//! kernel; the oracle instead sweeps *many* randomly generated inputs
+//! (different sparsity structures, sizes, and degrees) through the three
+//! kernel families the paper evaluates — SpMV, SpTRSV, and BLAS-1 — with
+//! the independent protocol checker forced on. A kernel that produces the
+//! right numbers through an illegal command stream, or that claims more
+//! productive memory ops than the channels delivered bursts, fails here
+//! even though a pure numerics test would pass.
+
+use crate::blas1::Blas1Pim;
+use crate::device::{KernelRun, PimDevice};
+use crate::spmv::SpmvPim;
+use crate::sptrsv::SptrsvPim;
+use psim_sparse::dense;
+use psim_sparse::triangular::{unit_triangular_from, Triangle};
+use psim_sparse::{gen, Coo, Precision};
+use psyncpim_core::CoreError;
+
+/// One differential comparison: a kernel on one generated input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleCase {
+    /// Kernel family.
+    pub kernel: &'static str,
+    /// Generator family the input came from.
+    pub matrix: String,
+    /// Problem dimension.
+    pub n: usize,
+    /// Nonzeros of the sparse input (0 for dense BLAS-1).
+    pub nnz: usize,
+    /// Largest absolute error against the CPU reference.
+    pub max_err: f64,
+    /// Tolerance the error was checked against.
+    pub tolerance: f64,
+    /// Accounting-invariant failures (empty when the run was sound).
+    pub audit: Vec<String>,
+    /// Whether numerics and accounting both checked out.
+    pub pass: bool,
+}
+
+/// All cases of one oracle sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OracleReport {
+    /// Every comparison performed.
+    pub cases: Vec<OracleCase>,
+}
+
+impl OracleReport {
+    /// `true` when every case passed.
+    #[must_use]
+    pub fn all_pass(&self) -> bool {
+        self.cases.iter().all(|c| c.pass)
+    }
+
+    /// The failing cases.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&OracleCase> {
+        self.cases.iter().filter(|c| !c.pass).collect()
+    }
+}
+
+/// Run-level accounting invariants every kernel execution must satisfy,
+/// regardless of its numerics.
+#[must_use]
+pub fn audit_run(run: &KernelRun) -> Vec<String> {
+    let mut failures = Vec::new();
+    if run.violations > 0 {
+        failures.push(format!(
+            "protocol checker reported {} violation(s)",
+            run.violations
+        ));
+    }
+    if run.mem_ops > run.bank_bursts {
+        failures.push(format!(
+            "PUs consumed {} memory ops from only {} bank bursts",
+            run.mem_ops, run.bank_bursts
+        ));
+    }
+    if run.commands == 0 || run.dram_cycles == 0 {
+        failures.push("run issued no DRAM commands".to_string());
+    }
+    if run.all_bank_commands + run.per_bank_commands != run.commands {
+        failures.push(format!(
+            "scope accounting leak: {} all-bank + {} per-bank != {} total",
+            run.all_bank_commands, run.per_bank_commands, run.commands
+        ));
+    }
+    failures
+}
+
+/// Deterministic splitmix64 step for deriving per-case parameters.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generate the `i`-th random square matrix of a sweep.
+fn gen_matrix(i: usize, rng: &mut u64) -> (String, Coo) {
+    let n = 40 + (splitmix(rng) % 161) as usize; // 40..=200
+    let deg = 2 + (splitmix(rng) % 5) as usize; // 2..=6
+    let salt = splitmix(rng);
+    match i % 4 {
+        0 => (format!("rmat(n={n},deg={deg})"), gen::rmat(n, deg, salt)),
+        1 => {
+            let bw = 2 + (splitmix(rng) % 8) as usize;
+            (
+                format!("banded_fem(n={n},bw={bw})"),
+                gen::banded_fem(n, bw, deg, salt),
+            )
+        }
+        2 => (
+            format!("web_hubs(n={n},nnz={})", n * deg),
+            gen::web_hubs(n, n * deg, salt),
+        ),
+        _ => (
+            format!("layered_dag(n={n},deg={deg})"),
+            gen::layered_dag(n, deg, 4, salt),
+        ),
+    }
+}
+
+/// Sweep `cases` random inputs through SpMV, SpTRSV and BLAS-1 on the
+/// device (validation forced on) and diff every result against a CPU
+/// reference.
+///
+/// # Errors
+///
+/// Returns the first simulator error; a numeric mismatch or accounting
+/// failure is reported in the [`OracleReport`], not as an error.
+pub fn run_oracle(device: &PimDevice, cases: usize, seed: u64) -> Result<OracleReport, CoreError> {
+    let device = {
+        let mut d = device.clone();
+        d.validate = true;
+        d
+    };
+    let mut rng = seed ^ 0x5EED_0AC1E;
+    let mut report = OracleReport::default();
+    for i in 0..cases {
+        let (name, a) = gen_matrix(i, &mut rng);
+        let n = a.nrows();
+        let x = gen::dense_vector(n, splitmix(&mut rng));
+        let y = gen::dense_vector(n, splitmix(&mut rng));
+
+        // SpMV against the COO reference.
+        {
+            let r = SpmvPim::new(device.clone(), Precision::Fp64).run(&a, &x)?;
+            let want = a.spmv(&x);
+            report
+                .cases
+                .push(diff("SpMV", &name, &a, &r.y, &want, 1e-9, &r.run));
+        }
+        // SpTRSV: solve L x = b for a unit-triangular L built from the
+        // matrix pattern; the exact solution is the x we built b from.
+        {
+            let t = unit_triangular_from(&a, Triangle::Lower)
+                .map_err(|e| CoreError::Execution(e.to_string()))?;
+            let b = t.matvec(&x);
+            let r = SptrsvPim::new(device.clone()).run(&t, &b)?;
+            report
+                .cases
+                .push(diff("SpTRSV", &name, &a, &r.x, &x, 1e-7, &r.run));
+        }
+        // BLAS-1: one axpy + one dot per case.
+        {
+            let blas = Blas1Pim::new(device.clone(), Precision::Fp64);
+            let alpha = -0.5 + (splitmix(&mut rng) % 1000) as f64 / 250.0;
+            let r = blas.daxpy(alpha, &x, &y)?;
+            let mut want = y.clone();
+            dense::axpy(alpha, &x, &mut want);
+            report
+                .cases
+                .push(diff("DAXPY", &name, &a, &r.v, &want, 1e-9, &r.run));
+            let d = blas.ddot(&x, &y)?;
+            let want = dense::dot(&x, &y);
+            let max_err = (d.s - want).abs();
+            let tolerance = 1e-9_f64.max(want.abs() * 1e-12);
+            let audit = audit_run(&d.run);
+            report.cases.push(OracleCase {
+                kernel: "DDOT",
+                matrix: name.clone(),
+                n,
+                nnz: 0,
+                max_err,
+                tolerance,
+                pass: max_err <= tolerance && audit.is_empty(),
+                audit,
+            });
+        }
+    }
+    Ok(report)
+}
+
+fn diff(
+    kernel: &'static str,
+    matrix: &str,
+    a: &Coo,
+    got: &[f64],
+    want: &[f64],
+    tolerance: f64,
+    run: &KernelRun,
+) -> OracleCase {
+    let max_err = got
+        .iter()
+        .zip(want)
+        .map(|(g, w)| (g - w).abs())
+        .fold(0.0f64, f64::max);
+    let audit = audit_run(run);
+    OracleCase {
+        kernel,
+        matrix: matrix.to_string(),
+        n: a.nrows(),
+        nnz: a.nnz(),
+        max_err,
+        tolerance,
+        pass: got.len() == want.len() && max_err <= tolerance && audit.is_empty(),
+        audit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn oracle_sweep_passes_on_tiny_device() {
+        let report = run_oracle(&PimDevice::tiny(2), 4, 0xC0FFEE).expect("simulator ok");
+        assert_eq!(report.cases.len(), 16); // 4 kernels × 4 cases
+        assert!(report.all_pass(), "{:?}", report.failures());
+    }
+
+    #[test]
+    fn oracle_covers_perbank_mode_too() {
+        let mut dev = PimDevice::tiny(2);
+        dev.mode = psyncpim_core::ExecMode::PerBank;
+        let report = run_oracle(&dev, 1, 7).expect("simulator ok");
+        assert!(report.all_pass(), "{:?}", report.failures());
+    }
+
+    #[test]
+    fn audit_flags_inconsistent_runs() {
+        let mut run = KernelRun {
+            commands: 10,
+            all_bank_commands: 10,
+            dram_cycles: 100,
+            mem_ops: 5,
+            bank_bursts: 8,
+            ..Default::default()
+        };
+        assert!(audit_run(&run).is_empty());
+        run.violations = 3;
+        run.mem_ops = 9; // more consumed than delivered
+        run.per_bank_commands = 1; // breaks scope accounting
+        let audit = audit_run(&run);
+        assert_eq!(audit.len(), 3, "{audit:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn random_spmv_matches_reference_with_clean_protocol(
+            n in 30usize..120,
+            deg in 2usize..6,
+            salt in 0u64..1000,
+        ) {
+            let a = gen::rmat(n, deg, salt);
+            let x = gen::dense_vector(n, salt ^ 1);
+            let mut dev = PimDevice::tiny(2);
+            dev.validate = true;
+            let r = SpmvPim::new(dev, Precision::Fp64).run(&a, &x).unwrap();
+            let want = a.spmv(&x);
+            let max_err = r
+                .y
+                .iter()
+                .zip(&want)
+                .map(|(g, w)| (g - w).abs())
+                .fold(0.0f64, f64::max);
+            prop_assert!(max_err <= 1e-9, "max_err {}", max_err);
+            prop_assert_eq!(r.run.violations, 0);
+            prop_assert!(r.run.mem_ops <= r.run.bank_bursts);
+        }
+    }
+}

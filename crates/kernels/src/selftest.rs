@@ -26,14 +26,22 @@ pub struct CheckResult {
     pub pass: bool,
 }
 
-/// Run the battery on a device; returns one result per kernel.
+/// Run the battery on a device; returns one result per kernel, plus a
+/// final `protocol` entry counting violations found by the independent
+/// JEDEC checker (the battery always runs with validation forced on).
 ///
 /// # Errors
 ///
 /// Returns the first simulator error encountered (a failing *check* is
 /// reported in the results, not as an error).
 pub fn selftest(device: &PimDevice) -> Result<Vec<CheckResult>, psyncpim_core::CoreError> {
+    let device = {
+        let mut d = device.clone();
+        d.validate = true;
+        d
+    };
     let mut out = Vec::new();
+    let mut violations = 0u64;
     let tol = 1e-9;
     let n = 300usize;
     let a = gen::rmat(n, 5, 0xA11CE);
@@ -45,6 +53,7 @@ pub fn selftest(device: &PimDevice) -> Result<Vec<CheckResult>, psyncpim_core::C
         let r = SpmvPim::new(device.clone(), Precision::Fp64).run(&a, &x)?;
         let want = a.spmv(&x);
         out.push(check("SpMV", &r.y, &want, tol));
+        violations += r.run.violations;
     }
     // SpTRSV (lower).
     {
@@ -53,26 +62,32 @@ pub fn selftest(device: &PimDevice) -> Result<Vec<CheckResult>, psyncpim_core::C
         let b = t.matvec(&x);
         let r = SptrsvPim::new(device.clone()).run(&t, &b)?;
         out.push(check("SpTRSV", &r.x, &x, 1e-7));
+        violations += r.run.violations;
     }
     let blas = Blas1Pim::new(device.clone(), Precision::Fp64);
     // DCOPY / DSCAL / DAXPY.
     {
         let r = blas.dcopy(&x)?;
         out.push(check("DCOPY", &r.v, &x, 0.0));
+        violations += r.run.violations;
         let r = blas.dscal(1.5, &x)?;
         let want: Vec<f64> = x.iter().map(|v| 1.5 * v).collect();
         out.push(check("DSCAL", &r.v, &want, tol));
+        violations += r.run.violations;
         let r = blas.daxpy(-0.5, &x, &y)?;
         let mut want = y.clone();
         dense::axpy(-0.5, &x, &mut want);
         out.push(check("DAXPY", &r.v, &want, tol));
+        violations += r.run.violations;
     }
     // DDOT / DNRM2.
     {
         let d = blas.ddot(&x, &y)?;
         out.push(scalar_check("DDOT", d.s, dense::dot(&x, &y), tol));
+        violations += d.run.violations;
         let m = blas.dnrm2(&x)?;
         out.push(scalar_check("DNRM2", m.s, dense::nrm2(&x), tol));
+        violations += m.run.violations;
     }
     // GATHER / SCATTER / SpAXPY / SpDOT.
     {
@@ -80,17 +95,21 @@ pub fn selftest(device: &PimDevice) -> Result<Vec<CheckResult>, psyncpim_core::C
         for i in (0..n).step_by(7) {
             sparse_src[i] = i as f64 + 0.5;
         }
-        let (sv, _) = blas.gather(&sparse_src)?;
+        let (sv, gr) = blas.gather(&sparse_src)?;
         out.push(check("GATHER", &sv.to_dense(), &sparse_src, 0.0));
+        violations += gr.violations;
         let r = blas.scatter(&sv, &vec![0.0; n])?;
         out.push(check("SCATTER", &r.v, &sparse_src, 0.0));
+        violations += r.run.violations;
         let sp = SparseVec::gather(&sparse_src);
         let r = blas.spaxpy(2.0, &sp, &y)?;
         let mut want = y.clone();
         dense::spaxpy(2.0, &sp, &mut want);
         out.push(check("SpAXPY", &r.v, &want, tol));
+        violations += r.run.violations;
         let d = blas.spdot(&sp, &y)?;
         out.push(scalar_check("SpDOT", d.s, dense::spdot(&sp, &y), tol));
+        violations += d.run.violations;
     }
     // DGEMV.
     {
@@ -102,7 +121,15 @@ pub fn selftest(device: &PimDevice) -> Result<Vec<CheckResult>, psyncpim_core::C
             .map(|i| (0..nc).map(|j| m[i * nc + j] * xg[j]).sum())
             .collect();
         out.push(check("DGEMV", &r.y, &want, tol));
+        violations += r.run.violations;
     }
+    // Every command stream above replayed through the independent JEDEC
+    // checker; the battery fails if any stream broke the protocol.
+    out.push(CheckResult {
+        kernel: "protocol",
+        max_err: violations as f64,
+        pass: violations == 0,
+    });
     Ok(out)
 }
 
@@ -141,11 +168,14 @@ mod tests {
     #[test]
     fn battery_passes_on_tiny_device() {
         let results = selftest(&PimDevice::tiny(2)).expect("simulator ok");
-        assert_eq!(results.len(), 12);
+        assert_eq!(results.len(), 13);
         for r in &results {
             assert!(r.pass, "{} failed with max_err {}", r.kernel, r.max_err);
         }
         assert!(all_pass(&results));
+        let protocol = results.last().unwrap();
+        assert_eq!(protocol.kernel, "protocol");
+        assert_eq!(protocol.max_err, 0.0, "checker found violations");
     }
 
     #[test]

@@ -145,6 +145,7 @@ impl SpmvPim {
             mode_cycle(&mut host, program.len());
 
             let mut wave_seconds = 0.0f64;
+            let mut wave_cycles = 0u64;
             let mut collect_bytes = 0usize;
             for cube in 0..self.device.cubes {
                 let lo = cube * banks_per_cube;
@@ -195,12 +196,8 @@ impl SpmvPim {
                 engine.load_kernel(program.clone(), bindings.clone())?;
                 let report = engine.run()?;
                 wave_seconds = wave_seconds.max(report.seconds);
-                run.commands += report.commands.total_commands();
-                run.all_bank_commands += report.commands.all_bank_commands;
-                run.per_bank_commands += report.commands.per_bank_commands;
-                run.rounds = run.rounds.max(report.rounds);
-                run.energy_j += report.energy.total_j();
-                run.active_pus = run.active_pus.max(report.active_pus);
+                wave_cycles = wave_cycles.max(report.dram_cycles);
+                run.absorb_engine(&report);
 
                 // Host accumulates only rows that received partial sums.
                 let y_region = bindings[10].expect("output bound").region;
@@ -219,6 +216,7 @@ impl SpmvPim {
                 }
             }
             run.kernel_s += wave_seconds;
+            run.dram_cycles += wave_cycles;
             run.phases += 1;
             host.collect(collect_bytes);
         }

@@ -234,12 +234,8 @@ impl SptrsvPim {
                 engine.load_kernel(program.clone(), bindings)?;
                 let report = engine.run()?;
                 run.kernel_s += report.seconds;
-                run.commands += report.commands.total_commands();
-                run.all_bank_commands += report.commands.all_bank_commands;
-                run.per_bank_commands += report.commands.per_bank_commands;
-                run.rounds = run.rounds.max(report.rounds);
-                run.energy_j += report.energy.total_j();
-                run.active_pus = run.active_pus.max(report.active_pus);
+                run.dram_cycles += report.dram_cycles;
+                run.absorb_engine(&report);
                 run.phases += 1;
             }
         }

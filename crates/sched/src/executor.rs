@@ -71,6 +71,11 @@ pub struct ExecutorConfig {
     /// Host worker threads (host-side parallelism; never affects
     /// results). Clamped to the shard count.
     pub host_threads: usize,
+    /// Run every job with the independent protocol checker attached and
+    /// fail jobs whose command streams violate the JEDEC contract. On by
+    /// default in the constructors: a multi-tenant service must not
+    /// silently serve results produced through an illegal stream.
+    pub validate: bool,
 }
 
 impl ExecutorConfig {
@@ -81,6 +86,7 @@ impl ExecutorConfig {
             device,
             shards: 1,
             host_threads: 1,
+            validate: true,
         }
     }
 
@@ -91,6 +97,7 @@ impl ExecutorConfig {
             device,
             shards,
             host_threads: shards,
+            validate: true,
         }
     }
 }
@@ -152,13 +159,14 @@ impl ShardExecutor {
     /// [`SchedError::BadShardSplit`] when `shards` does not evenly divide
     /// the device's pseudo-channels.
     pub fn new(cfg: ExecutorConfig) -> Result<Self, SchedError> {
-        let shard_device = cfg
+        let mut shard_device = cfg
             .device
             .shard(cfg.shards)
             .ok_or(SchedError::BadShardSplit {
                 channels: cfg.device.hbm.num_pseudo_channels,
                 shards: cfg.shards,
             })?;
+        shard_device.validate = cfg.validate;
         Ok(ShardExecutor { cfg, shard_device })
     }
 
@@ -246,6 +254,15 @@ impl ShardExecutor {
                 id: job.id,
                 error: e.to_string(),
             })?;
+            if run.violations > 0 {
+                return Err(SchedError::JobFailed {
+                    id: job.id,
+                    error: format!(
+                        "protocol validation failed: {} violation(s) in the command stream",
+                        run.violations
+                    ),
+                });
+            }
             let service_s = run.total_s();
             out.push(CompletedJob {
                 id: job.id,
@@ -334,6 +351,32 @@ mod tests {
                 x: vec![1.0; n],
             },
         )
+    }
+
+    #[test]
+    fn executor_validates_jobs_by_default() {
+        let cfg = ExecutorConfig::serial(PimDevice::tiny(2));
+        assert!(cfg.validate, "constructors must default validation on");
+        let exec = ShardExecutor::new(cfg).unwrap();
+        assert!(exec.shard_device().validate);
+        // A validated batch runs clean: jobs complete, accounting carries
+        // the checker's verdict and real service cycles.
+        let queue = JobQueue::bounded(4);
+        let a = Arc::new(psim_sparse::gen::rmat(32, 2, 3));
+        let x: Vec<f64> = (0..32).map(|i| 1.0 + i as f64).collect();
+        queue
+            .submit(JobSpec::batch("t0", JobKind::spmv(a, x)))
+            .unwrap();
+        let report = exec.drain_and_run(&queue).unwrap();
+        let job = &report.jobs[0];
+        assert_eq!(job.run.violations, 0);
+        assert!(job.service_cycles > 0, "dram_cycles must be accounted");
+        assert!(job.run.mem_ops <= job.run.bank_bursts);
+        // Validation can still be switched off explicitly.
+        let mut cfg = ExecutorConfig::serial(PimDevice::tiny(2));
+        cfg.validate = false;
+        let exec = ShardExecutor::new(cfg).unwrap();
+        assert!(!exec.shard_device().validate);
     }
 
     #[test]

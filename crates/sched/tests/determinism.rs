@@ -24,6 +24,7 @@ fn run_with_threads(specs: &[JobSpec], shards: usize, threads: usize) -> BatchRe
         device: PimDevice::tiny(shards.max(2)),
         shards,
         host_threads: threads,
+        validate: true,
     })
     .unwrap();
     exec.drain_and_run(&queue).unwrap()
