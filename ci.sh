@@ -9,11 +9,21 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> psim-lint (static program verification gate)"
+cargo run -q --release -p psim-bench --bin psim_lint
+
 echo "==> psim-check (protocol + kernel-semantics validation gate)"
 cargo run -q --release -p psim-bench --bin psim_check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets (deny warnings + pedantic subset)"
+cargo clippy --workspace --all-targets -- -D warnings \
+  -D clippy::semicolon_if_nothing_returned \
+  -D clippy::uninlined_format_args \
+  -D clippy::redundant_closure_for_method_calls \
+  -D clippy::explicit_iter_loop \
+  -D clippy::manual_let_else \
+  -D clippy::needless_pass_by_value \
+  -D clippy::items_after_statements
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

@@ -62,8 +62,6 @@ pub fn connected_components_bounded<R: Runtime>(
 /// Reference union-find CC for verification.
 #[must_use]
 pub fn cc_reference(g: &Coo) -> Vec<usize> {
-    let n = g.nrows();
-    let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut [usize], x: usize) -> usize {
         let mut r = x;
         while parent[r] != r {
@@ -77,6 +75,8 @@ pub fn cc_reference(g: &Coo) -> Vec<usize> {
         }
         r
     }
+    let n = g.nrows();
+    let mut parent: Vec<usize> = (0..n).collect();
     for e in g.iter() {
         let (a, b) = (
             find(&mut parent, e.row as usize),

@@ -28,6 +28,7 @@ use psyncpim_core::isa::BinaryOp;
 use crate::runtime::{Breakdown, Runtime};
 
 /// Which [`Breakdown`] bucket a job's service time lands in.
+#[derive(Clone, Copy)]
 enum Family {
     Spmv,
     Sptrsv,
@@ -110,9 +111,9 @@ impl SchedRuntime {
         }
     }
 
-    fn expect_scalar(value: JobValue) -> f64 {
+    fn expect_scalar(value: &JobValue) -> f64 {
         match value {
-            JobValue::Scalar(s) => s,
+            JobValue::Scalar(s) => *s,
             JobValue::Vector(_) => unreachable!("scalar kernel returned vector"),
         }
     }
@@ -173,12 +174,12 @@ impl Runtime for SchedRuntime {
             x: x.to_vec(),
             y: y.to_vec(),
         };
-        Self::expect_scalar(self.run_job(kind, Family::Vector))
+        Self::expect_scalar(&self.run_job(kind, Family::Vector))
     }
 
     fn norm2(&mut self, x: &[f64]) -> f64 {
         let kind = JobKind::Norm2 { x: x.to_vec() };
-        Self::expect_scalar(self.run_job(kind, Family::Vector))
+        Self::expect_scalar(&self.run_job(kind, Family::Vector))
     }
 
     fn breakdown(&self) -> Breakdown {

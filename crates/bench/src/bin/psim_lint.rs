@@ -1,0 +1,192 @@
+//! psim-lint: the static verification gate for CI.
+//!
+//! Assembles every shipped program builder in `psim_kernels::programs`
+//! across the full precision × semiring-op sweep and runs each program
+//! through the `psyncpim_core::isa::lint` analyzer (CFG checks + abstract
+//! interpretation). A builder that emits an Error-severity diagnostic —
+//! an out-of-range jump, a reused loop ORDER, a statically guaranteed
+//! queue underflow/overflow — fails the build before the expensive
+//! dynamic sweep in psim-check even starts.
+//!
+//! Emits a machine-readable JSON summary to `results/psim_lint.json`
+//! (totals plus one record per non-clean program).
+
+use psim_kernels::programs;
+use psim_sparse::Precision;
+use psyncpim_core::isa::{assemble, Diagnostic, Severity};
+use serde::Serialize;
+
+/// Binary ops accepted by the assembler's semiring slots.
+const OPS: [&str; 6] = ["ADD", "SUB", "MUL", "MIN", "MAX", "RSUB"];
+
+/// Chunk counts exercising the degenerate (NOP) loop, a small loop, and
+/// the largest count that fits the 10-bit JUMP immediate.
+const CHUNKS: [u16; 3] = [1, 4, 1023];
+
+#[derive(Serialize)]
+struct LintRecord {
+    builder: String,
+    variant: String,
+    precision: String,
+    errors: usize,
+    warnings: usize,
+    diagnostics: Vec<Diagnostic>,
+}
+
+#[derive(Serialize)]
+struct LintSummary {
+    programs: usize,
+    clean: usize,
+    errors: usize,
+    warnings: usize,
+    records: Vec<LintRecord>,
+}
+
+struct Gate {
+    programs: usize,
+    clean: usize,
+    errors: usize,
+    warnings: usize,
+    records: Vec<LintRecord>,
+    failures: usize,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            programs: 0,
+            clean: 0,
+            errors: 0,
+            warnings: 0,
+            records: Vec::new(),
+            failures: 0,
+        }
+    }
+
+    /// Assemble and lint one builder output.
+    fn check(&mut self, builder: &str, variant: &str, precision: Precision, asm: &str) {
+        self.programs += 1;
+        let program = match assemble(asm) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("lint\t{builder}\t{variant}\t{precision}\tASSEMBLE-FAIL\t{e}");
+                self.failures += 1;
+                return;
+            }
+        };
+        let diags = program.verify();
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count();
+        let warnings = diags.len() - errors;
+        self.errors += errors;
+        self.warnings += warnings;
+        if diags.is_empty() {
+            self.clean += 1;
+            return;
+        }
+        for d in &diags {
+            println!("lint\t{builder}\t{variant}\t{precision}\t{d}");
+        }
+        if errors > 0 {
+            self.failures += 1;
+        }
+        self.records.push(LintRecord {
+            builder: builder.to_string(),
+            variant: variant.to_string(),
+            precision: precision.to_string(),
+            errors,
+            warnings,
+            diagnostics: diags,
+        });
+    }
+
+    fn summary(&mut self) -> LintSummary {
+        LintSummary {
+            programs: self.programs,
+            clean: self.clean,
+            errors: self.errors,
+            warnings: self.warnings,
+            records: std::mem::take(&mut self.records),
+        }
+    }
+}
+
+fn main() {
+    let mut gate = Gate::new();
+
+    for &p in &Precision::ALL {
+        // Sparse streams over the full semiring op cross.
+        for mul in OPS {
+            for acc in OPS {
+                gate.check(
+                    "sparse_stream_semiring",
+                    &format!("{mul}x{acc}"),
+                    p,
+                    &programs::sparse_stream_semiring(p, mul, acc),
+                );
+                gate.check(
+                    "sparse_stream_batched",
+                    &format!("{mul}x{acc}"),
+                    p,
+                    &programs::sparse_stream_batched(p, mul, acc),
+                );
+            }
+        }
+        for acc in OPS {
+            gate.check("sparse_stream", acc, p, &programs::sparse_stream(p, acc));
+        }
+
+        // Dense BLAS-1 across the chunk-count envelope.
+        for c in CHUNKS {
+            let cv = format!("chunks={c}");
+            gate.check("dcopy", &cv, p, &programs::dcopy(p, c));
+            gate.check("dswap", &cv, p, &programs::dswap(p, c));
+            gate.check("dscal", &cv, p, &programs::dscal(p, c));
+            gate.check("daxpy", &cv, p, &programs::daxpy(p, c));
+            gate.check("ddot", &cv, p, &programs::ddot(p, c));
+            gate.check("gather", &cv, p, &programs::gather(p, c));
+            for op in OPS {
+                gate.check("dvdv", &format!("{op},{cv}"), p, &programs::dvdv(p, op, c));
+            }
+        }
+        gate.check("scatter", "-", p, &programs::scatter(p));
+        gate.check("spaxpy", "-", p, &programs::spaxpy(p));
+        gate.check("spdot", "-", p, &programs::spdot(p));
+
+        // Dense Level-2 across the loop-nest envelope.
+        for (rows, chunks) in [(1u16, 1u16), (4, 8), (1023, 1023)] {
+            gate.check(
+                "dgemv",
+                &format!("rows={rows},chunks={chunks}"),
+                p,
+                &programs::dgemv(p, rows, chunks),
+            );
+        }
+    }
+
+    let failures = gate.failures;
+    let summary = gate.summary();
+    let json = summary.to_json();
+    let path = "results/psim_lint.json";
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, format!("{json}\n")))
+    {
+        eprintln!("psim-lint: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+
+    println!(
+        "lint\tsummary\tprograms={}\tclean={}\terrors={}\twarnings={}",
+        summary.programs, summary.clean, summary.errors, summary.warnings
+    );
+    if failures > 0 {
+        eprintln!("psim-lint: {failures} program(s) FAILED static verification");
+        std::process::exit(1);
+    }
+    println!(
+        "psim-lint: all {} programs statically verified",
+        summary.programs
+    );
+}

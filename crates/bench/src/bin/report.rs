@@ -25,9 +25,51 @@ fn main() {
     let _ = writeln!(out, "# pSyncPIM reproduction report\n");
     let _ = writeln!(out, "Generated from `{dir}/*.txt`.\n");
 
+    validation(&mut out, Path::new(&dir));
     headline(&mut out, &rows);
     per_figure(&mut out, &rows);
     print!("{out}");
+}
+
+/// Two-sided validation provenance: the static lint gate's summary (when
+/// `psim_lint.json` is present) alongside the dynamic psim-check gate.
+fn validation(out: &mut String, dir: &Path) {
+    let _ = writeln!(out, "## Validation\n");
+    let _ = writeln!(
+        out,
+        "Every number below comes from a two-sided validated build: \
+         `psim-lint` statically verifies each shipped program (CFG + \
+         abstract interpretation, diagnostic codes PSL001–PSL013) before \
+         `psim-check` replays the emitted command streams through an \
+         independent JEDEC protocol checker and diffs kernel numerics \
+         against CPU oracles. Both gate `ci.sh`.\n"
+    );
+    let Ok(json) = fs::read_to_string(dir.join("psim_lint.json")) else {
+        return;
+    };
+    let field = |k: &str| -> Option<u64> {
+        let at = json.find(&format!("\"{k}\":"))?;
+        json[at..]
+            .split(':')
+            .nth(1)?
+            .split([',', '}'])
+            .next()?
+            .trim()
+            .parse()
+            .ok()
+    };
+    if let (Some(p), Some(c), Some(e), Some(w)) = (
+        field("programs"),
+        field("clean"),
+        field("errors"),
+        field("warnings"),
+    ) {
+        let _ = writeln!(
+            out,
+            "psim-lint summary: {p} programs linted, {c} clean, {e} \
+             errors, {w} warnings.\n"
+        );
+    }
 }
 
 /// tag -> list of field rows.

@@ -158,7 +158,7 @@ fn main() {
                 sim.jobs.to_string(),
                 format!("{:.4}", sim.makespan_s * 1e3),
                 format!("{:.1}", sim.jobs_per_sim_s),
-                format!("{:.3}", speedup),
+                format!("{speedup:.3}"),
                 format!("{:.2}", us(sim.wait_ns.p95())),
                 format!("{:.2}", us(sim.latency_ns.p50())),
                 format!("{:.2}", us(sim.latency_ns.p95())),

@@ -234,14 +234,24 @@ impl Engine {
     /// every bank must have allocated its regions in the same order (the
     /// paper's equal-rows-per-bank layout).
     ///
+    /// In validate mode the program must first pass psim-lint: an
+    /// Error-level diagnostic (guaranteed hang, counter clobber, dead
+    /// queue path, …) refuses the load before cycle 0 — on-PIM failures
+    /// are undebuggable from the host, so they must not start.
+    ///
     /// # Errors
     ///
-    /// Propagates binding validation failures.
+    /// [`CoreError::Verify`] for an unverifiable program under
+    /// [`EngineConfig::validate`]; otherwise propagates binding
+    /// validation failures.
     pub fn load_kernel<B: Into<Binding>>(
         &mut self,
         program: Program,
         bindings: Vec<Option<B>>,
     ) -> Result<(), CoreError> {
+        if self.cfg.validate {
+            crate::isa::VerifiedProgram::new(program.clone())?;
+        }
         let bindings: Vec<Option<Binding>> =
             bindings.into_iter().map(|o| o.map(Into::into)).collect();
         for pu in &mut self.pus {

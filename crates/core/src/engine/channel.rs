@@ -397,6 +397,16 @@ fn run_channel_allbank(
     })
 }
 
+/// Per-bank round-robin issue state (one per bank of the channel).
+struct BankCtl {
+    sched_idx: usize,
+    rounds: u64,
+    cursors: Vec<usize>,
+    open_row: Option<u32>,
+    ready: u64,
+    pu_free: u64,
+}
+
 fn run_channel_perbank(
     ctx: &ChannelCtx<'_>,
     ch: usize,
@@ -436,14 +446,6 @@ fn run_channel_perbank(
         .issue_cycle;
     }
 
-    struct BankCtl {
-        sched_idx: usize,
-        rounds: u64,
-        cursors: Vec<usize>,
-        open_row: Option<u32>,
-        ready: u64,
-        pu_free: u64,
-    }
     let init_cursors: Vec<usize> = (0..program.len())
         .map(|slot| {
             ctx.bindings
@@ -511,7 +513,7 @@ fn run_channel_perbank(
             )
             .map_err(|e| CoreError::Execution(e.to_string()))?
             .issue_cycle;
-            for ctl in ctls.iter_mut() {
+            for ctl in &mut ctls {
                 ctl.ready = ctl.ready.max(r);
             }
             floor = floor.max(r);

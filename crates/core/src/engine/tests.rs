@@ -44,7 +44,7 @@ fn setup_spmv(
     let lanes = 4; // FP64
     let max_len = per_bank
         .iter()
-        .map(|e| e.len())
+        .map(Vec::len)
         .max()
         .unwrap_or(0)
         .div_ceil(lanes)

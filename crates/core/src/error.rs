@@ -27,6 +27,11 @@ pub enum CoreError {
     Binding(String),
     /// The engine detected an inconsistency (e.g. kernel never exits).
     Execution(String),
+    /// psim-lint found Error-level diagnostics (see `isa::verify`).
+    Verify {
+        /// The Error-level findings, ordered by slot.
+        diagnostics: Vec<crate::isa::Diagnostic>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +48,16 @@ impl fmt::Display for CoreError {
             CoreError::Asm { line, msg } => write!(f, "asm error at line {line}: {msg}"),
             CoreError::Binding(msg) => write!(f, "binding error: {msg}"),
             CoreError::Execution(msg) => write!(f, "execution error: {msg}"),
+            CoreError::Verify { diagnostics } => {
+                write!(f, "program failed verification: ")?;
+                for (i, d) in diagnostics.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -244,6 +244,13 @@ fn parse_line(line: &str, lineno: usize) -> Result<Instruction, CoreError> {
         s.parse()
             .map_err(|e| err(format!("bad integer '{s}': {e}")))
     };
+    // Parse directly at u8 width so out-of-range slot/order fields are
+    // rejected instead of silently truncated (JUMP 256 must not become
+    // JUMP 0).
+    let int8 = |s: &str| -> Result<u8, CoreError> {
+        s.parse()
+            .map_err(|e| err(format!("bad 8-bit integer '{s}': {e}")))
+    };
 
     Ok(match mnemonic.as_str() {
         "NOP" => {
@@ -253,8 +260,8 @@ fn parse_line(line: &str, lineno: usize) -> Result<Instruction, CoreError> {
         "JUMP" => {
             want(3)?;
             Instruction::Jump {
-                target: int(args[0])? as u8,
-                order: int(args[1])? as u8,
+                target: int8(args[0])?,
+                order: int8(args[1])?,
                 count: int(args[2])?,
             }
         }
@@ -419,6 +426,32 @@ JUMP   0, 0, 0
         assert!(assemble("CEXIT DRF0").is_err());
         assert!(assemble("SDV DRF0, DRF1, BOGUS, FP64").is_err());
         assert!(assemble("DMOV DRF0, BANK, FP128").is_err());
+    }
+
+    #[test]
+    fn jump_fields_reject_overflow_instead_of_truncating() {
+        // Regression: target/order were parsed at u16 then cast `as u8`,
+        // so `JUMP 256, 0, 1` silently became `JUMP 0, 0, 1` and
+        // `JUMP 0, 300, 1` became order 44 — a wrong-but-valid loop.
+        for bad in ["JUMP 256, 0, 1\nEXIT\n", "JUMP 0, 300, 1\nEXIT\n"] {
+            match assemble(bad) {
+                Err(CoreError::Asm { line, msg }) => {
+                    assert_eq!(line, 1);
+                    assert!(msg.contains("8-bit"), "{msg}");
+                }
+                other => panic!("expected asm error, got {other:?}"),
+            }
+        }
+        // In-range values still parse exactly.
+        let p = assemble("NOP\nJUMP 0, 31, 2\nEXIT\n").unwrap();
+        assert_eq!(
+            p.instructions()[1],
+            Instruction::Jump {
+                target: 0,
+                order: 31,
+                count: 2
+            }
+        );
     }
 
     #[test]

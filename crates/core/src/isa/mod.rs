@@ -15,9 +15,11 @@
 mod asm;
 mod encode;
 pub(crate) mod program;
+pub mod verify;
 
 pub use asm::{assemble, disassemble};
 pub use program::Program;
+pub use verify::{lint, Diagnostic, LintCode, Severity, VerifiedProgram};
 
 use psim_sparse::Precision;
 use serde::{Deserialize, Serialize};

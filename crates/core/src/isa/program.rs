@@ -129,11 +129,11 @@ impl Program {
     /// [`CoreError::Execution`] if the walk exceeds a safety bound
     /// (malformed loop nest).
     pub fn command_schedule(&self) -> Result<Vec<usize>, CoreError> {
+        const MAX_STEPS: usize = 1_000_000;
         let mut schedule = Vec::new();
         let mut counters = [0u32; MAX_PROGRAM_LEN];
         let mut pc = 0usize;
         let mut steps = 0usize;
-        const MAX_STEPS: usize = 1_000_000;
         while pc < self.instrs.len() {
             steps += 1;
             if steps > MAX_STEPS {

@@ -1,0 +1,686 @@
+//! Worklist abstract interpretation over the PIM dataflow.
+//!
+//! The abstract state per program point tracks, for each PU:
+//!
+//! * **DRF initialization** — `No` / `Maybe` / `Yes` written, so a read of
+//!   a definitely-unwritten dense register warns ([`LintCode::ReadBeforeWrite`]).
+//!   The SRF is host-seeded (`set_srf_all` before launch, 0.0 default), so
+//!   SRF reads never warn.
+//! * **Sub-queue depth intervals** — bytes in `[0, 64]` per sub-queue of
+//!   each of the 3 sparse queues. Every burst moves `lanes × bytes` =
+//!   exactly 32 B regardless of precision, which keeps the domain exact
+//!   for the shipped kernels. Pops are modeled endpoint-wise through the
+//!   monotone `a ↦ a − min(a, 32)` runtime function (predication makes an
+//!   empty pop legal, so only *impossibilities* are errors): a consumer
+//!   whose queue is empty in every reachable state is a guaranteed no-op
+//!   ([`LintCode::QueueUnderflow`]); a push whose minimum requirement
+//!   exceeds the space left in every reachable state stalls the PU forever
+//!   ([`LintCode::QueueOverflow`]) — a stalled PU cannot run the very
+//!   consumers that would drain the queue.
+//! * **Precisions** — last-known precision of each DRF, the SRF, and the
+//!   elements of each queue; a consumer at a different precision warns
+//!   ([`LintCode::PrecisionMismatch`]).
+//!
+//! All three domains are finite lattices (intervals over 0..=64, 3-point
+//! init states, precision flats), joins are pointwise, transfers are
+//! monotone — the worklist reaches a fixpoint without widening. The
+//! diagnostics pass then replays each reachable slot once against its
+//! converged in-state.
+
+use super::cfg::Cfg;
+use super::{Diagnostic, LintCode};
+use crate::isa::{Instruction, Operand, SubQueue};
+use psim_sparse::Precision;
+
+/// Bytes per sub-queue (`pu::queue::SUB_QUEUE_BYTES`; re-stated here to
+/// keep `isa` free of a `pu` dependency).
+const CAP: u16 = 64;
+/// Bytes per burst: `lanes × elem_bytes` is 32 for every precision.
+const BURST: u16 = 32;
+
+// ---- domains -----------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Written {
+    No,
+    Maybe,
+    Yes,
+}
+
+impl Written {
+    fn join(self, other: Written) -> Written {
+        if self == other {
+            self
+        } else {
+            Written::Maybe
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Prec {
+    /// Nothing known (never produced on this path, or host-seeded data).
+    Unknown,
+    Known(Precision),
+    /// Produced at conflicting precisions.
+    Mixed,
+}
+
+impl Prec {
+    fn join(self, other: Prec) -> Prec {
+        match (self, other) {
+            (Prec::Unknown, p) | (p, Prec::Unknown) => p,
+            (Prec::Known(a), Prec::Known(b)) if a == b => self,
+            _ => Prec::Mixed,
+        }
+    }
+}
+
+/// Byte occupancy of one sub-queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    lo: u16,
+    hi: u16,
+}
+
+impl Interval {
+    const EMPTY: Interval = Interval { lo: 0, hi: 0 };
+
+    fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Add `[n_lo, n_hi]` bytes, clamped at capacity.
+    fn push(self, n_lo: u16, n_hi: u16) -> Interval {
+        Interval {
+            lo: (self.lo + n_lo).min(CAP),
+            hi: (self.hi + n_hi).min(CAP),
+        }
+    }
+
+    /// Remove `[n_lo, n_hi]` bytes (endpoint-wise, saturating).
+    fn pop(self, n_lo: u16, n_hi: u16) -> Interval {
+        Interval {
+            lo: self.lo.saturating_sub(n_hi),
+            hi: self.hi.saturating_sub(n_lo),
+        }
+    }
+}
+
+/// Abstract PU state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    drf: [Written; 3],
+    drf_prec: [Prec; 3],
+    srf_prec: Prec,
+    q_prec: [Prec; 3],
+    /// `[queue][row, col, val]` byte occupancy.
+    sub: [[Interval; 3]; 3],
+}
+
+impl State {
+    /// Launch state: DRFs unwritten, SRF host-seeded, queues empty.
+    fn entry() -> State {
+        State {
+            drf: [Written::No; 3],
+            drf_prec: [Prec::Unknown; 3],
+            srf_prec: Prec::Unknown,
+            q_prec: [Prec::Unknown; 3],
+            sub: [[Interval::EMPTY; 3]; 3],
+        }
+    }
+
+    fn join(&self, other: &State) -> State {
+        let mut out = self.clone();
+        for i in 0..3 {
+            out.drf[i] = out.drf[i].join(other.drf[i]);
+            out.drf_prec[i] = out.drf_prec[i].join(other.drf_prec[i]);
+            out.q_prec[i] = out.q_prec[i].join(other.q_prec[i]);
+            for s in 0..3 {
+                out.sub[i][s] = out.sub[i][s].join(other.sub[i][s]);
+            }
+        }
+        out.srf_prec = out.srf_prec.join(other.srf_prec);
+        out
+    }
+
+    /// Complete `(row, col, val)` triples available in queue `q`, in
+    /// bytes: the minimum over the three sub-queues.
+    fn triples(&self, q: usize) -> Interval {
+        let s = &self.sub[q];
+        Interval {
+            lo: s[0].lo.min(s[1].lo).min(s[2].lo),
+            hi: s[0].hi.min(s[1].hi).min(s[2].hi),
+        }
+    }
+
+    /// Pop up to one burst of complete triples from queue `q` (the
+    /// `k = min(len, lanes)` runtime rule); returns the popped bytes.
+    fn pop_triples(&mut self, q: usize) -> (u16, u16) {
+        let c = self.triples(q);
+        let (k_lo, k_hi) = (c.lo.min(BURST), c.hi.min(BURST));
+        for s in 0..3 {
+            self.sub[q][s] = self.sub[q][s].pop(k_lo, k_hi);
+        }
+        (k_lo, k_hi)
+    }
+
+    /// Push `[n_lo, n_hi]` bytes into every sub-queue of `q` (a complete
+    /// triple enters all three together).
+    fn push_triples(&mut self, q: usize, n_lo: u16, n_hi: u16) {
+        for s in 0..3 {
+            self.sub[q][s] = self.sub[q][s].push(n_lo, n_hi);
+        }
+    }
+}
+
+fn sub_index(sub: SubQueue) -> Option<usize> {
+    match sub {
+        SubQueue::Row => Some(0),
+        SubQueue::Col => Some(1),
+        SubQueue::Val => Some(2),
+        SubQueue::All => None,
+    }
+}
+
+fn q_ok(i: u8) -> Option<usize> {
+    (i < 3).then_some(i as usize)
+}
+
+fn drf_ok(op: Operand) -> Option<usize> {
+    match op {
+        Operand::Drf(i) if i < 3 => Some(i as usize),
+        _ => None,
+    }
+}
+
+// ---- transfer ----------------------------------------------------------
+
+/// Apply one instruction to the state. Out-of-range indices (already
+/// reported by the range pass) are skipped, not panicked on.
+#[allow(clippy::too_many_lines)]
+fn transfer(st: &mut State, ins: &Instruction) {
+    match *ins {
+        Instruction::Nop
+        | Instruction::Jump { .. }
+        | Instruction::Exit
+        | Instruction::CExit { .. } => {}
+
+        Instruction::Dmov {
+            dst,
+            src,
+            precision,
+        } => match (dst, src) {
+            (Operand::Drf(_), _) => {
+                if let Some(d) = drf_ok(dst) {
+                    st.drf[d] = Written::Yes;
+                    st.drf_prec[d] = Prec::Known(precision);
+                }
+            }
+            (Operand::Srf, _) => st.srf_prec = Prec::Known(precision),
+            _ => {}
+        },
+
+        Instruction::IndMov { dst, precision, .. } => match dst {
+            Operand::Drf(_) => {
+                if let Some(d) = drf_ok(dst) {
+                    st.drf[d] = Written::Yes;
+                    st.drf_prec[d] = Prec::Known(precision);
+                }
+            }
+            Operand::Srf => st.srf_prec = Prec::Known(precision),
+            _ => {}
+        },
+
+        Instruction::SpMov {
+            dst,
+            src,
+            sub,
+            precision,
+        } => match (dst, src) {
+            (Operand::SpVq(q), Operand::Bank) => {
+                if let Some(q) = q_ok(q) {
+                    // Region-drained is an exit no-op; the data path
+                    // always moves a whole burst.
+                    match sub_index(sub) {
+                        Some(s) => st.sub[q][s] = st.sub[q][s].push(BURST, BURST),
+                        None => st.push_triples(q, BURST, BURST),
+                    }
+                    st.q_prec[q] = st.q_prec[q].join(Prec::Known(precision));
+                }
+            }
+            (Operand::Bank, Operand::SpVq(q)) => {
+                if let Some(q) = q_ok(q) {
+                    match sub_index(sub) {
+                        // a − min(a, 32) endpoint-wise.
+                        Some(s) => st.sub[q][s] = st.sub[q][s].pop(BURST, BURST),
+                        None => {
+                            st.pop_triples(q);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        },
+
+        Instruction::SpFw { src, .. } => {
+            if let Some(q) = q_ok(src) {
+                // Drains every complete triple: each sub-queue keeps only
+                // its excess over the complete count.
+                let c = st.triples(q);
+                for s in 0..3 {
+                    st.sub[q][s] = st.sub[q][s].pop(c.lo, c.hi);
+                }
+            }
+        }
+
+        Instruction::GthSct {
+            dst,
+            src,
+            precision,
+            ..
+        } => match (dst, src) {
+            (Operand::SpVq(q), Operand::Bank) => {
+                if let Some(q) = q_ok(q) {
+                    // Only non-identity elements enter the queue.
+                    st.push_triples(q, 0, BURST);
+                    st.q_prec[q] = st.q_prec[q].join(Prec::Known(precision));
+                }
+            }
+            (Operand::Bank, Operand::SpVq(q)) => {
+                if let Some(q) = q_ok(q) {
+                    st.pop_triples(q);
+                }
+            }
+            _ => {}
+        },
+
+        Instruction::Sdv { dst, precision, .. } => {
+            if let Some(d) = drf_ok(dst) {
+                st.drf[d] = Written::Yes;
+                st.drf_prec[d] = Prec::Known(precision);
+            }
+        }
+
+        Instruction::SSpv {
+            dst,
+            src,
+            precision,
+            ..
+        } => {
+            if let (Operand::SpVq(d), Operand::SpVq(s)) = (dst, src) {
+                if let (Some(d), Some(s)) = (q_ok(d), q_ok(s)) {
+                    // Re-pushes every popped element (no sentinel drop).
+                    let (k_lo, k_hi) = st.pop_triples(s);
+                    st.push_triples(d, k_lo, k_hi);
+                    st.q_prec[d] = st.q_prec[d].join(Prec::Known(precision));
+                }
+            }
+        }
+
+        Instruction::Reduce { precision, .. } => st.srf_prec = Prec::Known(precision),
+
+        Instruction::Dvdv { dst, precision, .. } => {
+            if let Some(d) = drf_ok(dst) {
+                st.drf[d] = Written::Yes;
+                st.drf_prec[d] = Prec::Known(precision);
+            }
+        }
+
+        Instruction::SpVdv {
+            dst,
+            src0,
+            precision,
+            ..
+        } => {
+            if let Some(s_ix) = src0_queue(src0) {
+                let (_, k_hi) = st.pop_triples(s_ix);
+                if let Operand::SpVq(d) = dst {
+                    if let Some(d) = q_ok(d) {
+                        // Sentinel-padded elements are dropped: the push
+                        // can be anywhere from nothing to the whole pop.
+                        st.push_triples(d, 0, k_hi);
+                        st.q_prec[d] = st.q_prec[d].join(Prec::Known(precision));
+                    }
+                }
+            }
+        }
+
+        Instruction::SpVSpv {
+            dst,
+            src0,
+            src1,
+            precision,
+            ..
+        } => {
+            let mut pushed_hi = 0u16;
+            for src in [src0, src1] {
+                if let Some(q) = src0_queue(src) {
+                    let (_, k_hi) = st.pop_triples(q);
+                    pushed_hi = (pushed_hi + k_hi).min(CAP);
+                }
+            }
+            if let Operand::SpVq(d) = dst {
+                if let Some(d) = q_ok(d) {
+                    // Union keeps up to everything, intersection may keep
+                    // nothing.
+                    st.push_triples(d, 0, pushed_hi);
+                    st.q_prec[d] = st.q_prec[d].join(Prec::Known(precision));
+                }
+            }
+        }
+    }
+}
+
+fn src0_queue(op: Operand) -> Option<usize> {
+    match op {
+        Operand::SpVq(i) => q_ok(i),
+        _ => None,
+    }
+}
+
+// ---- diagnostics against the converged in-states -----------------------
+
+/// Reads performed by an instruction, for the read-before-write and
+/// precision passes: `(operand, precision)` pairs.
+fn reg_reads(ins: &Instruction) -> Vec<(Operand, Precision)> {
+    match *ins {
+        Instruction::Dmov {
+            dst,
+            src,
+            precision,
+        } => match (dst, src) {
+            // Bank loads read no register; stores and moves read `src`.
+            (_, Operand::Drf(_) | Operand::Srf) => vec![(src, precision)],
+            _ => Vec::new(),
+        },
+        Instruction::Sdv { src, precision, .. } => {
+            vec![(src, precision), (Operand::Srf, precision)]
+        }
+        Instruction::SSpv { precision, .. } => vec![(Operand::Srf, precision)],
+        Instruction::Reduce { src, precision, .. } => vec![(src, precision)],
+        Instruction::Dvdv {
+            src0,
+            src1,
+            precision,
+            ..
+        } => vec![(src0, precision), (src1, precision)],
+        Instruction::SpVdv {
+            src1: src1 @ (Operand::Drf(_) | Operand::Srf),
+            precision,
+            ..
+        } => vec![(src1, precision)],
+        _ => Vec::new(),
+    }
+}
+
+/// Queues an instruction consumes from (pop or peek), with the consuming
+/// precision. A consumer whose every-state depth is zero is a guaranteed
+/// no-op.
+fn queue_reads(ins: &Instruction) -> Vec<(u8, Precision)> {
+    match *ins {
+        Instruction::IndMov {
+            idx_queue,
+            precision,
+            ..
+        } => vec![(idx_queue, precision)],
+        Instruction::SpFw { src, precision } => vec![(src, precision)],
+        Instruction::SpMov {
+            dst: Operand::Bank,
+            src: Operand::SpVq(q),
+            precision,
+            ..
+        } => vec![(q, precision)],
+        Instruction::GthSct {
+            dst: Operand::Bank,
+            src: Operand::SpVq(q),
+            precision,
+            ..
+        } => vec![(q, precision)],
+        Instruction::SSpv {
+            src: Operand::SpVq(q),
+            precision,
+            ..
+        } => vec![(q, precision)],
+        Instruction::SpVdv {
+            src0: Operand::SpVq(q),
+            precision,
+            ..
+        } => vec![(q, precision)],
+        Instruction::SpVSpv {
+            src0,
+            src1,
+            precision,
+            ..
+        } => [src0, src1]
+            .iter()
+            .filter_map(|op| match op {
+                Operand::SpVq(q) => Some((*q, precision)),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Minimum bytes of queue space an instruction demands before executing
+/// (its stall predicate), as `(queue, min_required)` against the in-state.
+fn push_demands(st: &State, ins: &Instruction) -> Vec<(usize, SubQueue, u16)> {
+    match *ins {
+        Instruction::SpMov {
+            dst: Operand::SpVq(q),
+            src: Operand::Bank,
+            sub,
+            ..
+        } => q_ok(q).map(|q| (q, sub, BURST)).into_iter().collect(),
+        Instruction::GthSct {
+            dst: Operand::SpVq(q),
+            src: Operand::Bank,
+            ..
+        } => q_ok(q)
+            .map(|q| (q, SubQueue::All, BURST))
+            .into_iter()
+            .collect(),
+        Instruction::SSpv {
+            dst: Operand::SpVq(d),
+            src: Operand::SpVq(s),
+            ..
+        } => match (q_ok(d), q_ok(s)) {
+            (Some(d), Some(s)) => {
+                let k_lo = st.triples(s).lo.min(BURST);
+                vec![(d, SubQueue::All, k_lo)]
+            }
+            _ => Vec::new(),
+        },
+        Instruction::SpVdv {
+            dst: Operand::SpVq(d),
+            src0: Operand::SpVq(s),
+            ..
+        } => match (q_ok(d), q_ok(s)) {
+            (Some(d), Some(s)) => {
+                let k_lo = st.triples(s).lo.min(BURST);
+                vec![(d, SubQueue::All, k_lo)]
+            }
+            _ => Vec::new(),
+        },
+        Instruction::SpVSpv {
+            dst: Operand::SpVq(d),
+            src0,
+            src1,
+            ..
+        } => q_ok(d)
+            .map(|d| {
+                let mut need = 0u16;
+                for src in [src0, src1] {
+                    if let Some(s) = src0_queue(src) {
+                        need += st.triples(s).lo.min(BURST);
+                    }
+                }
+                (d, SubQueue::All, need)
+            })
+            .into_iter()
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn prec_name(p: Prec) -> String {
+    match p {
+        Prec::Unknown => "unknown".to_string(),
+        Prec::Known(p) => p.to_string(),
+        Prec::Mixed => "mixed".to_string(),
+    }
+}
+
+fn check_slot(st: &State, slot: usize, ins: &Instruction, diags: &mut Vec<Diagnostic>) {
+    // Read-before-write and precision over registers.
+    for (op, p) in reg_reads(ins) {
+        match op {
+            Operand::Drf(_) => {
+                if let Some(i) = drf_ok(op) {
+                    if st.drf[i] == Written::No {
+                        diags.push(Diagnostic::new(
+                            slot,
+                            LintCode::ReadBeforeWrite,
+                            format!(
+                                "DRF{i} is read here but never written on any path to this \
+                                     instruction"
+                            ),
+                        ));
+                    }
+                    if let Prec::Known(q) = st.drf_prec[i] {
+                        if q != p {
+                            diags.push(Diagnostic::new(
+                                slot,
+                                LintCode::PrecisionMismatch,
+                                format!("DRF{i} holds {q} data but is consumed at {p}"),
+                            ));
+                        }
+                    } else if st.drf_prec[i] == Prec::Mixed {
+                        diags.push(Diagnostic::new(
+                            slot,
+                            LintCode::PrecisionMismatch,
+                            format!(
+                                "DRF{i} holds {} data but is consumed at {p}",
+                                prec_name(st.drf_prec[i])
+                            ),
+                        ));
+                    }
+                }
+            }
+            Operand::Srf => {
+                // The SRF is host-seeded, so no read-before-write; only a
+                // known conflicting producer precision warns.
+                match st.srf_prec {
+                    Prec::Known(q) if q != p => diags.push(Diagnostic::new(
+                        slot,
+                        LintCode::PrecisionMismatch,
+                        format!("SRF holds {q} data but is consumed at {p}"),
+                    )),
+                    Prec::Mixed => diags.push(Diagnostic::new(
+                        slot,
+                        LintCode::PrecisionMismatch,
+                        format!("SRF holds mixed-precision data but is consumed at {p}"),
+                    )),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Queue underflow + element precision.
+    for (q, p) in queue_reads(ins) {
+        let Some(q) = q_ok(q) else { continue };
+        if st.triples(q).hi == 0 {
+            diags.push(Diagnostic::new(
+                slot,
+                LintCode::QueueUnderflow,
+                format!(
+                    "SPVQ{q} holds no complete element in any execution reaching this \
+                     instruction: the consumer is a guaranteed no-op"
+                ),
+            ));
+        }
+        match st.q_prec[q] {
+            Prec::Known(elem) if elem != p => diags.push(Diagnostic::new(
+                slot,
+                LintCode::PrecisionMismatch,
+                format!("SPVQ{q} holds {elem} elements but is consumed at {p}"),
+            )),
+            Prec::Mixed => diags.push(Diagnostic::new(
+                slot,
+                LintCode::PrecisionMismatch,
+                format!("SPVQ{q} holds mixed-precision elements but is consumed at {p}"),
+            )),
+            _ => {}
+        }
+    }
+
+    // Queue overflow: minimum occupancy + minimum demand beyond capacity
+    // in every reachable state ⇒ the stall predicate can never pass, and
+    // a stalled PU cannot reach the consumers that would drain the queue.
+    for (q, sub, need) in push_demands(st, ins) {
+        if need == 0 {
+            continue;
+        }
+        let occupancy_lo = match sub_index(sub) {
+            Some(s) => st.sub[q][s].lo,
+            None => st.sub[q][0].lo.max(st.sub[q][1].lo).max(st.sub[q][2].lo),
+        };
+        if occupancy_lo + need > CAP {
+            diags.push(Diagnostic::new(
+                slot,
+                LintCode::QueueOverflow,
+                format!(
+                    "push of at least {need} B into SPVQ{q} cannot fit: the queue already \
+                     holds at least {occupancy_lo} B of its {CAP} B in every execution — the \
+                     PU stalls forever"
+                ),
+            ));
+        }
+    }
+}
+
+// ---- fixpoint ----------------------------------------------------------
+
+/// Run the abstract interpretation and append dataflow diagnostics.
+pub(super) fn check(instrs: &[Instruction], cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let n = instrs.len();
+    if n == 0 {
+        return;
+    }
+    let mut in_states: Vec<Option<State>> = vec![None; n];
+    in_states[0] = Some(State::entry());
+    let mut worklist: Vec<usize> = vec![0];
+    let mut on_list = vec![false; n];
+    on_list[0] = true;
+
+    while let Some(slot) = worklist.pop() {
+        on_list[slot] = false;
+        let mut out = in_states[slot].clone().expect("on worklist ⇒ has in-state");
+        transfer(&mut out, &instrs[slot]);
+        for &succ in &cfg.succs[slot] {
+            let merged = match &in_states[succ] {
+                Some(prev) => prev.join(&out),
+                None => out.clone(),
+            };
+            if in_states[succ].as_ref() != Some(&merged) {
+                in_states[succ] = Some(merged);
+                if !on_list[succ] {
+                    on_list[succ] = true;
+                    worklist.push(succ);
+                }
+            }
+        }
+    }
+
+    for (slot, st) in in_states.iter().enumerate() {
+        if let Some(st) = st {
+            check_slot(st, slot, &instrs[slot], diags);
+        }
+    }
+}

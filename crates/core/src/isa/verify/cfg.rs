@@ -1,0 +1,163 @@
+//! Control-flow graph over the instruction slots.
+//!
+//! The pSyncPIM control model is small: execution advances slot by slot;
+//! `JUMP` with count 0 branches unconditionally, `JUMP` with count > 0
+//! either branches (counter not yet exhausted) or falls through, `EXIT`
+//! terminates, and `CEXIT` either falls through or (once its watched
+//! queue drains) terminates the bank. A PU that walks past the last slot
+//! also exits. The graph that captures all of this has at most 32 nodes
+//! and 2 successors per node, so dense bitset-free `Vec` reachability is
+//! plenty.
+
+use super::super::Instruction;
+use super::{Diagnostic, LintCode};
+
+/// Per-slot successor sets plus exit capability.
+pub(super) struct Cfg {
+    /// `succs[s]` — slots control can move to after slot `s`.
+    pub succs: Vec<Vec<usize>>,
+    /// `preds[s]` — inverse edges.
+    pub preds: Vec<Vec<usize>>,
+    /// `can_exit[s]` — slot `s` itself may terminate the program
+    /// (`EXIT`, `CEXIT`, or falling off the program end).
+    pub can_exit: Vec<bool>,
+    /// `reachable[s]` — some path from slot 0 reaches `s`.
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    pub(super) fn build(instrs: &[Instruction]) -> Cfg {
+        let n = instrs.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut can_exit = vec![false; n];
+        for (slot, ins) in instrs.iter().enumerate() {
+            let fallthrough = slot + 1 < n;
+            match *ins {
+                Instruction::Exit => can_exit[slot] = true,
+                Instruction::Jump { target, count, .. } => {
+                    let t = target as usize;
+                    if t < n {
+                        succs[slot].push(t);
+                    }
+                    // A counted jump exhausts its counter and falls
+                    // through; count 0 never does.
+                    if count > 0 {
+                        if fallthrough {
+                            succs[slot].push(slot + 1);
+                        } else {
+                            can_exit[slot] = true;
+                        }
+                    }
+                }
+                Instruction::CExit { .. } => {
+                    // Either the queue is live (fall through) or the
+                    // region drained (exit).
+                    can_exit[slot] = true;
+                    if fallthrough {
+                        succs[slot].push(slot + 1);
+                    }
+                }
+                _ => {
+                    if fallthrough {
+                        succs[slot].push(slot + 1);
+                    } else {
+                        can_exit[slot] = true;
+                    }
+                }
+            }
+        }
+
+        let mut preds = vec![Vec::new(); n];
+        for (s, outs) in succs.iter().enumerate() {
+            for &t in outs {
+                preds[t].push(s);
+            }
+        }
+
+        // Forward reachability from slot 0.
+        let mut reachable = vec![false; n];
+        let mut stack = Vec::new();
+        if n > 0 {
+            reachable[0] = true;
+            stack.push(0usize);
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &succs[s] {
+                if !reachable[t] {
+                    reachable[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+
+        Cfg {
+            succs,
+            preds,
+            can_exit,
+            reachable,
+        }
+    }
+
+    /// Control-flow diagnostics: unreachable slots, slots with no path to
+    /// any exit, and the implicit exit off the program end.
+    pub(super) fn check(&self, instrs: &[Instruction], diags: &mut Vec<Diagnostic>) {
+        let n = instrs.len();
+
+        for (slot, &r) in self.reachable.iter().enumerate() {
+            if !r {
+                diags.push(Diagnostic::new(
+                    slot,
+                    LintCode::Unreachable,
+                    "no execution path reaches this instruction",
+                ));
+            }
+        }
+
+        // Backward reachability from exit-capable slots.
+        let mut exits_reach = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        for (s, &e) in self.can_exit.iter().enumerate() {
+            if e {
+                exits_reach[s] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &self.preds[s] {
+                if !exits_reach[p] {
+                    exits_reach[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+
+        // One aggregated diagnostic at the lowest trapped slot — a
+        // trapped loop traps every slot in its body, and 30 copies of
+        // the same finding help nobody.
+        if let Some(slot) = (0..n).find(|&s| self.reachable[s] && !exits_reach[s]) {
+            diags.push(Diagnostic::new(
+                slot,
+                LintCode::NoExitPath,
+                "no EXIT, CEXIT or program end is reachable from here: the kernel cannot \
+                 terminate",
+            ));
+        }
+
+        // A reachable exit via falling off the end, with an explicit
+        // terminator nowhere on that path, is almost always a missing
+        // EXIT rather than a design choice.
+        for (slot, ins) in instrs.iter().enumerate() {
+            let falls_off = slot + 1 == n
+                && self.reachable[slot]
+                && self.can_exit[slot]
+                && !matches!(*ins, Instruction::Exit | Instruction::CExit { .. });
+            if falls_off {
+                diags.push(Diagnostic::new(
+                    slot,
+                    LintCode::ImplicitExit,
+                    "control falls off the program end; add an explicit EXIT",
+                ));
+            }
+        }
+    }
+}

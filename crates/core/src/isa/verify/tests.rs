@@ -1,0 +1,462 @@
+//! psim-lint unit tests: a deliberately-broken-program corpus in which
+//! each lint code fires exactly once, plus fixpoint behavior on the loop
+//! shapes the shipped kernels use.
+
+use super::super::{assemble, BinaryOp, Identity, Instruction, Operand, SubQueue};
+use super::{lint, Diagnostic, LintCode, Severity, VerifiedProgram, ALL_LINT_CODES};
+use crate::error::CoreError;
+use psim_sparse::Precision;
+
+const P: Precision = Precision::Fp64;
+
+fn spmov_in(q: u8, sub: SubQueue) -> Instruction {
+    Instruction::SpMov {
+        dst: Operand::SpVq(q),
+        src: Operand::Bank,
+        sub,
+        precision: P,
+    }
+}
+
+/// For every lint code, a minimal program on which it fires exactly once.
+fn corpus() -> Vec<(LintCode, Vec<Instruction>)> {
+    vec![
+        (
+            // Target past the end (Program::new refuses to build this, so
+            // the corpus lints the raw slice — exactly what tooling over
+            // decoded-but-unvalidated words needs).
+            LintCode::JumpTargetRange,
+            vec![
+                Instruction::Jump {
+                    target: 9,
+                    order: 0,
+                    count: 1,
+                },
+                Instruction::Exit,
+            ],
+        ),
+        (
+            // ORDER 40 indexes past the 32-entry loop-counter file: the
+            // PU panics on the first back-edge.
+            LintCode::OrderRange,
+            vec![
+                Instruction::Nop,
+                Instruction::Jump {
+                    target: 0,
+                    order: 40,
+                    count: 3,
+                },
+                Instruction::Exit,
+            ],
+        ),
+        (
+            LintCode::CountRange,
+            vec![
+                Instruction::Nop,
+                Instruction::Jump {
+                    target: 0,
+                    order: 0,
+                    count: 1024,
+                },
+                Instruction::Exit,
+            ],
+        ),
+        (
+            // Only SPVQ0-2 exist; queue 3 decodes (2-bit field wraps) but
+            // panics the PU's queue array.
+            LintCode::QueueIdRange,
+            vec![Instruction::CExit { queue: 3 }, Instruction::Exit],
+        ),
+        (
+            LintCode::RegIndexRange,
+            vec![
+                Instruction::Dmov {
+                    dst: Operand::Drf(5),
+                    src: Operand::Bank,
+                    precision: P,
+                },
+                Instruction::Exit,
+            ],
+        ),
+        (
+            // Two counted loops over overlapping bodies sharing ORDER 1:
+            // the inner back-edge clobbers the outer counter.
+            LintCode::OrderReuse,
+            vec![
+                Instruction::Nop,
+                Instruction::Jump {
+                    target: 0,
+                    order: 1,
+                    count: 3,
+                },
+                Instruction::Jump {
+                    target: 0,
+                    order: 1,
+                    count: 3,
+                },
+                Instruction::Exit,
+            ],
+        ),
+        (
+            // An unconditional loop with no CEXIT anywhere: the kernel
+            // can never terminate.
+            LintCode::NoExitPath,
+            vec![
+                Instruction::Nop,
+                Instruction::Jump {
+                    target: 0,
+                    order: 0,
+                    count: 0,
+                },
+            ],
+        ),
+        (
+            LintCode::Unreachable,
+            vec![Instruction::Exit, Instruction::Nop],
+        ),
+        (LintCode::ImplicitExit, vec![Instruction::Nop]),
+        (
+            // DRF0 is stored to the bank without ever being loaded.
+            LintCode::ReadBeforeWrite,
+            vec![
+                Instruction::Dmov {
+                    dst: Operand::Bank,
+                    src: Operand::Drf(0),
+                    precision: P,
+                },
+                Instruction::Exit,
+            ],
+        ),
+        (
+            // SpFW drains a queue nothing ever fills: a guaranteed no-op.
+            LintCode::QueueUnderflow,
+            vec![
+                Instruction::SpFw {
+                    src: 0,
+                    precision: P,
+                },
+                Instruction::Exit,
+            ],
+        ),
+        (
+            // Three straight-line 32 B bursts into one 64 B sub-queue: the
+            // third can never fit and the PU stalls forever.
+            LintCode::QueueOverflow,
+            vec![
+                spmov_in(0, SubQueue::Row),
+                spmov_in(0, SubQueue::Row),
+                spmov_in(0, SubQueue::Row),
+                Instruction::Exit,
+            ],
+        ),
+        (
+            // FP64 loaded, consumed as FP32.
+            LintCode::PrecisionMismatch,
+            vec![
+                Instruction::Dmov {
+                    dst: Operand::Drf(0),
+                    src: Operand::Bank,
+                    precision: Precision::Fp64,
+                },
+                Instruction::Sdv {
+                    dst: Operand::Drf(1),
+                    src: Operand::Drf(0),
+                    op: BinaryOp::Mul,
+                    precision: Precision::Fp32,
+                },
+                Instruction::Exit,
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn corpus_covers_every_lint_code() {
+    let covered: Vec<LintCode> = corpus().into_iter().map(|(c, _)| c).collect();
+    for code in ALL_LINT_CODES {
+        assert!(covered.contains(&code), "corpus misses {code}");
+    }
+}
+
+#[test]
+fn each_lint_code_fires_exactly_once_on_its_corpus_program() {
+    for (code, instrs) in corpus() {
+        let hits: Vec<Diagnostic> = lint(&instrs)
+            .into_iter()
+            .filter(|d| d.code == code)
+            .collect();
+        assert_eq!(
+            hits.len(),
+            1,
+            "{code} fired {} times on its corpus program: {hits:?}",
+            hits.len()
+        );
+    }
+}
+
+#[test]
+fn diagnostics_carry_slot_code_and_severity() {
+    let d = &lint(&[
+        Instruction::SpFw {
+            src: 0,
+            precision: P,
+        },
+        Instruction::Exit,
+    ])[0];
+    assert_eq!(d.slot, 0);
+    assert_eq!(d.code, LintCode::QueueUnderflow);
+    assert_eq!(d.severity(), Severity::Error);
+    assert_eq!(d.code.code(), "PSL011");
+    let shown = d.to_string();
+    assert!(
+        shown.contains("PSL011") && shown.contains("slot 0"),
+        "{shown}"
+    );
+}
+
+#[test]
+fn lint_codes_are_unique_and_stable() {
+    let codes: Vec<&str> = ALL_LINT_CODES.iter().map(|c| c.code()).collect();
+    let mut dedup = codes.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), ALL_LINT_CODES.len());
+    assert!(codes.contains(&"PSL001") && codes.contains(&"PSL013"));
+}
+
+// ---- control flow ------------------------------------------------------
+
+#[test]
+fn conditional_loop_is_not_a_missing_exit() {
+    // The Algorithm-2 shape: unbounded JUMP 0 loop closed by CEXIT.
+    let prog = assemble(
+        "SPMOV SPVQ0, BANK, ROW, FP64\n\
+         SPMOV SPVQ0, BANK, COL, FP64\n\
+         SPMOV SPVQ0, BANK, VAL, FP64\n\
+         SPFW  SPVQ0, FP64\n\
+         CEXIT SPVQ0\n\
+         JUMP 0, 0, 0\n",
+    )
+    .unwrap();
+    assert!(prog.is_conditional_loop());
+    assert_eq!(prog.verify(), Vec::new());
+}
+
+#[test]
+fn counted_loop_falls_through_cleanly() {
+    let prog = assemble("NOP\nJUMP 0, 1, 7\nEXIT\n").unwrap();
+    assert_eq!(prog.verify(), Vec::new());
+}
+
+#[test]
+fn nested_loops_with_distinct_orders_are_clean() {
+    let prog = assemble("NOP\nJUMP 0, 1, 3\nJUMP 0, 2, 5\nEXIT\n").unwrap();
+    assert_eq!(prog.verify(), Vec::new());
+}
+
+#[test]
+fn disjoint_loops_may_share_an_order() {
+    // Sequential (non-overlapping) loops reuse the counter legally: each
+    // back-edge resets it to zero on exhaustion.
+    let prog = assemble("NOP\nJUMP 0, 1, 3\nNOP\nJUMP 2, 1, 3\nEXIT\n").unwrap();
+    assert_eq!(prog.verify(), Vec::new());
+}
+
+#[test]
+fn no_exit_path_reported_once_at_lowest_slot() {
+    let diags = lint(&[
+        Instruction::Nop,
+        Instruction::Nop,
+        Instruction::Jump {
+            target: 0,
+            order: 0,
+            count: 0,
+        },
+    ]);
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.code == LintCode::NoExitPath)
+        .collect();
+    assert_eq!(hits.len(), 1, "one aggregated diagnostic: {diags:?}");
+    assert_eq!(hits[0].slot, 0);
+}
+
+// ---- abstract interpretation -------------------------------------------
+
+#[test]
+fn loop_carried_queue_state_reaches_fixpoint_without_false_positives() {
+    // The batched stream fills each SPVQ0 sub-queue to exactly 64 B per
+    // iteration and drains it; the interval analysis must prove this
+    // exact (no overflow/underflow) for every precision.
+    for p in Precision::ALL {
+        let asm = psim_kernels_like_batched(p);
+        let prog = assemble(&asm).unwrap();
+        assert_eq!(prog.verify(), Vec::new(), "precision {p}");
+    }
+}
+
+/// The sparse_stream_batched shape, inlined so core does not depend on
+/// the kernels crate.
+fn psim_kernels_like_batched(p: Precision) -> String {
+    format!(
+        "\
+SPMOV  SPVQ0, BANK, ROW, {p}
+SPMOV  SPVQ0, BANK, COL, {p}
+SPMOV  SPVQ0, BANK, VAL, {p}
+SPMOV  SPVQ0, BANK, ROW, {p}
+SPMOV  SPVQ0, BANK, COL, {p}
+SPMOV  SPVQ0, BANK, VAL, {p}
+INDMOV DRF2, SPVQ0, {p}
+SPVDV  SPVQ1, SPVQ0, DRF2, MUL, INTER, {p}
+INDMOV DRF2, SPVQ0, {p}
+SPVDV  SPVQ1, SPVQ0, DRF2, MUL, INTER, {p}
+SPVDV  BANK, SPVQ1, BANK, ADD, UNION, {p}
+SPVDV  BANK, SPVQ1, BANK, ADD, UNION, {p}
+CEXIT  SPVQ0
+JUMP   0, 0, 0
+"
+    )
+}
+
+#[test]
+fn consumer_fed_only_on_a_later_path_does_not_underflow() {
+    // First iteration reaches the SpFW with an empty queue, but the
+    // loop-carried join makes data possible: predication handles the
+    // empty case at runtime, so no diagnostic.
+    let prog = assemble(
+        "SPFW  SPVQ0, FP64\n\
+         SPMOV SPVQ0, BANK, ROW, FP64\n\
+         SPMOV SPVQ0, BANK, COL, FP64\n\
+         SPMOV SPVQ0, BANK, VAL, FP64\n\
+         CEXIT SPVQ0\n\
+         JUMP 0, 0, 0\n",
+    )
+    .unwrap();
+    assert_eq!(prog.verify(), Vec::new());
+}
+
+#[test]
+fn incomplete_triples_never_satisfy_a_triple_consumer() {
+    // Only the row sub-queue is ever filled: no complete element can
+    // exist, so the scatter is a guaranteed no-op even in the loop.
+    let diags = lint(&[
+        spmov_in(0, SubQueue::Row),
+        Instruction::GthSct {
+            dst: Operand::Bank,
+            src: Operand::SpVq(0),
+            identity: Identity::Zero,
+            precision: P,
+        },
+        Instruction::CExit { queue: 0 },
+        Instruction::Jump {
+            target: 0,
+            order: 0,
+            count: 0,
+        },
+    ]);
+    assert!(
+        diags.iter().any(|d| d.code == LintCode::QueueUnderflow),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn maybe_written_register_does_not_warn() {
+    // The counted forward jump either skips the write (first path) or
+    // falls through it: at the read the register is *maybe* written, and
+    // only definitely-unwritten reads warn.
+    let prog = assemble(
+        "JUMP 2, 1, 1\n\
+         DMOV DRF0, BANK, FP64\n\
+         DMOV BANK, DRF0, FP64\n\
+         EXIT\n",
+    )
+    .unwrap();
+    assert_eq!(prog.verify(), Vec::new());
+}
+
+#[test]
+fn queue_precision_mismatch_across_def_use() {
+    let diags = lint(&[
+        spmov_in(0, SubQueue::Row),
+        spmov_in(0, SubQueue::Col),
+        spmov_in(0, SubQueue::Val),
+        Instruction::SpFw {
+            src: 0,
+            precision: Precision::Int8,
+        },
+        Instruction::Exit,
+    ]);
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.code == LintCode::PrecisionMismatch)
+        .collect();
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].slot, 3);
+}
+
+#[test]
+fn srf_is_host_seeded_and_never_read_before_write() {
+    // DSCAL's shape: SDV consumes the SRF that set_srf_all seeds.
+    let prog = assemble(
+        "DMOV DRF0, BANK, FP64\n\
+         SDV  DRF0, DRF0, MUL, FP64\n\
+         DMOV BANK, DRF0, FP64\n\
+         EXIT\n",
+    )
+    .unwrap();
+    assert_eq!(prog.verify(), Vec::new());
+}
+
+// ---- VerifiedProgram / CoreError ---------------------------------------
+
+#[test]
+fn verified_program_accepts_clean_and_keeps_warnings() {
+    let prog = assemble("DMOV DRF0, BANK, FP64\nEXIT\n").unwrap();
+    let v = VerifiedProgram::new(prog.clone()).unwrap();
+    assert!(v.warnings().is_empty());
+    assert_eq!(v.program(), &prog);
+    assert_eq!(v.len(), prog.len()); // Deref
+
+    // Warning-only programs pass but retain the findings.
+    let warn = assemble("NOP\nNOP\n").unwrap(); // implicit exit
+    let v = VerifiedProgram::new(warn).unwrap();
+    assert_eq!(v.warnings().len(), 1);
+    assert_eq!(v.warnings()[0].code, LintCode::ImplicitExit);
+}
+
+#[test]
+fn verified_program_rejects_errors_with_core_error() {
+    let bad = assemble("SPFW SPVQ0, FP64\nEXIT\n").unwrap();
+    let err = VerifiedProgram::new(bad).unwrap_err();
+    let CoreError::Verify { diagnostics } = err else {
+        panic!("expected CoreError::Verify, got {err}");
+    };
+    assert_eq!(diagnostics.len(), 1);
+    assert_eq!(diagnostics[0].code, LintCode::QueueUnderflow);
+    assert_eq!(diagnostics[0].severity(), Severity::Error);
+    // Display carries the lint code for host-side logs.
+    assert!(CoreError::Verify { diagnostics }
+        .to_string()
+        .contains("PSL011"));
+}
+
+#[test]
+fn diagnostics_serialize_to_json() {
+    use serde::Serialize as _;
+    let diags = lint(&[
+        Instruction::SpFw {
+            src: 0,
+            precision: P,
+        },
+        Instruction::Exit,
+    ]);
+    let mut json = String::new();
+    serde::json::write_seq(&mut json, &diags);
+    assert!(json.contains("QueueUnderflow"), "{json}");
+    assert!(
+        diags[0].to_json().contains("slot"),
+        "{}",
+        diags[0].to_json()
+    );
+}

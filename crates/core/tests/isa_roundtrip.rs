@@ -1,0 +1,273 @@
+//! Property test: the four ISA representations agree.
+//!
+//! For random valid instruction sequences, the in-memory form, the 4-byte
+//! machine encoding, and the canonical assembly text must roundtrip
+//! losslessly: `Program -> encode -> decode` is the identity, and
+//! `disassemble -> assemble` reproduces the same program and the same
+//! machine words. A deterministic coverage check asserts the generator
+//! actually exercises all 15 opcodes and all 7 precisions, so a silently
+//! narrowed strategy cannot hollow out the property.
+
+use proptest::prelude::*;
+use psim_sparse::Precision;
+use psyncpim_core::isa::{
+    assemble, disassemble, BinaryOp, Identity, Instruction, Operand, Program, SetMode, SubQueue,
+};
+use std::collections::HashSet;
+
+fn precision() -> impl Strategy<Value = Precision> {
+    prop::sample::select(Precision::ALL.to_vec())
+}
+
+fn operand() -> BoxedStrategy<Operand> {
+    prop_oneof![
+        Just(Operand::Bank),
+        Just(Operand::Srf),
+        (0u8..3).prop_map(Operand::Drf),
+        (0u8..3).prop_map(Operand::SpVq),
+    ]
+    .boxed()
+}
+
+fn binop() -> impl Strategy<Value = BinaryOp> {
+    prop::sample::select(vec![
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Min,
+        BinaryOp::Max,
+        BinaryOp::First,
+        BinaryOp::Second,
+        BinaryOp::RSub,
+    ])
+}
+
+fn subqueue() -> impl Strategy<Value = SubQueue> {
+    prop::sample::select(vec![
+        SubQueue::Row,
+        SubQueue::Col,
+        SubQueue::Val,
+        SubQueue::All,
+    ])
+}
+
+fn identity() -> impl Strategy<Value = Identity> {
+    prop::sample::select(vec![
+        Identity::Zero,
+        Identity::One,
+        Identity::NegInf,
+        Identity::PosInf,
+    ])
+}
+
+fn setmode() -> impl Strategy<Value = SetMode> {
+    prop::sample::select(vec![SetMode::Intersection, SetMode::Union])
+}
+
+/// One random instruction with every field inside its encodable range.
+/// Jump targets are generated over the full slot space and wrapped to the
+/// final program length by [`program_instrs`].
+fn instruction() -> BoxedStrategy<Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        (0u8..32, 0u8..32, 0u16..1024).prop_map(|(target, order, count)| Instruction::Jump {
+            target,
+            order,
+            count
+        }),
+        Just(Instruction::Exit),
+        (0u8..3).prop_map(|queue| Instruction::CExit { queue }),
+        (operand(), operand(), precision()).prop_map(|(dst, src, precision)| {
+            Instruction::Dmov {
+                dst,
+                src,
+                precision,
+            }
+        }),
+        (operand(), 0u8..3, precision()).prop_map(|(dst, idx_queue, precision)| {
+            Instruction::IndMov {
+                dst,
+                idx_queue,
+                precision,
+            }
+        }),
+        (operand(), operand(), subqueue(), precision()).prop_map(|(dst, src, sub, precision)| {
+            Instruction::SpMov {
+                dst,
+                src,
+                sub,
+                precision,
+            }
+        }),
+        (0u8..3, precision()).prop_map(|(src, precision)| Instruction::SpFw { src, precision }),
+        (operand(), operand(), identity(), precision()).prop_map(
+            |(dst, src, identity, precision)| Instruction::GthSct {
+                dst,
+                src,
+                identity,
+                precision,
+            }
+        ),
+        (operand(), operand(), binop(), precision()).prop_map(|(dst, src, op, precision)| {
+            Instruction::Sdv {
+                dst,
+                src,
+                op,
+                precision,
+            }
+        }),
+        (operand(), operand(), binop(), precision()).prop_map(|(dst, src, op, precision)| {
+            Instruction::SSpv {
+                dst,
+                src,
+                op,
+                precision,
+            }
+        }),
+        (operand(), binop(), precision()).prop_map(|(src, op, precision)| Instruction::Reduce {
+            src,
+            op,
+            precision
+        }),
+        (operand(), operand(), operand(), binop(), precision()).prop_map(
+            |(dst, src0, src1, op, precision)| Instruction::Dvdv {
+                dst,
+                src0,
+                src1,
+                op,
+                precision,
+            }
+        ),
+        (
+            operand(),
+            operand(),
+            operand(),
+            binop(),
+            setmode(),
+            precision()
+        )
+            .prop_map(|(dst, src0, src1, op, set, precision)| {
+                Instruction::SpVdv {
+                    dst,
+                    src0,
+                    src1,
+                    op,
+                    set,
+                    precision,
+                }
+            }),
+        (
+            operand(),
+            operand(),
+            operand(),
+            binop(),
+            setmode(),
+            precision()
+        )
+            .prop_map(|(dst, src0, src1, op, set, precision)| {
+                Instruction::SpVSpv {
+                    dst,
+                    src0,
+                    src1,
+                    op,
+                    set,
+                    precision,
+                }
+            }),
+    ]
+    .boxed()
+}
+
+/// A random *valid* program body: jump targets wrapped into range and a
+/// trailing EXIT so `Program::new` always accepts.
+fn program_instrs() -> impl Strategy<Value = Vec<Instruction>> {
+    prop::collection::vec(instruction(), 1..31).prop_map(|mut v| {
+        let len = (v.len() + 1) as u8;
+        for ins in &mut v {
+            if let Instruction::Jump { target, .. } = ins {
+                *target %= len;
+            }
+        }
+        v.push(Instruction::Exit);
+        v
+    })
+}
+
+fn opcode_name(ins: &Instruction) -> &'static str {
+    match ins {
+        Instruction::Nop => "NOP",
+        Instruction::Jump { .. } => "JUMP",
+        Instruction::Exit => "EXIT",
+        Instruction::CExit { .. } => "CEXIT",
+        Instruction::Dmov { .. } => "DMOV",
+        Instruction::IndMov { .. } => "INDMOV",
+        Instruction::SpMov { .. } => "SPMOV",
+        Instruction::SpFw { .. } => "SPFW",
+        Instruction::GthSct { .. } => "GTHSCT",
+        Instruction::Sdv { .. } => "SDV",
+        Instruction::SSpv { .. } => "SSPV",
+        Instruction::Reduce { .. } => "REDUCE",
+        Instruction::Dvdv { .. } => "DVDV",
+        Instruction::SpVdv { .. } => "SPVDV",
+        Instruction::SpVSpv { .. } => "SPVSPV",
+    }
+}
+
+fn precision_of(ins: &Instruction) -> Option<Precision> {
+    match ins {
+        Instruction::Dmov { precision, .. }
+        | Instruction::IndMov { precision, .. }
+        | Instruction::SpMov { precision, .. }
+        | Instruction::SpFw { precision, .. }
+        | Instruction::GthSct { precision, .. }
+        | Instruction::Sdv { precision, .. }
+        | Instruction::SSpv { precision, .. }
+        | Instruction::Reduce { precision, .. }
+        | Instruction::Dvdv { precision, .. }
+        | Instruction::SpVdv { precision, .. }
+        | Instruction::SpVSpv { precision, .. } => Some(*precision),
+        Instruction::Nop
+        | Instruction::Jump { .. }
+        | Instruction::Exit
+        | Instruction::CExit { .. } => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn machine_words_and_assembly_text_roundtrip(instrs in program_instrs()) {
+        let program = Program::new(instrs).expect("generated program is valid");
+
+        // Program -> machine words -> Program.
+        let words = program.encode().expect("in-range fields encode");
+        let decoded = Program::decode(&words).expect("encoded words decode");
+        prop_assert_eq!(&decoded, &program);
+
+        // Program -> canonical text -> Program.
+        let text = disassemble(&decoded);
+        let reassembled = assemble(&text).expect("canonical text reassembles");
+        prop_assert_eq!(&reassembled, &program);
+
+        // And the text-derived program encodes to the same words.
+        prop_assert_eq!(reassembled.encode().expect("reassembled encodes"), words);
+    }
+}
+
+#[test]
+fn generator_covers_all_opcodes_and_precisions() {
+    let strat = instruction();
+    let mut rng = TestRng::deterministic("isa_roundtrip::coverage");
+    let mut ops: HashSet<&'static str> = HashSet::new();
+    let mut precs: HashSet<String> = HashSet::new();
+    for _ in 0..4096 {
+        let ins = strat.sample(&mut rng);
+        ops.insert(opcode_name(&ins));
+        if let Some(p) = precision_of(&ins) {
+            precs.insert(p.to_string());
+        }
+    }
+    assert_eq!(ops.len(), 15, "missing opcodes: {ops:?}");
+    assert_eq!(precs.len(), 7, "missing precisions: {precs:?}");
+}

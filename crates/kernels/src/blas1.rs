@@ -104,6 +104,7 @@ impl Blas1Pim {
         srf: Option<f64>,
     ) -> Result<KernelRun, CoreError> {
         let program = assemble(asm)?;
+        self.device.verify_program(&program)?;
         let mut host = self.device.make_host();
         mode_cycle(&mut host, program.len());
         engine.load_kernel(program, bindings)?;

@@ -129,6 +129,7 @@ impl Gemv {
             }
             let asm = programs::dgemv(self.precision, rows_per_bank as u16, chunks as u16);
             let program = assemble(&asm)?;
+            self.device.verify_program(&program)?;
             let mut host = self.device.make_host();
             mode_cycle(&mut host, program.len());
             engine.load_kernel(program, bindings.clone())?;

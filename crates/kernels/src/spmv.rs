@@ -128,6 +128,7 @@ impl SpmvPim {
             &self.mul.to_string(),
             &self.acc.to_string(),
         ))?;
+        self.device.verify_program(&program)?;
         let identity = self.acc.identity();
 
         let mut host = self.device.make_host();

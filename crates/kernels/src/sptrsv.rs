@@ -154,6 +154,7 @@ impl SptrsvPim {
             "MUL",
             "RSUB",
         ))?;
+        self.device.verify_program(&program)?;
         let mut host = self.device.make_host();
 
         // One engine lives for the whole block: stripe regions persist

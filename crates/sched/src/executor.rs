@@ -380,6 +380,39 @@ mod tests {
     }
 
     #[test]
+    fn shard_device_refuses_unverifiable_programs() {
+        // ExecutorConfig::validate flows into the shard device, whose
+        // engines run psim-lint before cycle 0: a job built on a program
+        // with an Error-level diagnostic (here: SpFW draining a queue
+        // nothing fills — a guaranteed no-op data path) fails instead of
+        // silently serving a wrong answer.
+        use psyncpim_core::isa::assemble;
+        let exec = ShardExecutor::new(ExecutorConfig::serial(PimDevice::tiny(2))).unwrap();
+        let bad = assemble("SPFW SPVQ0, FP64\nEXIT\n").unwrap();
+
+        let err = exec.shard_device().verify_program(&bad).unwrap_err();
+        assert!(matches!(err, CoreError::Verify { .. }));
+        // The wrapped form a failing job reports carries the lint code.
+        let job_err = SchedError::JobFailed {
+            id: 7,
+            error: err.to_string(),
+        };
+        assert!(job_err.to_string().contains("PSL011"), "{job_err}");
+
+        // The engine refuses the load too — the defense is layered.
+        let mut engine = exec.shard_device().make_engine();
+        let load = engine.load_kernel(bad.clone(), vec![None::<psyncpim_core::memory::Binding>; 2]);
+        assert!(matches!(load, Err(CoreError::Verify { .. })));
+
+        // With validation off the same program is accepted (ablation /
+        // fault-injection runs need this escape hatch).
+        let mut cfg = ExecutorConfig::serial(PimDevice::tiny(2));
+        cfg.validate = false;
+        let exec = ShardExecutor::new(cfg).unwrap();
+        assert!(exec.shard_device().verify_program(&bad).is_ok());
+    }
+
+    #[test]
     fn bad_shard_split_is_rejected() {
         let cfg = ExecutorConfig::sharded(PimDevice::tiny(4), 3);
         assert!(matches!(

@@ -156,13 +156,13 @@ impl SparseVec {
     /// [ExTensor]: https://doi.org/10.1145/3352460.3358275
     #[must_use]
     pub fn intersect_op(&self, other: &SparseVec, op: impl Fn(f64, f64) -> f64) -> SparseVec {
+        use std::cmp::Ordering;
         assert_eq!(self.dim, other.dim, "intersect_op dimension mismatch");
         let (mut i, mut j) = (0usize, 0usize);
         let mut out = Vec::new();
         while i < self.entries.len() && j < other.entries.len() {
             let (ia, va) = self.entries[i];
             let (ib, vb) = other.entries[j];
-            use std::cmp::Ordering;
             match ia.cmp(&ib) {
                 Ordering::Less => i += 1,
                 Ordering::Greater => j += 1,

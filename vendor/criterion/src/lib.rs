@@ -96,6 +96,8 @@ impl BenchmarkGroup {
     }
 
     /// Run `f` with `input` as benchmark `prefix/id`.
+    // By-value `id` mirrors the real criterion API.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
         &mut self,
         id: BenchmarkId,
@@ -138,6 +140,8 @@ impl Criterion {
     }
 
     /// Run `f` with `input` as a stand-alone named benchmark.
+    // By-value `id` mirrors the real criterion API.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
         &mut self,
         id: BenchmarkId,
@@ -180,7 +184,7 @@ mod tests {
         c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
         let mut g = c.benchmark_group("grp");
         g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
-            b.iter(|| (0..n).sum::<u64>())
+            b.iter(|| (0..n).sum::<u64>());
         });
         g.finish();
     }

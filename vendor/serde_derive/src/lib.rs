@@ -238,7 +238,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         body.push_str(&format!("{name}::{vname} {{ {binders} }} => {{\n"));
                         body.push_str("out.push('{');\n");
                         body.push_str(&format!("::serde::json::write_key(out, \"{vname}\");\n"));
-                        gen_named_body(&mut body, fs, |f| f.to_string());
+                        gen_named_body(&mut body, fs, std::string::ToString::to_string);
                         body.push_str("out.push('}');\n}\n");
                     }
                 }
