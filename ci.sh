@@ -15,6 +15,9 @@ cargo run -q --release -p psim-bench --bin psim_lint
 echo "==> psim-check (protocol + kernel-semantics validation gate)"
 cargo run -q --release -p psim-bench --bin psim_check
 
+echo "==> psim-trace (cycle-attribution conservation gate; writes results/BENCH_trace.json)"
+cargo run -q --release -p psim-bench --bin psim_trace
+
 echo "==> cargo clippy --workspace --all-targets (deny warnings + pedantic subset)"
 cargo clippy --workspace --all-targets -- -D warnings \
   -D clippy::semicolon_if_nothing_returned \

@@ -25,7 +25,7 @@ fn device_with(num_cols: usize, channels: usize) -> PimDevice {
         hbm,
         mode: ExecMode::AllBank,
         cubes: 1,
-        validate: false,
+        ..PimDevice::psync_1x()
     }
 }
 

@@ -1,0 +1,215 @@
+//! psim-trace: the cycle-attribution observability report and CI gate.
+//!
+//! Two halves:
+//!
+//! 1. **Conservation gate** — the full kernel self-test battery runs with
+//!    psim-trace attribution on in both execution modes; any conservation
+//!    residual surfaces through the engine's audit as a `protocol`
+//!    violation and fails the run, as does any per-kernel run below whose
+//!    wall attribution does not cover its `dram_cycles` exactly.
+//! 2. **Stall-breakdown report** — SpMV, SpTRSV and BLAS-1 (DAXPY) run
+//!    across the precision envelope on a traced device, and the per-run
+//!    wall-clock breakdown is rendered per category and written to
+//!    `results/BENCH_trace.json`.
+//!
+//! Exit status is non-zero on any conservation violation, so CI catches
+//! an attribution cursor bug the moment it appears.
+
+use psim_kernels::blas1::Blas1Pim;
+use psim_kernels::{all_pass, selftest, KernelRun, PimDevice, SpmvPim, SptrsvPim};
+use psim_sparse::triangular::{unit_triangular_from, Triangle};
+use psim_sparse::{gen, Precision};
+use psyncpim_core::{Category, ExecMode};
+use serde::Serialize;
+
+/// One traced kernel run in the report.
+#[derive(Serialize)]
+struct TraceRow {
+    kernel: &'static str,
+    mode: &'static str,
+    precision: String,
+    dram_cycles: u64,
+    attr: psyncpim_core::CycleBreakdown,
+    pu_attr: psyncpim_core::CycleBreakdown,
+    events_recorded: usize,
+    events_dropped: u64,
+    conservation_ok: bool,
+}
+
+/// The full machine-readable report.
+#[derive(Serialize)]
+struct TraceReport {
+    rows: Vec<TraceRow>,
+    violations: usize,
+}
+
+fn traced(mode: ExecMode) -> PimDevice {
+    let mut d = PimDevice::tiny(2);
+    d.mode = mode;
+    d.trace = true;
+    d
+}
+
+fn mode_label(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::AllBank => "all-bank",
+        ExecMode::PerBank => "per-bank",
+    }
+}
+
+/// Audit one traced run and build its report row.
+fn row(
+    kernel: &'static str,
+    mode: ExecMode,
+    precision: Precision,
+    run: &KernelRun,
+    violations: &mut usize,
+) -> TraceRow {
+    let metrics = run.metrics.as_ref().expect("device traces");
+    let mut ok = true;
+    for f in metrics.conservation_failures() {
+        println!("trace\tVIOLATION\t{kernel}\t{precision}\t{f}");
+        ok = false;
+    }
+    if run.attr.total() != run.dram_cycles {
+        println!(
+            "trace\tVIOLATION\t{kernel}\t{precision}\twall attribution {} != dram_cycles {}",
+            run.attr.total(),
+            run.dram_cycles
+        );
+        ok = false;
+    }
+    if !ok {
+        *violations += 1;
+    }
+    TraceRow {
+        kernel,
+        mode: mode_label(mode),
+        precision: precision.to_string(),
+        dram_cycles: run.dram_cycles,
+        attr: run.attr,
+        pu_attr: metrics.aggregate_pu(),
+        events_recorded: metrics.events.len(),
+        events_dropped: metrics.events_dropped,
+        conservation_ok: ok,
+    }
+}
+
+fn print_header() {
+    print!("# kernel\tmode\tprec\tcycles");
+    for cat in Category::ALL {
+        print!("\t{}%", cat.label());
+    }
+    println!("\tdropped");
+}
+
+fn print_row(r: &TraceRow, view: &psyncpim_core::CycleBreakdown) {
+    print!(
+        "{}\t{}\t{}\t{}",
+        r.kernel, r.mode, r.precision, r.dram_cycles
+    );
+    for cat in Category::ALL {
+        print!("\t{:5.1}", 100.0 * view.fraction(cat));
+    }
+    println!("\t{}", r.events_dropped);
+}
+
+fn main() {
+    let mut violations = 0usize;
+
+    // Gate 1: the self-test battery with attribution on. Tracing runs
+    // under the engine's validation audit, so a conservation residual in
+    // any kernel family fails the battery's `protocol` entry.
+    for mode in [ExecMode::AllBank, ExecMode::PerBank] {
+        match selftest(&traced(mode)) {
+            Ok(results) => {
+                let label = mode_label(mode);
+                for r in results.iter().filter(|r| !r.pass) {
+                    println!(
+                        "selftest\t{label}\t{}\tFAIL\tmax_err={:.3e}",
+                        r.kernel, r.max_err
+                    );
+                }
+                if all_pass(&results) {
+                    println!("selftest\t{label}\tok\t({} checks, traced)", results.len());
+                } else {
+                    violations += results.iter().filter(|r| !r.pass).count();
+                }
+            }
+            Err(e) => {
+                println!("selftest\t{}\tERROR\t{e}", mode_label(mode));
+                violations += 1;
+            }
+        }
+    }
+
+    // Gate 2 + report: the stall-breakdown sweep across the precision
+    // envelope, both modes for SpMV and one mode for the rest.
+    let n = 96usize;
+    let a = gen::rmat(n, 3, 7);
+    let x = gen::dense_vector(n, 1);
+    let y = gen::dense_vector(n, 2);
+    let t = unit_triangular_from(&a, Triangle::Lower).expect("square matrix");
+    let b = t.matvec(&x);
+
+    let mut rows = Vec::new();
+    for precision in Precision::ALL {
+        for mode in [ExecMode::AllBank, ExecMode::PerBank] {
+            let run = SpmvPim::new(traced(mode), precision)
+                .run(&a, &x)
+                .expect("spmv");
+            rows.push(row("SpMV", mode, precision, &run.run, &mut violations));
+        }
+        {
+            let mut solver = SptrsvPim::new(traced(ExecMode::AllBank));
+            solver.precision = precision;
+            let run = solver.run(&t, &b).expect("sptrsv");
+            rows.push(row(
+                "SpTRSV",
+                ExecMode::AllBank,
+                precision,
+                &run.run,
+                &mut violations,
+            ));
+        }
+        {
+            let run = Blas1Pim::new(traced(ExecMode::AllBank), precision)
+                .daxpy(1.5, &x, &y)
+                .expect("daxpy");
+            rows.push(row(
+                "DAXPY",
+                ExecMode::AllBank,
+                precision,
+                &run.run,
+                &mut violations,
+            ));
+        }
+    }
+    println!("# wall-clock breakdown (slowest channel's bus view)");
+    print_header();
+    for r in &rows {
+        print_row(r, &r.attr);
+    }
+    println!("# per-PU aggregate breakdown (all PUs, all channels)");
+    print_header();
+    for r in &rows {
+        print_row(r, &r.pu_attr);
+    }
+
+    let report = TraceReport { rows, violations };
+    let json = report.to_json();
+    let path = "results/BENCH_trace.json";
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, format!("{json}\n")))
+    {
+        eprintln!("psim-trace: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("psim-trace: wrote {path}");
+
+    if violations > 0 {
+        eprintln!("psim-trace: {violations} conservation/selftest violation(s)");
+        std::process::exit(1);
+    }
+    println!("psim-trace: every cycle attributed, conservation holds");
+}

@@ -28,6 +28,7 @@ use crate::isa::Program;
 use crate::memory::{BankMemory, Binding};
 use crate::pu::ProcessingUnit;
 use crate::stats::PuStats;
+use crate::trace::MetricsRegistry;
 use psim_dram::{ChannelStats, CmdKind, EnergyModel, EnergyStats, HbmConfig, Scope, Violation};
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +73,15 @@ pub struct EngineConfig {
     /// invariants, surfacing findings in [`RunReport::violations`] and
     /// [`RunReport::pu_audit`]. Costs one extra state machine per channel.
     pub validate: bool,
+    /// psim-trace: attribute every DRAM cycle of every PU (and the shared
+    /// command bus) to a [`crate::trace::Category`] and record stall
+    /// events, surfacing a [`MetricsRegistry`] in [`RunReport::metrics`].
+    /// Off by default; a disabled run pays only one branch per command.
+    pub attribute: bool,
+    /// Cap on recorded [`crate::trace::StallEvent`]s *per channel* (the
+    /// `trace_limit` idiom — overflow is counted in the registry's
+    /// `events_dropped`, never silently truncated).
+    pub event_limit: usize,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +95,8 @@ impl Default for EngineConfig {
             trace_limit: 1 << 22,
             refresh: true,
             validate: false,
+            attribute: false,
+            event_limit: 4096,
         }
     }
 }
@@ -135,6 +147,11 @@ pub struct RunReport {
     pub violations_suppressed: u64,
     /// PU-invariant audit failures (empty unless [`EngineConfig::validate`]).
     pub pu_audit: Vec<String>,
+    /// psim-trace cycle attribution (`Some` only when
+    /// [`EngineConfig::attribute`] is set): per-channel, per-PU breakdowns
+    /// plus the bounded stall-event stream, assembled in channel order so
+    /// parallel runs stay bit-identical to serial ones.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl RunReport {
@@ -346,6 +363,10 @@ impl Engine {
         let mut trace: Vec<TraceEvent> = Vec::new();
         let mut trace_dropped = 0u64;
         let mut check = psim_dram::CheckReport::default();
+        let mut metrics = self
+            .cfg
+            .attribute
+            .then(|| MetricsRegistry::new(self.cfg.event_limit));
         for slot in results {
             let outcome = slot.expect("every channel executed")?;
             per_channel_cycles.push(outcome.cycles);
@@ -355,6 +376,9 @@ impl Engine {
             trace_dropped += outcome.trace_dropped;
             if let Some(c) = outcome.check {
                 check.merge(&c);
+            }
+            if let (Some(reg), Some(m)) = (metrics.as_mut(), outcome.metrics) {
+                reg.push_channel(m, outcome.stall_events, outcome.stall_events_dropped);
             }
         }
 
@@ -380,11 +404,16 @@ impl Engine {
         energy.pu_pj = lane_op_energy;
         energy.background_pj = self.cfg.energy.background_pj(seconds, active_pus);
 
-        let pu_audit = if self.cfg.validate {
+        let mut pu_audit = if self.cfg.validate {
             self.audit_pus(max_rounds_seen, &commands)
         } else {
             Vec::new()
         };
+        if self.cfg.validate {
+            if let Some(reg) = &metrics {
+                pu_audit.extend(reg.conservation_failures());
+            }
+        }
 
         Ok(RunReport {
             dram_cycles,
@@ -400,6 +429,7 @@ impl Engine {
             violations: check.violations,
             violations_suppressed: check.suppressed,
             pu_audit,
+            metrics,
         })
     }
 

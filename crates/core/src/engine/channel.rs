@@ -14,7 +14,8 @@ use super::{EngineConfig, ExecMode, TraceEvent};
 use crate::error::CoreError;
 use crate::isa::Program;
 use crate::memory::{BankMemory, Binding};
-use crate::pu::{ProcessingUnit, DRAM_CYCLES_PER_PU_CYCLE};
+use crate::pu::{ProcessingUnit, StepOutcome, StepReport, DRAM_CYCLES_PER_PU_CYCLE};
+use crate::trace::{Category, ChannelMetrics, CycleBreakdown, StallEvent};
 use psim_dram::{
     Channel, ChannelStats, CheckPolicy, CheckReport, CmdKind, IssueError, ProtocolChecker, Scope,
 };
@@ -48,6 +49,169 @@ pub(super) struct ChannelOutcome {
     /// Independent protocol-checker verdict (`Some` only when
     /// [`EngineConfig::validate`] is set).
     pub check: Option<CheckReport>,
+    /// psim-trace cycle attribution (`Some` only when
+    /// [`EngineConfig::attribute`] is set).
+    pub metrics: Option<ChannelMetrics>,
+    /// Recorded stall events (empty unless attribution is on).
+    pub stall_events: Vec<StallEvent>,
+    /// Stalls beyond [`EngineConfig::event_limit`], counted not stored.
+    pub stall_events_dropped: u64,
+}
+
+/// Per-channel cycle-attribution accumulator. The replay's timeline is
+/// monotone (all-bank: `now`; per-bank: each bank's `ready` plus the bus
+/// `floor`), so attribution keeps one cursor per PU and one for the bus
+/// and classifies every cursor advance as it happens — the categories sum
+/// to the channel wall-clock by construction.
+struct Attr {
+    channel: usize,
+    bus: CycleBreakdown,
+    pu: Vec<CycleBreakdown>,
+    bus_last: u64,
+    pu_last: Vec<u64>,
+    events: Vec<StallEvent>,
+    event_limit: usize,
+    events_dropped: u64,
+}
+
+impl Attr {
+    fn new(channel: usize, nbanks: usize, event_limit: usize) -> Self {
+        Attr {
+            channel,
+            bus: CycleBreakdown::default(),
+            pu: vec![CycleBreakdown::default(); nbanks],
+            bus_last: 0,
+            pu_last: vec![0; nbanks],
+            events: Vec::new(),
+            event_limit,
+            events_dropped: 0,
+        }
+    }
+
+    /// Advance the bus cursor to `to`, attributing the span to `cat`.
+    fn bus_span(&mut self, to: u64, cat: Category) {
+        self.bus.add(cat, to - self.bus_last);
+        self.bus_last = to;
+    }
+
+    /// Advance one PU's cursor to `to`, attributing the span to `cat`.
+    fn pu_span(&mut self, i: usize, to: u64, cat: Category) {
+        self.pu[i].add(cat, to - self.pu_last[i]);
+        self.pu_last[i] = to;
+    }
+
+    /// Advance every cursor to `to` (all-bank lockstep spans): the bus
+    /// gets `cat`; a PU that has already exited idles post-CEXIT instead.
+    fn span_all(&mut self, to: u64, cat: Category, pus: &[ProcessingUnit]) {
+        self.bus_span(to, cat);
+        for (i, pu) in pus.iter().enumerate() {
+            let c = if pu.exited() {
+                Category::PostExitIdle
+            } else {
+                cat
+            };
+            self.pu_span(i, to, c);
+        }
+    }
+
+    /// Attribute one data command's span for one PU: up to the PU's own
+    /// work is Busy; the remainder goes to the outcome's stall category.
+    #[allow(clippy::too_many_arguments)]
+    fn pu_data(
+        &mut self,
+        i: usize,
+        issue: u64,
+        end: u64,
+        rep: &StepReport,
+        round: u64,
+        slot: usize,
+    ) {
+        let delta = end - self.pu_last[i];
+        if rep.outcome == StepOutcome::Exited {
+            self.pu[i].add(Category::PostExitIdle, delta);
+        } else {
+            let busy = delta.min(rep.pu_cycles * DRAM_CYCLES_PER_PU_CYCLE);
+            self.pu[i].add(Category::Busy, busy);
+            let rest = delta - busy;
+            let cat = match rep.outcome {
+                StepOutcome::Executed => Category::LockstepWait,
+                StepOutcome::ExecutedEmpty => Category::QueueEmptyStall,
+                StepOutcome::OutOfPhase => Category::PredicatedOff,
+                StepOutcome::QueueFull => Category::QueueFullStall,
+                StepOutcome::Exited => unreachable!("handled above"),
+            };
+            self.pu[i].add(cat, rest);
+            if matches!(
+                rep.outcome,
+                StepOutcome::ExecutedEmpty | StepOutcome::QueueFull
+            ) {
+                let kind = if rep.outcome == StepOutcome::QueueFull {
+                    Category::QueueFullStall
+                } else {
+                    Category::QueueEmptyStall
+                };
+                self.event(StallEvent {
+                    channel: self.channel,
+                    bank: i,
+                    round,
+                    slot,
+                    cycle: issue,
+                    kind,
+                });
+            }
+        }
+        self.pu_last[i] = end;
+    }
+
+    /// Attribute one all-bank data command: the bus is Busy up to the
+    /// issue cycle; any back-pressure drag past it is LockstepWait. Each
+    /// PU splits its span via [`Attr::pu_data`].
+    fn data_all(&mut self, issue: u64, end: u64, steps: &[StepReport], round: u64, slot: usize) {
+        self.bus.add(Category::Busy, issue - self.bus_last);
+        self.bus.add(Category::LockstepWait, end - issue);
+        self.bus_last = end;
+        for (i, rep) in steps.iter().enumerate() {
+            self.pu_data(i, issue, end, rep, round, slot);
+        }
+    }
+
+    fn event(&mut self, ev: StallEvent) {
+        if self.events.len() < self.event_limit {
+            self.events.push(ev);
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+
+    /// Close the books at the channel wall-clock: residual PU time is
+    /// post-CEXIT idle (per-bank lanes drain at different times), residual
+    /// bus time is back-pressure drag.
+    fn finish(mut self, cycles: u64) -> (ChannelMetrics, Vec<StallEvent>, u64) {
+        self.bus.add(Category::LockstepWait, cycles - self.bus_last);
+        for i in 0..self.pu.len() {
+            self.pu[i].add(Category::PostExitIdle, cycles - self.pu_last[i]);
+        }
+        (
+            ChannelMetrics {
+                cycles,
+                bus: self.bus,
+                pu: self.pu,
+            },
+            self.events,
+            self.events_dropped,
+        )
+    }
+}
+
+/// Build the outcome's attribution fields from a finished accumulator.
+fn finish_attr(attr: Option<Attr>, cycles: u64) -> (Option<ChannelMetrics>, Vec<StallEvent>, u64) {
+    match attr {
+        Some(a) => {
+            let (m, e, d) = a.finish(cycles);
+            (Some(m), e, d)
+        }
+        None => (None, Vec::new(), 0),
+    }
 }
 
 /// Bounded command-trace sink: records up to `limit` events and counts the
@@ -177,6 +341,10 @@ fn run_channel_allbank(
     let row_bytes = cfg.hbm.row_bytes();
     let col_bytes = cfg.hbm.col_bytes;
     let nbanks = pus.len();
+    let mut attr = cfg
+        .attribute
+        .then(|| Attr::new(ch, nbanks, cfg.event_limit));
+    let mut step_buf: Vec<StepReport> = Vec::with_capacity(if attr.is_some() { nbanks } else { 0 });
     let mut now: u64 = 0;
 
     // Mode switching (SB→AB→AB-PIM) + CRF programming as MRS commands.
@@ -193,6 +361,9 @@ fn run_channel_allbank(
         )
         .map_err(|e| CoreError::Execution(e.to_string()))?
         .issue_cycle;
+    }
+    if let Some(a) = attr.as_mut() {
+        a.span_all(now, Category::Setup, pus);
     }
 
     for b in 0..nbanks {
@@ -256,6 +427,9 @@ fn run_channel_allbank(
                 .map_err(|e| CoreError::Execution(e.to_string()))?
                 .issue_cycle;
                 next_refresh = now + t_refi;
+                if let Some(a) = attr.as_mut() {
+                    a.span_all(now, Category::RefreshShadow, pus);
+                }
             }
             let ins = &program[slot];
             let binding = ctx.bindings[slot].expect("validated at load");
@@ -294,6 +468,9 @@ fn run_channel_allbank(
                 .map_err(|e| CoreError::Execution(e.to_string()))?
                 .issue_cycle;
                 open_row = Some(want_row);
+                if let Some(a) = attr.as_mut() {
+                    a.span_all(now, Category::RowSwitchWait, pus);
+                }
             }
             let col = ((byte_off % row_bytes) / col_bytes) as u32;
             let kind = if ins.writes_bank() {
@@ -314,12 +491,18 @@ fn run_channel_allbank(
             now = issued.issue_cycle;
 
             let mut max_busy = 0u64;
+            if attr.is_some() {
+                step_buf.clear();
+            }
             for b in 0..nbanks {
                 let was_exited = pus[b].exited();
                 let rep = pus[b].on_command(slot, &mut mems[b]);
                 max_busy = max_busy.max(rep.pu_cycles);
                 if !was_exited && pus[b].exited() {
                     pus[b].mark_exit_round(rounds);
+                }
+                if attr.is_some() {
+                    step_buf.push(rep);
                 }
             }
             // Lockstep back-pressure with pipelining: the slowest PU
@@ -328,6 +511,9 @@ fn run_channel_allbank(
             pu_free = pu_free.max(issued.data_cycle) + max_busy * DRAM_CYCLES_PER_PU_CYCLE;
             now = now.max(pu_free.saturating_sub(pipeline));
             cursors[slot] += advance;
+            if let Some(a) = attr.as_mut() {
+                a.data_all(issued.issue_cycle, now, &step_buf, rounds, slot);
+            }
 
             if pus.iter().all(ProcessingUnit::exited) {
                 break 'outer;
@@ -352,6 +538,9 @@ fn run_channel_allbank(
         )
         .map_err(|e| CoreError::Execution(e.to_string()))?
         .issue_cycle;
+        if let Some(a) = attr.as_mut() {
+            a.span_all(now, Category::HostSync, pus);
+        }
     }
     // PUs that exited during the free prelude never went through the
     // in-round exit bookkeeping; mark_exit_round is idempotent.
@@ -387,6 +576,12 @@ fn run_channel_allbank(
         .map_err(|e| CoreError::Execution(e.to_string()))?
         .issue_cycle;
     }
+    if let Some(a) = attr.as_mut() {
+        // Teardown precharge + SB switch: bus does setup work, every PU
+        // (all exited by now) idles post-CEXIT via span_all.
+        a.span_all(now, Category::Setup, pus);
+    }
+    let (metrics, stall_events, stall_events_dropped) = finish_attr(attr, now);
     Ok(ChannelOutcome {
         cycles: now,
         stats: *channel.stats(),
@@ -394,6 +589,9 @@ fn run_channel_allbank(
         trace: trace.events,
         trace_dropped: trace.dropped,
         check: checker.map(|c| c.finish(now)),
+        metrics,
+        stall_events,
+        stall_events_dropped,
     })
 }
 
@@ -423,6 +621,9 @@ fn run_channel_perbank(
     let col_bytes = cfg.hbm.col_bytes;
     let nbanks = pus.len();
     let banks_per_group = cfg.hbm.banks_per_group;
+    let mut attr = cfg
+        .attribute
+        .then(|| Attr::new(ch, nbanks, cfg.event_limit));
 
     // Per-bank setup: each bank's CRF is programmed individually.
     let mut now: u64 = 0;
@@ -444,6 +645,9 @@ fn run_channel_perbank(
         )
         .map_err(|e| CoreError::Execution(e.to_string()))?
         .issue_cycle;
+    }
+    if let Some(a) = attr.as_mut() {
+        a.span_all(now, Category::Setup, pus);
     }
 
     let init_cursors: Vec<usize> = (0..program.len())
@@ -518,6 +722,17 @@ fn run_channel_perbank(
             }
             floor = floor.max(r);
             next_refresh = r + t_refi;
+            if let Some(a) = attr.as_mut() {
+                a.bus_span(floor, Category::RefreshShadow);
+                for (i, ctl) in ctls.iter().enumerate() {
+                    let c = if pus[i].exited() {
+                        Category::PostExitIdle
+                    } else {
+                        Category::RefreshShadow
+                    };
+                    a.pu_span(i, ctl.ready, c);
+                }
+            }
         }
         let mut any_active = false;
         for i in 0..nbanks {
@@ -546,6 +761,11 @@ fn run_channel_perbank(
                 ba: i % banks_per_group,
             };
             let mut t = ctl.ready.max(floor);
+            if let Some(a) = attr.as_mut() {
+                // The bank waited for the shared command bus to reach it.
+                a.pu_span(i, t, Category::LockstepWait);
+            }
+            let mut switched_at: Option<u64> = None;
             if ctl.open_row != Some(want_row) {
                 if ctl.open_row.is_some() {
                     t = issue_traced(
@@ -572,6 +792,7 @@ fn run_channel_perbank(
                 .map_err(|e| CoreError::Execution(e.to_string()))?
                 .issue_cycle;
                 ctl.open_row = Some(want_row);
+                switched_at = Some(t);
             }
             let col = ((byte_off % row_bytes) / col_bytes) as u32;
             let kind = if ins.writes_bank() {
@@ -588,6 +809,21 @@ fn run_channel_perbank(
                 ctl.pu_free.max(issued.data_cycle) + rep.pu_cycles * DRAM_CYCLES_PER_PU_CYCLE;
             ctl.ready = issued.issue_cycle.max(ctl.pu_free.saturating_sub(pipeline));
             ctl.cursors[slot] += advance;
+            if let Some(a) = attr.as_mut() {
+                if let Some(ts) = switched_at {
+                    a.pu_span(i, ts, Category::RowSwitchWait);
+                }
+                // Bus-view split of this bank's floor advance: the part up
+                // to the row activation is row switching, the rest is
+                // issue work.
+                let bus_delta = floor - a.bus_last;
+                let row_part =
+                    switched_at.map_or(0, |ts| ts.saturating_sub(a.bus_last).min(bus_delta));
+                a.bus.add(Category::RowSwitchWait, row_part);
+                a.bus.add(Category::Busy, bus_delta - row_part);
+                a.bus_last = floor;
+                a.pu_data(i, issued.issue_cycle, ctl.ready, &rep, ctl.rounds, slot);
+            }
             ctl.sched_idx += 1;
             if ctl.sched_idx == schedule.len() {
                 ctl.sched_idx = 0;
@@ -616,6 +852,7 @@ fn run_channel_perbank(
         .max()
         .unwrap_or(floor)
         .max(floor);
+    let (metrics, stall_events, stall_events_dropped) = finish_attr(attr, end);
     Ok(ChannelOutcome {
         cycles: end,
         stats: *channel.stats(),
@@ -623,5 +860,8 @@ fn run_channel_perbank(
         trace: trace.events,
         trace_dropped: trace.dropped,
         check: checker.map(|c| c.finish(end)),
+        metrics,
+        stall_events,
+        stall_events_dropped,
     })
 }

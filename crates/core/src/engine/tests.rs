@@ -4,6 +4,7 @@
 use super::*;
 use crate::isa::assemble;
 use crate::memory::{RegionId, SENTINEL};
+use crate::trace::Category;
 
 const SPMV_ASM: &str = r"
 SPMOV  SPVQ0, BANK, ROW, FP64
@@ -308,6 +309,7 @@ fn parallel_run_is_bit_identical_to_serial() {
     let run = |workers: usize, trace: bool| {
         let mut cfg = small_cfg(ExecMode::AllBank);
         cfg.record_trace = trace;
+        cfg.attribute = true;
         let mut engine = Engine::new(cfg);
         let n = 16;
         let per_bank = per_bank_entries(engine.num_banks(), n);
@@ -332,6 +334,89 @@ fn parallel_run_is_bit_identical_to_serial() {
         assert_eq!(serial, parallel, "{workers} workers");
         assert_eq!(ys_serial, ys_par, "{workers} workers");
     }
+}
+
+#[test]
+fn attribution_conserves_cycles_in_both_modes() {
+    for mode in [ExecMode::AllBank, ExecMode::PerBank] {
+        let mut cfg = small_cfg(mode);
+        cfg.attribute = true;
+        let mut engine = Engine::new(cfg);
+        let n = 16;
+        let per_bank = per_bank_entries(engine.num_banks(), n);
+        let x: Vec<f64> = (0..n).map(|i| 0.5 + i as f64).collect();
+        let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
+        engine
+            .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+            .unwrap();
+        let report = engine.run().unwrap();
+        let metrics = report.metrics.as_ref().expect("attribution enabled");
+        let failures = metrics.conservation_failures();
+        assert!(failures.is_empty(), "{mode:?}: {failures:?}");
+        assert_eq!(metrics.channels.len(), 2, "{mode:?}");
+        for ch in &metrics.channels {
+            assert!(ch.cycles > 0, "{mode:?}");
+            assert_eq!(ch.bus.total(), ch.cycles, "{mode:?} bus");
+            for (i, pu) in ch.pu.iter().enumerate() {
+                assert_eq!(pu.total(), ch.cycles, "{mode:?} pu {i}");
+                assert!(pu.get(Category::Busy) > 0, "{mode:?} pu {i} never busy");
+            }
+        }
+        // The slowest channel's bus view spans the full reported runtime.
+        assert_eq!(metrics.wall().total(), report.dram_cycles, "{mode:?}");
+    }
+}
+
+#[test]
+fn attribution_defaults_off_and_reports_no_metrics() {
+    let cfg = small_cfg(ExecMode::AllBank);
+    assert!(!cfg.attribute);
+    let mut engine = Engine::new(cfg);
+    let n = 8;
+    let per_bank = per_bank_entries(engine.num_banks(), n);
+    let x = vec![1.0; n];
+    let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
+    engine
+        .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+        .unwrap();
+    assert!(engine.run().unwrap().metrics.is_none());
+}
+
+#[test]
+fn attribution_event_limit_counts_drops_instead_of_truncating() {
+    let run = |limit: usize| {
+        let mut cfg = small_cfg(ExecMode::AllBank);
+        cfg.attribute = true;
+        cfg.event_limit = limit;
+        let mut engine = Engine::new(cfg);
+        let n = 16;
+        // Imbalanced work so light banks stream empty iterations, which
+        // generate queue-empty stall events every round after they drain.
+        let nbanks = engine.num_banks();
+        let mut per_bank: Vec<Vec<(u32, u32, f64)>> = vec![vec![(0, 0, 1.0)]; nbanks];
+        per_bank[nbanks - 1] = (0..40)
+            .map(|i| ((i % 16) as u32, (i % 16) as u32, 1.0))
+            .collect();
+        let x = vec![1.0; n];
+        let bindings = setup_spmv(&mut engine, &per_bank, &x, n);
+        engine
+            .load_kernel(assemble(SPMV_ASM).unwrap(), bindings)
+            .unwrap();
+        engine.run().unwrap().metrics.unwrap()
+    };
+    let full = run(1 << 20);
+    assert_eq!(full.events_dropped, 0);
+    assert!(!full.events.is_empty(), "expected stall events");
+    let capped = run(1);
+    assert_eq!(capped.events.len(), 1);
+    assert!(capped.events_dropped > 0);
+    assert_eq!(
+        capped.events.len() as u64 + capped.events_dropped,
+        full.events.len() as u64,
+        "drops must account for every suppressed event"
+    );
+    // Stall accounting itself is unaffected by the event cap.
+    assert_eq!(full.channels, capped.channels);
 }
 
 #[test]

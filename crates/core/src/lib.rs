@@ -39,10 +39,12 @@ pub mod isa;
 pub mod memory;
 pub mod pu;
 pub mod stats;
+pub mod trace;
 
 pub use engine::{Engine, EngineConfig, ExecMode, RunReport, TraceEvent};
 pub use error::CoreError;
 pub use host::{ExternalBus, HostController};
 pub use memory::{BankMemory, Region, RegionId};
-pub use pu::ProcessingUnit;
+pub use pu::{ProcessingUnit, StepOutcome};
 pub use stats::{Histogram, PuStats};
+pub use trace::{Category, ChannelMetrics, CycleBreakdown, MetricsRegistry, StallEvent};

@@ -28,6 +28,24 @@ use serde::{Deserialize, Serialize};
 /// DRAM command-clock cycles per PU cycle (1 GHz DRAM / 250 MHz PU).
 pub const DRAM_CYCLES_PER_PU_CYCLE: u64 = 4;
 
+/// How a unit disposed of one column command — the discriminator the
+/// attribution layer (psim-trace) classifies stall cycles with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepOutcome {
+    /// Consumed the command and moved real data.
+    Executed,
+    /// Consumed the command but the source stream/queue was empty (drained
+    /// region, sentinel padding): a no-op burst.
+    ExecutedEmpty,
+    /// Passed: the unit's program counter was at a different memory slot.
+    OutOfPhase,
+    /// Passed: the destination queue had no room (predicate failed).
+    QueueFull,
+    /// The unit had exited (or exited while handling this command without
+    /// consuming it).
+    Exited,
+}
+
 /// Outcome of offering one column command to a unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StepReport {
@@ -36,6 +54,8 @@ pub struct StepReport {
     /// PU cycles of work performed while handling this command (compute
     /// instructions retired plus the access itself).
     pub pu_cycles: u64,
+    /// Disposition of the command.
+    pub outcome: StepOutcome,
 }
 
 /// One pSyncPIM processing unit.
@@ -161,6 +181,7 @@ impl ProcessingUnit {
             return StepReport {
                 executed: false,
                 pu_cycles: 0,
+                outcome: StepOutcome::Exited,
             };
         }
         let mut cycles = 0u64;
@@ -180,10 +201,16 @@ impl ProcessingUnit {
                     return StepReport {
                         executed: false,
                         pu_cycles: cycles,
+                        outcome: StepOutcome::OutOfPhase,
                     };
                 }
                 return match self.exec_memory(&ins, slot, mem) {
-                    ExecOutcome::Done(c) => {
+                    outcome @ (ExecOutcome::Done(_) | ExecOutcome::DoneEmpty(_)) => {
+                        let (c, step) = match outcome {
+                            ExecOutcome::Done(c) => (c, StepOutcome::Executed),
+                            ExecOutcome::DoneEmpty(c) => (c, StepOutcome::ExecutedEmpty),
+                            ExecOutcome::Stall => unreachable!("matched above"),
+                        };
                         self.pc += 1;
                         self.stats.instructions += 1;
                         self.stats.mem_ops += 1;
@@ -192,6 +219,7 @@ impl ProcessingUnit {
                         StepReport {
                             executed: true,
                             pu_cycles: total,
+                            outcome: step,
                         }
                     }
                     ExecOutcome::Stall => {
@@ -200,13 +228,14 @@ impl ProcessingUnit {
                         StepReport {
                             executed: false,
                             pu_cycles: cycles,
+                            outcome: StepOutcome::QueueFull,
                         }
                     }
                 };
             }
             // Control / compute — free of commands.
             match self.exec_free(&ins) {
-                ExecOutcome::Done(c) => {
+                ExecOutcome::Done(c) | ExecOutcome::DoneEmpty(c) => {
                     cycles += c;
                     self.stats.instructions += 1;
                     if self.exited {
@@ -219,6 +248,7 @@ impl ProcessingUnit {
                     return StepReport {
                         executed: false,
                         pu_cycles: cycles,
+                        outcome: StepOutcome::QueueFull,
                     };
                 }
             }
@@ -227,6 +257,11 @@ impl ProcessingUnit {
         StepReport {
             executed: false,
             pu_cycles: cycles,
+            outcome: if self.exited {
+                StepOutcome::Exited
+            } else {
+                StepOutcome::OutOfPhase
+            },
         }
     }
 
@@ -248,7 +283,7 @@ impl ProcessingUnit {
                 break;
             }
             match self.exec_free(&ins) {
-                ExecOutcome::Done(c) => {
+                ExecOutcome::Done(c) | ExecOutcome::DoneEmpty(c) => {
                     cycles += c;
                     self.stats.instructions += 1;
                 }
@@ -641,10 +676,15 @@ impl ProcessingUnit {
                     _ => {}
                 }
                 self.stats.lane_ops += k;
-                ExecOutcome::Done(k.max(1))
+                if k == 0 {
+                    ExecOutcome::DoneEmpty(1)
+                } else {
+                    ExecOutcome::Done(k)
+                }
             }
             Instruction::SpFw { src, precision } => {
                 let mut cur = self.cursors[slot];
+                let start = cur;
                 while let Some((r, c, v)) = self.queues[src as usize].pop() {
                     let reg = mem.region_mut(region);
                     reg.set(cur, r);
@@ -653,7 +693,11 @@ impl ProcessingUnit {
                     cur += 3;
                 }
                 self.cursors[slot] = cur;
-                ExecOutcome::Done(1)
+                if cur == start {
+                    ExecOutcome::DoneEmpty(1)
+                } else {
+                    ExecOutcome::Done(1)
+                }
             }
             Instruction::GthSct {
                 dst,
@@ -685,7 +729,11 @@ impl ProcessingUnit {
                     touched += 1;
                 }
                 self.stats.lane_ops += touched;
-                ExecOutcome::Done(2)
+                if k == 0 {
+                    ExecOutcome::DoneEmpty(2)
+                } else {
+                    ExecOutcome::Done(2)
+                }
             }
             Instruction::SpVdv {
                 dst: Operand::SpVq(d),
@@ -718,7 +766,11 @@ impl ProcessingUnit {
                     self.queues[d as usize].push(r, c, precision.quantize(op.apply(v, b)));
                 }
                 self.stats.lane_ops += k as u64;
-                ExecOutcome::Done(2)
+                if k == 0 {
+                    ExecOutcome::DoneEmpty(2)
+                } else {
+                    ExecOutcome::Done(2)
+                }
             }
             _ => {
                 debug_assert!(false, "unexpected memory instruction {ins:?}");
@@ -748,7 +800,7 @@ impl ProcessingUnit {
                     // Region drained: arm the conditional exit, consume the
                     // command as a no-op.
                     self.exit_armed = true;
-                    return ExecOutcome::Done(1);
+                    return ExecOutcome::DoneEmpty(1);
                 }
                 if !self.queues[q as usize].sub_can_push(sub, lanes, elem_bytes) {
                     return ExecOutcome::Stall;
@@ -769,6 +821,7 @@ impl ProcessingUnit {
             }
             (Operand::Bank, Operand::SpVq(q)) => {
                 let mut cur = self.cursors[slot];
+                let start = cur;
                 for _ in 0..lanes {
                     let Some(v) = self.queues[q as usize].pop_sub(sub) else {
                         break;
@@ -777,7 +830,11 @@ impl ProcessingUnit {
                     cur += 1;
                 }
                 self.cursors[slot] = cur;
-                ExecOutcome::Done(1)
+                if cur == start {
+                    ExecOutcome::DoneEmpty(1)
+                } else {
+                    ExecOutcome::Done(1)
+                }
             }
             _ => ExecOutcome::Done(1),
         }
@@ -803,7 +860,7 @@ impl ProcessingUnit {
                 let r = mem.region(region);
                 if cur >= r.len() {
                     self.exit_armed = true;
-                    return ExecOutcome::Done(1);
+                    return ExecOutcome::DoneEmpty(1);
                 }
                 if !self.queues[q as usize].can_push(lanes, elem_bytes) {
                     return ExecOutcome::Stall;
@@ -823,10 +880,12 @@ impl ProcessingUnit {
             }
             // Scatter: sparse queue -> dense region at the col index.
             (Operand::Bank, Operand::SpVq(q)) => {
+                let mut popped = 0usize;
                 for _ in 0..lanes {
                     let Some((_r, c, v)) = self.queues[q as usize].pop() else {
                         break;
                     };
+                    popped += 1;
                     if c == SENTINEL {
                         continue;
                     }
@@ -834,7 +893,11 @@ impl ProcessingUnit {
                         .set(c as usize, precision.quantize(v));
                     self.stats.lane_ops += 1;
                 }
-                ExecOutcome::Done(1)
+                if popped == 0 {
+                    ExecOutcome::DoneEmpty(1)
+                } else {
+                    ExecOutcome::Done(1)
+                }
             }
             _ => ExecOutcome::Done(1),
         }
@@ -858,6 +921,9 @@ impl ProcessingUnit {
 enum ExecOutcome {
     /// Executed; PU-cycle cost.
     Done(u64),
+    /// Executed, but the source stream/queue was empty — the command was
+    /// consumed as a no-op burst (queue-empty stall for attribution).
+    DoneEmpty(u64),
     /// Predicate failed; retry on a later command.
     Stall,
 }

@@ -3,6 +3,36 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Coarse bus-occupancy class of a command — what a cycle spent issuing it
+/// should be attributed to. The trace layer maps these onto its stall
+/// categories; keeping the classification here keeps it next to the
+/// command definitions it must stay exhaustive over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmdClass {
+    /// Data movement: column reads and writes.
+    Data,
+    /// Row-buffer management: activates and precharges.
+    RowSwitch,
+    /// Refresh maintenance.
+    Refresh,
+    /// Mode/config traffic: MRS streams for mode switching and kernel
+    /// programming.
+    Config,
+}
+
+impl CmdClass {
+    /// Short label for reports.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            CmdClass::Data => "data",
+            CmdClass::RowSwitch => "row-switch",
+            CmdClass::Refresh => "refresh",
+            CmdClass::Config => "config",
+        }
+    }
+}
+
 /// The kind of a DRAM command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CmdKind {
@@ -48,6 +78,17 @@ impl CmdKind {
     #[must_use]
     pub fn is_column(self) -> bool {
         matches!(self, CmdKind::Rd { .. } | CmdKind::Wr { .. })
+    }
+
+    /// Bus-occupancy class, for cycle attribution.
+    #[must_use]
+    pub fn class(self) -> CmdClass {
+        match self {
+            CmdKind::Rd { .. } | CmdKind::Wr { .. } => CmdClass::Data,
+            CmdKind::Act { .. } | CmdKind::Pre => CmdClass::RowSwitch,
+            CmdKind::Ref => CmdClass::Refresh,
+            CmdKind::Mrs => CmdClass::Config,
+        }
     }
 }
 
@@ -103,6 +144,17 @@ mod tests {
         assert!(CmdKind::Wr { col: 0 }.is_column());
         assert!(!CmdKind::Act { row: 0 }.is_column());
         assert!(!CmdKind::Mrs.is_column());
+    }
+
+    #[test]
+    fn bus_occupancy_classes() {
+        assert_eq!(CmdKind::Rd { col: 0 }.class(), CmdClass::Data);
+        assert_eq!(CmdKind::Wr { col: 0 }.class(), CmdClass::Data);
+        assert_eq!(CmdKind::Act { row: 3 }.class(), CmdClass::RowSwitch);
+        assert_eq!(CmdKind::Pre.class(), CmdClass::RowSwitch);
+        assert_eq!(CmdKind::Ref.class(), CmdClass::Refresh);
+        assert_eq!(CmdKind::Mrs.class(), CmdClass::Config);
+        assert_eq!(CmdClass::RowSwitch.label(), "row-switch");
     }
 
     #[test]

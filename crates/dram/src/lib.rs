@@ -40,7 +40,7 @@ pub use address::{AddressMapping, DecodedAddress};
 pub use bank::Bank;
 pub use channel::{Channel, IssueError, Issued};
 pub use checker::{check_trace, CheckPolicy, CheckReport, ProtocolChecker, Rule, Violation};
-pub use command::{CmdKind, Scope};
+pub use command::{CmdClass, CmdKind, Scope};
 pub use config::{HbmConfig, Timing};
 pub use mode::{Mode, ModeController, ModeError};
 pub use power::{EnergyModel, EnergyStats};

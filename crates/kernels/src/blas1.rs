@@ -115,6 +115,7 @@ impl Blas1Pim {
         let mut run = KernelRun::default();
         run.kernel_s += report.seconds;
         run.dram_cycles += report.dram_cycles;
+        run.absorb_wall(&report);
         run.absorb_engine(&report);
         run.phases = 1;
         run.absorb_host(&host);

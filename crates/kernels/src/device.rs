@@ -2,8 +2,13 @@
 
 use psim_dram::{HbmConfig, Mode};
 use psim_sparse::Precision;
-use psyncpim_core::{Engine, EngineConfig, ExecMode, HostController, RunReport};
+use psyncpim_core::{
+    CycleBreakdown, Engine, EngineConfig, ExecMode, HostController, MetricsRegistry, RunReport,
+};
 use serde::{Deserialize, Serialize};
+
+/// Default stall-event buffer capacity when tracing is on.
+pub const DEFAULT_TRACE_EVENTS: usize = 4096;
 
 /// A pSyncPIM device: one or more cubes plus the host interface.
 #[derive(Debug, Clone)]
@@ -18,6 +23,13 @@ pub struct PimDevice {
     /// Run every engine phase with the independent protocol checker
     /// attached; violations surface in [`KernelRun::violations`].
     pub validate: bool,
+    /// Collect psim-trace cycle attribution: per-PU stall breakdowns
+    /// surface in [`KernelRun::metrics`] and the wall-clock breakdown in
+    /// [`KernelRun::attr`].
+    pub trace: bool,
+    /// Stall-event buffer capacity per engine phase when tracing
+    /// (overflow is counted, never silently truncated).
+    pub trace_events: usize,
 }
 
 impl PimDevice {
@@ -29,6 +41,8 @@ impl PimDevice {
             mode: ExecMode::AllBank,
             cubes: 1,
             validate: false,
+            trace: false,
+            trace_events: DEFAULT_TRACE_EVENTS,
         }
     }
 
@@ -40,6 +54,8 @@ impl PimDevice {
             mode: ExecMode::AllBank,
             cubes: 3,
             validate: false,
+            trace: false,
+            trace_events: DEFAULT_TRACE_EVENTS,
         }
     }
 
@@ -51,6 +67,8 @@ impl PimDevice {
             mode: ExecMode::PerBank,
             cubes: 1,
             validate: false,
+            trace: false,
+            trace_events: DEFAULT_TRACE_EVENTS,
         }
     }
 
@@ -69,6 +87,8 @@ impl PimDevice {
             mode: ExecMode::AllBank,
             cubes: 1,
             validate: false,
+            trace: false,
+            trace_events: DEFAULT_TRACE_EVENTS,
         }
     }
 
@@ -106,6 +126,8 @@ impl PimDevice {
             mode: self.mode,
             cubes: self.cubes,
             validate: self.validate,
+            trace: self.trace,
+            trace_events: self.trace_events,
         })
     }
 
@@ -122,6 +144,8 @@ impl PimDevice {
             hbm: self.hbm.clone(),
             mode: self.mode,
             validate: self.validate,
+            attribute: self.trace,
+            event_limit: self.trace_events,
             ..Default::default()
         })
     }
@@ -196,6 +220,13 @@ pub struct KernelRun {
     /// Bank-level data bursts the channels delivered (all phases); the
     /// validation layer checks `mem_ops <= bank_bursts`.
     pub bank_bursts: u64,
+    /// Wall-clock cycle attribution: the slowest channel's bus breakdown,
+    /// accumulated phase by phase so `attr.total() == dram_cycles` when
+    /// the device traces (all-zero otherwise).
+    pub attr: CycleBreakdown,
+    /// Full psim-trace registry: per-PU breakdowns plus the bounded
+    /// stall-event stream (`None` unless [`PimDevice::trace`] is set).
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl Default for KernelRun {
@@ -215,6 +246,8 @@ impl Default for KernelRun {
             violations: 0,
             mem_ops: 0,
             bank_bursts: 0,
+            attr: CycleBreakdown::default(),
+            metrics: None,
         }
     }
 }
@@ -241,6 +274,22 @@ impl KernelRun {
         self.violations += report.violation_count();
         self.mem_ops += report.pu.mem_ops;
         self.bank_bursts += report.commands.bank_bursts;
+        if let Some(m) = &report.metrics {
+            match &mut self.metrics {
+                Some(reg) => reg.absorb(m),
+                None => self.metrics = Some(m.clone()),
+            }
+        }
+    }
+
+    /// Fold one engine phase's wall-clock attribution into [`Self::attr`]:
+    /// the slowest channel's bus breakdown, whose total equals the phase's
+    /// `dram_cycles`. Call it exactly once per `dram_cycles` contribution
+    /// so `attr.total() == dram_cycles` stays an invariant under tracing.
+    pub fn absorb_wall(&mut self, report: &RunReport) {
+        if let Some(m) = &report.metrics {
+            self.attr.add_all(&m.wall());
+        }
     }
 
     /// Fold one sequential engine phase plus its host activity into the
@@ -248,6 +297,7 @@ impl KernelRun {
     pub fn absorb_phase(&mut self, report: &RunReport, host: &HostController) {
         self.kernel_s += report.seconds;
         self.dram_cycles += report.dram_cycles;
+        self.absorb_wall(report);
         self.absorb_engine(report);
         self.phases += 1;
         // Host time is absorbed once at the end via absorb_host; nothing
@@ -279,6 +329,13 @@ impl KernelRun {
         self.violations += other.violations;
         self.mem_ops += other.mem_ops;
         self.bank_bursts += other.bank_bursts;
+        self.attr.add_all(&other.attr);
+        if let Some(m) = &other.metrics {
+            match &mut self.metrics {
+                Some(reg) => reg.absorb(m),
+                None => self.metrics = Some(m.clone()),
+            }
+        }
     }
 }
 

@@ -147,6 +147,7 @@ impl SpmvPim {
 
             let mut wave_seconds = 0.0f64;
             let mut wave_cycles = 0u64;
+            let mut wave_wall = psyncpim_core::CycleBreakdown::default();
             let mut collect_bytes = 0usize;
             for cube in 0..self.device.cubes {
                 let lo = cube * banks_per_cube;
@@ -197,7 +198,15 @@ impl SpmvPim {
                 engine.load_kernel(program.clone(), bindings.clone())?;
                 let report = engine.run()?;
                 wave_seconds = wave_seconds.max(report.seconds);
-                wave_cycles = wave_cycles.max(report.dram_cycles);
+                // Cubes run in parallel within a wave: the wave's cycles
+                // (and its wall-clock attribution) come from the slowest
+                // cube of the wave.
+                if report.dram_cycles > wave_cycles {
+                    wave_cycles = report.dram_cycles;
+                    if let Some(m) = &report.metrics {
+                        wave_wall = m.wall();
+                    }
+                }
                 run.absorb_engine(&report);
 
                 // Host accumulates only rows that received partial sums.
@@ -218,6 +227,7 @@ impl SpmvPim {
             }
             run.kernel_s += wave_seconds;
             run.dram_cycles += wave_cycles;
+            run.attr.add_all(&wave_wall);
             run.phases += 1;
             host.collect(collect_bytes);
         }

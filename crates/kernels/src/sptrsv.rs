@@ -236,6 +236,7 @@ impl SptrsvPim {
                 let report = engine.run()?;
                 run.kernel_s += report.seconds;
                 run.dram_cycles += report.dram_cycles;
+                run.absorb_wall(&report);
                 run.absorb_engine(&report);
                 run.phases += 1;
             }

@@ -76,6 +76,11 @@ pub struct ExecutorConfig {
     /// default in the constructors: a multi-tenant service must not
     /// silently serve results produced through an illegal stream.
     pub validate: bool,
+    /// Run every job with psim-trace cycle attribution: each completed
+    /// job's `run.attr` then accounts its `service_cycles` per stall
+    /// category, and [`SimStats`] aggregates the batch-wide breakdown.
+    /// Off by default (tracing is cheap but not free).
+    pub trace: bool,
 }
 
 impl ExecutorConfig {
@@ -87,6 +92,7 @@ impl ExecutorConfig {
             shards: 1,
             host_threads: 1,
             validate: true,
+            trace: false,
         }
     }
 
@@ -98,6 +104,7 @@ impl ExecutorConfig {
             shards,
             host_threads: shards,
             validate: true,
+            trace: false,
         }
     }
 }
@@ -167,6 +174,7 @@ impl ShardExecutor {
                 shards: cfg.shards,
             })?;
         shard_device.validate = cfg.validate;
+        shard_device.trace = cfg.trace;
         Ok(ShardExecutor { cfg, shard_device })
     }
 
@@ -341,6 +349,7 @@ fn assign_shards(jobs: Vec<Job>, shards: usize) -> Vec<Vec<Job>> {
 mod tests {
     use super::*;
     use crate::job::JobSpec;
+    use serde::Serialize as _;
     use std::sync::Arc;
 
     fn scal_job(tenant: &str, n: usize) -> JobSpec {
@@ -410,6 +419,80 @@ mod tests {
         cfg.validate = false;
         let exec = ShardExecutor::new(cfg).unwrap();
         assert!(exec.shard_device().verify_program(&bad).is_ok());
+    }
+
+    #[test]
+    fn traced_batches_attribute_every_service_cycle() {
+        let mut cfg = ExecutorConfig::sharded(PimDevice::tiny(4), 2);
+        cfg.trace = true;
+        let exec = ShardExecutor::new(cfg).unwrap();
+        assert!(exec.shard_device().trace);
+        let queue = JobQueue::bounded(16);
+        let a = Arc::new(psim_sparse::gen::rmat(32, 2, 3));
+        let x: Vec<f64> = (0..32).map(|i| 1.0 + i as f64).collect();
+        queue
+            .submit(JobSpec::batch(
+                "t0",
+                JobKind::spmv(Arc::clone(&a), x.clone()),
+            ))
+            .unwrap();
+        queue
+            .submit(JobSpec::batch("t1", JobKind::Dot { x: x.clone(), y: x }))
+            .unwrap();
+        let report = exec.drain_and_run(&queue).unwrap();
+        assert_eq!(report.jobs.len(), 2);
+        let mut total_cycles = 0u64;
+        for job in &report.jobs {
+            // Per-job service attribution accounts every service cycle.
+            assert_eq!(
+                job.run.attr.total(),
+                job.service_cycles,
+                "job {} ({})",
+                job.id,
+                job.kind
+            );
+            let m = job.run.metrics.as_ref().expect("tracing on");
+            assert!(m.conservation_failures().is_empty(), "job {}", job.id);
+            total_cycles += job.service_cycles;
+        }
+        assert_eq!(report.stats.sim.service_attr.total(), total_cycles);
+        let js = report.stats.sim.to_json();
+        assert!(js.contains("\"service_attr\""), "{js}");
+        assert!(js.contains("\"trace_dropped\""), "{js}");
+        // Untraced batches keep the attribution all-zero with no registry.
+        let exec = ShardExecutor::new(ExecutorConfig::serial(PimDevice::tiny(2))).unwrap();
+        let queue = JobQueue::bounded(4);
+        queue.submit(scal_job("t0", 32)).unwrap();
+        let report = exec.drain_and_run(&queue).unwrap();
+        assert_eq!(report.stats.sim.service_attr.total(), 0);
+        assert!(report.jobs[0].run.metrics.is_none());
+    }
+
+    #[test]
+    fn tiny_trace_buffers_count_drops_instead_of_truncating() {
+        let mut device = PimDevice::tiny(2);
+        device.trace_events = 1;
+        let mut cfg = ExecutorConfig::serial(device);
+        cfg.trace = true;
+        let exec = ShardExecutor::new(cfg).unwrap();
+        let queue = JobQueue::bounded(4);
+        // An irregular SpMV: banks get unequal entry counts, so lighter
+        // banks stream queue-empty rounds — far more stalls than one slot.
+        let a = Arc::new(psim_sparse::gen::rmat(64, 3, 7));
+        let x: Vec<f64> = (0..64).map(|i| 1.0 + i as f64).collect();
+        queue
+            .submit(JobSpec::batch("t0", JobKind::spmv(a, x)))
+            .unwrap();
+        let report = exec.drain_and_run(&queue).unwrap();
+        let m = report.jobs[0].run.metrics.as_ref().unwrap();
+        assert!(m.events.len() <= 1);
+        assert!(m.events_dropped > 0, "overflow must be counted");
+        assert_eq!(report.stats.sim.trace_dropped, m.events_dropped);
+        // Dropping events never breaks cycle conservation.
+        assert_eq!(
+            report.jobs[0].run.attr.total(),
+            report.jobs[0].service_cycles
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! * [`HostStats`] is the host-side measurement (walltime, threads used)
 //!   and is excluded from determinism comparisons.
 
-use psyncpim_core::Histogram;
+use psyncpim_core::{CycleBreakdown, Histogram};
 use serde::Serialize;
 
 use crate::executor::CompletedJob;
@@ -56,6 +56,14 @@ pub struct SimStats {
     pub per_class: Vec<ClassStats>,
     /// Busy cycles per shard, in shard order (load-balance visibility).
     pub per_shard_busy_cycles: Vec<u64>,
+    /// psim-trace service attribution summed over jobs: where every
+    /// service cycle of the batch went, per stall category. All-zero
+    /// unless the executor traces; with tracing on its total equals the
+    /// sum of every job's `service_cycles`.
+    pub service_attr: CycleBreakdown,
+    /// Stall events the jobs' bounded trace buffers could not hold —
+    /// counted here so truncation is never silent.
+    pub trace_dropped: u64,
 }
 
 impl SimStats {
@@ -68,6 +76,8 @@ impl SimStats {
         let mut latency_ns = Histogram::new();
         let mut per_shard_busy_cycles = vec![0u64; shards];
         let mut serial_s = 0.0;
+        let mut service_attr = CycleBreakdown::default();
+        let mut trace_dropped = 0u64;
         let mut class_hists: [(u64, Histogram); 3] = [
             (0, Histogram::new()),
             (0, Histogram::new()),
@@ -79,6 +89,8 @@ impl SimStats {
             latency_ns.record_seconds(job.wait_s + job.service_s);
             serial_s += job.service_s;
             per_shard_busy_cycles[job.shard] += job.service_cycles;
+            service_attr.add_all(&job.run.attr);
+            trace_dropped += job.run.metrics.as_ref().map_or(0, |m| m.events_dropped);
             let slot = &mut class_hists[job.class as usize];
             slot.0 += 1;
             slot.1.record_seconds(job.wait_s + job.service_s);
@@ -123,6 +135,8 @@ impl SimStats {
             latency_ns,
             per_class,
             per_shard_busy_cycles,
+            service_attr,
+            trace_dropped,
         }
     }
 }

@@ -25,6 +25,10 @@ fn run_with_threads(specs: &[JobSpec], shards: usize, threads: usize) -> BatchRe
         shards,
         host_threads: threads,
         validate: true,
+        // Tracing is part of the determinism contract too: the fingerprint
+        // below covers the per-category service attribution, and the
+        // proptest compares each job's full metrics registry.
+        trace: true,
     })
     .unwrap();
     exec.drain_and_run(&queue).unwrap()
@@ -164,5 +168,13 @@ proptest! {
         let serial = run_with_threads(&specs, 2, 1);
         let parallel = run_with_threads(&specs, 2, 4);
         prop_assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+        // The psim-trace registries must be bit-identical too, job by job,
+        // and every traced job conserves its service cycles exactly.
+        for (s, p) in serial.jobs.iter().zip(parallel.jobs.iter()) {
+            prop_assert_eq!(&s.run.metrics, &p.run.metrics, "job {}", s.id);
+            prop_assert_eq!(s.run.attr.total(), s.service_cycles, "job {}", s.id);
+            let m = s.run.metrics.as_ref().expect("tracing on");
+            prop_assert!(m.conservation_failures().is_empty(), "job {}", s.id);
+        }
     }
 }

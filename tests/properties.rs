@@ -307,6 +307,31 @@ proptest! {
             prop_assert!((xi - wi).abs() < 1e-8, "row {}", i);
         }
     }
+
+    /// psim-trace cycle conservation: on any random matrix, in both
+    /// execution modes, every PU's attribution categories sum exactly to
+    /// its channel's cycles, and the kernel-level wall attribution covers
+    /// every reported DRAM cycle with no residual.
+    #[test]
+    fn trace_attribution_conserves_cycles_on_random_matrices(a in arb_coo(80, 250), seed in 0u64..100) {
+        let x = psyncpim::sparse::gen::dense_vector(a.ncols(), seed);
+        for mode in [psyncpim::core::ExecMode::AllBank, psyncpim::core::ExecMode::PerBank] {
+            let mut dev = PimDevice::tiny(2);
+            dev.mode = mode;
+            dev.trace = true;
+            let res = SpmvPim::new(dev, Precision::Fp64).run(&a, &x).expect("spmv");
+            let metrics = res.run.metrics.as_ref().expect("tracing on");
+            let failures = metrics.conservation_failures();
+            prop_assert!(failures.is_empty(), "{:?}: {:?}", mode, failures);
+            prop_assert_eq!(res.run.attr.total(), res.run.dram_cycles, "{:?}", mode);
+            for ch in &metrics.channels {
+                prop_assert_eq!(ch.bus.total(), ch.cycles, "{:?}", mode);
+                for pu in &ch.pu {
+                    prop_assert_eq!(pu.total(), ch.cycles, "{:?}", mode);
+                }
+            }
+        }
+    }
 }
 
 /// Non-proptest guard: UnitTriangular rejects malformed input regardless of
