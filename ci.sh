@@ -18,6 +18,14 @@ cargo run -q --release -p psim-bench --bin psim_check
 echo "==> psim-trace (cycle-attribution conservation gate; writes results/BENCH_trace.json)"
 cargo run -q --release -p psim-bench --bin psim_trace
 
+echo "==> psim-fastpath (tick/event equivalence + speedup floor + cost-model calibration; writes results/BENCH_fastpath.json)"
+cargo run -q --release -p psim-bench --bin psim_fastpath
+test -s results/BENCH_fastpath.json || { echo "missing results/BENCH_fastpath.json" >&2; exit 1; }
+
+echo "==> golden traces + protocol replay under the event engine tier (PSIM_ENGINE=event)"
+PSIM_ENGINE=event cargo test -q -p psyncpim --test golden_trace
+PSIM_ENGINE=event cargo run -q --release -p psim-bench --bin psim_check
+
 echo "==> cargo clippy --workspace --all-targets (deny warnings + pedantic subset)"
 cargo clippy --workspace --all-targets -- -D warnings \
   -D clippy::semicolon_if_nothing_returned \

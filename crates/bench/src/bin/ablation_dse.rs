@@ -10,7 +10,7 @@
 
 use psim_bench::{human_row, tsv_row, Args};
 use psim_dram::HbmConfig;
-use psim_kernels::{PimDevice, SpmvPim};
+use psim_kernels::{CostModel, PimDevice, SpmvPim};
 use psim_sparse::suite::by_name;
 use psim_sparse::{gen, Precision};
 use psyncpim_core::ExecMode;
@@ -50,14 +50,19 @@ fn main() {
             "waves".into(),
             "ext KiB".into(),
             "time us".into(),
+            "est err%".into(),
         ],
     );
+    let mut ranks: Vec<(u64, u64)> = Vec::new();
     for num_cols in [32usize, 64, 128, 256] {
         let device = device_with(num_cols, 16);
         let row_bytes = device.hbm.row_bytes();
+        let est = CostModel::new(&device).spmv(&a, Precision::Fp64);
         let r = SpmvPim::new(device, Precision::Fp64)
             .run(&a, &x)
             .expect("spmv");
+        let err = err_pct(est.cycles, r.run.dram_cycles);
+        ranks.push((est.cycles, r.run.dram_cycles));
         human_row(
             &args,
             &[
@@ -66,6 +71,7 @@ fn main() {
                 r.waves.to_string(),
                 format!("{:.1}", r.run.external_bytes as f64 / 1024.0),
                 format!("{:.2}", r.run.total_s() * 1e6),
+                format!("{err:+.1}"),
             ],
         );
         tsv_row(
@@ -76,6 +82,7 @@ fn main() {
                 r.waves.to_string(),
                 r.run.external_bytes.to_string(),
                 r.run.total_s().to_string(),
+                est.cycles.to_string(),
             ],
         );
     }
@@ -89,14 +96,18 @@ fn main() {
             "imbalance".into(),
             "rounds".into(),
             "time us".into(),
+            "est err%".into(),
         ],
     );
     for channels in [4usize, 8, 16, 32] {
         let device = device_with(64, channels);
         let banks = device.total_banks();
+        let est = CostModel::new(&device).spmv(&a, Precision::Fp64);
         let r = SpmvPim::new(device, Precision::Fp64)
             .run(&a, &x)
             .expect("spmv");
+        let err = err_pct(est.cycles, r.run.dram_cycles);
+        ranks.push((est.cycles, r.run.dram_cycles));
         human_row(
             &args,
             &[
@@ -105,6 +116,7 @@ fn main() {
                 format!("{:.2}", r.stats.imbalance()),
                 r.run.rounds.to_string(),
                 format!("{:.2}", r.run.total_s() * 1e6),
+                format!("{err:+.1}"),
             ],
         );
         tsv_row(
@@ -115,8 +127,34 @@ fn main() {
                 r.stats.imbalance().to_string(),
                 r.run.rounds.to_string(),
                 r.run.total_s().to_string(),
+                est.cycles.to_string(),
             ],
         );
     }
-    println!("\npaper anchor points: 1 KB rows (SV), 256 banks/cube with a 3x-cube scaling study (SVII-B)");
+    // A cost model is useful for DSE exactly when it *orders* design points
+    // the way the cycle engine does — check pairwise rank agreement across
+    // everything swept above.
+    let mut pairs = 0u32;
+    let mut agree = 0u32;
+    for i in 0..ranks.len() {
+        for j in (i + 1)..ranks.len() {
+            pairs += 1;
+            let (ei, ai) = ranks[i];
+            let (ej, aj) = ranks[j];
+            if (ei.cmp(&ej)) == (ai.cmp(&aj)) {
+                agree += 1;
+            }
+        }
+    }
+    println!(
+        "\nanalytical tier rank agreement with cycle engine: {agree}/{pairs} design-point pairs"
+    );
+    println!(
+        "paper anchor points: 1 KB rows (SV), 256 banks/cube with a 3x-cube scaling study (SVII-B)"
+    );
+}
+
+/// Signed relative error of the analytical estimate vs the cycle engine.
+fn err_pct(est: u64, actual: u64) -> f64 {
+    (est as f64 - actual as f64) / actual as f64 * 100.0
 }

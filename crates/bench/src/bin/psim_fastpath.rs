@@ -1,0 +1,539 @@
+//! psim-fastpath: the two-tier engine and analytical-cost-model CI gate.
+//!
+//! Three gates plus a machine-readable report:
+//!
+//! 1. **Equivalence** — the kernel battery runs under the tick reference
+//!    tier and the event fast path with validation on (and, on the small
+//!    device, with psim-trace attribution on); the serialized run reports
+//!    and every numeric output must be bit-identical, and the kernel
+//!    self-test battery must pass under both tiers in both execution
+//!    modes.
+//! 2. **Throughput** — the same battery with validation off, timed on the
+//!    engine wall clock; the event tier must simulate the battery at
+//!    least [`SPEEDUP_FLOOR`]× faster than the tick tier in aggregate.
+//! 3. **Calibration** — the O(nnz) analytical [`CostModel`] estimate vs
+//!    the cycle engine across kernel × matrix-class pairs; each kernel's
+//!    mean absolute percentage error must stay under [`MAPE_BOUND_PCT`].
+//!
+//! Writes `results/BENCH_fastpath.json`; exits non-zero on any gate
+//! failure so CI catches a fast-path divergence or cost-model drift the
+//! moment it appears.
+//!
+//! Knobs: `FP_N` / `FP_DEG` size the throughput battery (default 300 / 5),
+//! `FP_REPS` its repetition count (default 10).
+
+use psim_kernels::blas1::Blas1Pim;
+use psim_kernels::gemv::Gemv;
+use psim_kernels::{all_pass, selftest, CostModel, KernelRun, PimDevice, SpmvPim, SptrsvPim};
+use psim_sparse::dense::SparseVec;
+use psim_sparse::triangular::{unit_triangular_from, Triangle, UnitTriangular};
+use psim_sparse::{gen, Precision};
+use psyncpim_core::isa::BinaryOp;
+use psyncpim_core::{take_engine_wall_s, EngineTier, ExecMode};
+use serde::Serialize;
+
+/// The event tier must run the battery at least this much faster than the
+/// tick tier in aggregate (engine wall seconds, tick / event). Measured
+/// headroom on the default battery shape is ≈1.9×; the floor leaves slack
+/// for host noise and smaller problem sizes.
+const SPEEDUP_FLOOR: f64 = 1.3;
+
+/// Per-kernel calibration bound: mean absolute percentage error of the
+/// analytical estimate vs the cycle engine over that kernel's matrix
+/// classes.
+const MAPE_BOUND_PCT: f64 = 25.0;
+
+/// Self-test outcome under one (tier, mode) combination.
+#[derive(Serialize)]
+struct SelftestRow {
+    tier: &'static str,
+    mode: &'static str,
+    checks: usize,
+    ok: bool,
+}
+
+/// Tick-vs-event fingerprint comparison for one kernel on one device.
+#[derive(Serialize)]
+struct EquivRow {
+    kernel: &'static str,
+    device: &'static str,
+    ok: bool,
+}
+
+/// Engine wall time for one kernel under both tiers.
+#[derive(Serialize)]
+struct ThroughputRow {
+    kernel: &'static str,
+    cycles: u64,
+    tick_wall_s: f64,
+    event_wall_s: f64,
+    speedup: f64,
+}
+
+/// One analytical-estimate-vs-engine comparison.
+#[derive(Serialize)]
+struct CalRow {
+    kernel: &'static str,
+    class: &'static str,
+    est_cycles: u64,
+    actual_cycles: u64,
+    est_phases: u64,
+    actual_phases: u64,
+    /// Signed error of the estimate, percent of the engine's cycles.
+    err_pct: f64,
+}
+
+/// Per-kernel aggregate of [`CalRow`] errors.
+#[derive(Serialize)]
+struct MapeRow {
+    kernel: &'static str,
+    mape_pct: f64,
+    ok: bool,
+}
+
+/// The full machine-readable report.
+#[derive(Serialize)]
+struct FastpathReport {
+    selftests: Vec<SelftestRow>,
+    equivalence: Vec<EquivRow>,
+    throughput: Vec<ThroughputRow>,
+    aggregate_speedup: f64,
+    speedup_floor: f64,
+    calibration: Vec<CalRow>,
+    mape: Vec<MapeRow>,
+    mape_bound_pct: f64,
+    violations: usize,
+}
+
+/// Shared operand set for the kernel battery.
+struct Inputs {
+    a: psim_sparse::Coo,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    zeros: Vec<f64>,
+    t: UnitTriangular,
+    b: Vec<f64>,
+    src: Vec<f64>,
+    sp: SparseVec,
+    m: Vec<f64>,
+    xg: Vec<f64>,
+    nr: usize,
+    nc: usize,
+}
+
+fn inputs(n: usize, deg: usize) -> Inputs {
+    let a = gen::rmat(n, deg, 0xA11CE);
+    let x = gen::dense_vector(n, 1);
+    let y = gen::dense_vector(n, 2);
+    let t = unit_triangular_from(&a, Triangle::Lower).expect("square matrix");
+    let b = t.matvec(&x);
+    let mut src = vec![0.0; n];
+    for v in src.iter_mut().step_by(7) {
+        *v = 0.5;
+    }
+    let sp = SparseVec::gather(&src);
+    let (nr, nc) = (24usize, 20usize);
+    let m = gen::dense_vector(nr * nc, 3);
+    let xg = gen::dense_vector(nc, 4);
+    Inputs {
+        a,
+        x,
+        y,
+        zeros: vec![0.0; n],
+        t,
+        b,
+        src,
+        sp,
+        m,
+        xg,
+        nr,
+        nc,
+    }
+}
+
+/// Run every battery kernel on `device`, handing each one to `visit` as a
+/// replayable closure returning its run report and numeric outputs.
+fn battery(
+    device: &PimDevice,
+    inp: &Inputs,
+    mut visit: impl FnMut(&'static str, &mut dyn FnMut() -> (KernelRun, Vec<f64>)),
+) {
+    let d = device.clone();
+    let blas = Blas1Pim::new(d.clone(), Precision::Fp64);
+    let gemv = Gemv::new(d.clone(), Precision::Fp64);
+    visit("SpMV", &mut || {
+        let r = SpmvPim::new(d.clone(), Precision::Fp64)
+            .run(&inp.a, &inp.x)
+            .unwrap();
+        (r.run, r.y)
+    });
+    visit("SpTRSV", &mut || {
+        let r = SptrsvPim::new(d.clone()).run(&inp.t, &inp.b).unwrap();
+        (r.run, r.x)
+    });
+    visit("DCOPY", &mut || {
+        let r = blas.dcopy(&inp.x).unwrap();
+        (r.run, r.v)
+    });
+    visit("DSCAL", &mut || {
+        let r = blas.dscal(1.5, &inp.x).unwrap();
+        (r.run, r.v)
+    });
+    visit("DAXPY", &mut || {
+        let r = blas.daxpy(-0.5, &inp.x, &inp.y).unwrap();
+        (r.run, r.v)
+    });
+    visit("DVDV", &mut || {
+        let r = blas.dvdv(&inp.x, &inp.y, BinaryOp::Mul).unwrap();
+        (r.run, r.v)
+    });
+    visit("DDOT", &mut || {
+        let r = blas.ddot(&inp.x, &inp.y).unwrap();
+        (r.run, vec![r.s])
+    });
+    visit("DNRM2", &mut || {
+        let r = blas.dnrm2(&inp.x).unwrap();
+        (r.run, vec![r.s])
+    });
+    visit("GATHER", &mut || {
+        let (_, run) = blas.gather(&inp.src).unwrap();
+        (run, Vec::new())
+    });
+    visit("SCATTER", &mut || {
+        let r = blas.scatter(&inp.sp, &inp.zeros).unwrap();
+        (r.run, r.v)
+    });
+    visit("SpAXPY", &mut || {
+        let r = blas.spaxpy(2.0, &inp.sp, &inp.y).unwrap();
+        (r.run, r.v)
+    });
+    visit("SpDOT", &mut || {
+        let r = blas.spdot(&inp.sp, &inp.y).unwrap();
+        (r.run, vec![r.s])
+    });
+    visit("DGEMV", &mut || {
+        let r = gemv.dgemv(&inp.m, inp.nr, inp.nc, &inp.xg).unwrap();
+        (r.run, r.y)
+    });
+}
+
+/// Bit-exact fingerprint of one battery pass: the serialized run report
+/// (cycles, commands, energy, attribution, metrics when tracing) plus the
+/// raw bits of every numeric output.
+fn fingerprints(device: &PimDevice, inp: &Inputs) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    battery(device, inp, |name, run| {
+        let (r, vals) = run();
+        let mut fp = r.to_json();
+        for v in &vals {
+            fp.push_str(&format!(",{:x}", v.to_bits()));
+        }
+        out.push((name, fp));
+    });
+    out
+}
+
+/// Engine wall seconds and simulated cycles per kernel over `reps`
+/// repetitions (one unmeasured warm-up pass each).
+fn timed_battery(device: &PimDevice, inp: &Inputs, reps: usize) -> Vec<(&'static str, u64, f64)> {
+    let mut out = Vec::new();
+    battery(device, inp, |name, run| {
+        run();
+        let _ = take_engine_wall_s();
+        let mut cycles = 0u64;
+        for _ in 0..reps {
+            cycles += run().0.dram_cycles;
+        }
+        out.push((name, cycles, take_engine_wall_s()));
+    });
+    out
+}
+
+fn tier_label(tier: EngineTier) -> &'static str {
+    match tier {
+        EngineTier::Tick => "tick",
+        EngineTier::Event => "event",
+    }
+}
+
+fn mode_label(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::AllBank => "all-bank",
+        ExecMode::PerBank => "per-bank",
+    }
+}
+
+fn with_tier(mut device: PimDevice, tier: EngineTier) -> PimDevice {
+    device.tier = tier;
+    device
+}
+
+/// Gate 1a: the self-test battery under every (tier, mode) combination.
+fn run_selftests(violations: &mut usize) -> Vec<SelftestRow> {
+    let mut rows = Vec::new();
+    for mode in [ExecMode::AllBank, ExecMode::PerBank] {
+        for tier in [EngineTier::Tick, EngineTier::Event] {
+            let mut d = PimDevice::tiny(2);
+            d.mode = mode;
+            d.tier = tier;
+            let (checks, ok) = match selftest(&d) {
+                Ok(results) => {
+                    for r in results.iter().filter(|r| !r.pass) {
+                        println!(
+                            "selftest\t{}\t{}\t{}\tFAIL\tmax_err={:.3e}",
+                            tier_label(tier),
+                            mode_label(mode),
+                            r.kernel,
+                            r.max_err
+                        );
+                    }
+                    (results.len(), all_pass(&results))
+                }
+                Err(e) => {
+                    println!(
+                        "selftest\t{}\t{}\tERROR\t{e}",
+                        tier_label(tier),
+                        mode_label(mode)
+                    );
+                    (0, false)
+                }
+            };
+            if !ok {
+                *violations += 1;
+            }
+            rows.push(SelftestRow {
+                tier: tier_label(tier),
+                mode: mode_label(mode),
+                checks,
+                ok,
+            });
+        }
+    }
+    rows
+}
+
+/// Gate 1b: tick-vs-event battery fingerprints on a validated full-size
+/// device and a traced small one.
+fn run_equivalence(violations: &mut usize) -> Vec<EquivRow> {
+    let mut rows = Vec::new();
+    let small = inputs(96, 4);
+    let full = {
+        let mut d = PimDevice::psync_1x();
+        d.validate = true;
+        d
+    };
+    let traced = {
+        let mut d = PimDevice::tiny(2);
+        d.validate = true;
+        d.trace = true;
+        d
+    };
+    for (device, label) in [(full, "psync_1x+validate"), (traced, "tiny+trace")] {
+        let tick = fingerprints(&with_tier(device.clone(), EngineTier::Tick), &small);
+        let event = fingerprints(&with_tier(device, EngineTier::Event), &small);
+        for ((kernel, t), (_, e)) in tick.iter().zip(event.iter()) {
+            let ok = t == e;
+            if !ok {
+                println!("equiv\tVIOLATION\t{label}\t{kernel}\ttick and event fingerprints differ");
+                *violations += 1;
+            }
+            rows.push(EquivRow {
+                kernel,
+                device: label,
+                ok,
+            });
+        }
+    }
+    rows
+}
+
+/// Gate 2: battery throughput, tick vs event.
+fn run_throughput(violations: &mut usize) -> (Vec<ThroughputRow>, f64) {
+    let env_usize = |key: &str, default: usize| {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let n = env_usize("FP_N", 300);
+    let deg = env_usize("FP_DEG", 5);
+    let reps = env_usize("FP_REPS", 10);
+    let inp = inputs(n, deg);
+    let mut d = PimDevice::psync_1x();
+    d.validate = false;
+    let tick = timed_battery(&with_tier(d.clone(), EngineTier::Tick), &inp, reps);
+    let event = timed_battery(&with_tier(d, EngineTier::Event), &inp, reps);
+
+    println!("# throughput (n={n}, deg={deg}, reps={reps})");
+    println!("# kernel\tcycles\ttick s\tevent s\tspeedup");
+    let mut rows = Vec::new();
+    let (mut tick_total, mut event_total) = (0.0f64, 0.0f64);
+    for ((kernel, cycles, tw), (_, _, ew)) in tick.iter().zip(event.iter()) {
+        tick_total += tw;
+        event_total += ew;
+        let speedup = tw / ew;
+        println!("{kernel}\t{cycles}\t{tw:.4}\t{ew:.4}\t{speedup:.2}x");
+        rows.push(ThroughputRow {
+            kernel,
+            cycles: *cycles,
+            tick_wall_s: *tw,
+            event_wall_s: *ew,
+            speedup,
+        });
+    }
+    let aggregate = tick_total / event_total;
+    println!(
+        "AGGREGATE\t-\t{tick_total:.4}\t{event_total:.4}\t{aggregate:.2}x (floor {SPEEDUP_FLOOR}x)"
+    );
+    if aggregate < SPEEDUP_FLOOR {
+        println!(
+            "throughput\tVIOLATION\taggregate speedup {aggregate:.2}x below floor {SPEEDUP_FLOOR}x"
+        );
+        *violations += 1;
+    }
+    (rows, aggregate)
+}
+
+/// One calibration comparison: run the engine, ask the model, record both.
+fn cal_row(
+    kernel: &'static str,
+    class: &'static str,
+    est: psim_kernels::CostEstimate,
+    run: &KernelRun,
+) -> CalRow {
+    let err_pct = 100.0 * (est.cycles as f64 - run.dram_cycles as f64) / run.dram_cycles as f64;
+    CalRow {
+        kernel,
+        class,
+        est_cycles: est.cycles,
+        actual_cycles: run.dram_cycles,
+        est_phases: est.phases,
+        actual_phases: run.phases,
+        err_pct,
+    }
+}
+
+/// Gate 3: analytical estimates vs the cycle engine per kernel × class.
+fn run_calibration(violations: &mut usize) -> (Vec<CalRow>, Vec<MapeRow>) {
+    let device = PimDevice::tiny(2);
+    let model = CostModel::new(&device);
+    let p = Precision::Fp64;
+    let mut rows = Vec::new();
+
+    for (class, a) in [
+        ("rmat", gen::rmat(96, 5, 11)),
+        ("rmat", gen::rmat(400, 8, 3)),
+        ("rmat", gen::rmat(1024, 3, 9)),
+        ("banded_fem", gen::banded_fem(600, 8, 4, 2)),
+        ("banded_fem", gen::banded_fem(1400, 12, 6, 7)),
+    ] {
+        let x = gen::dense_vector(a.ncols(), 13);
+        let r = SpmvPim::new(device.clone(), p).run(&a, &x).expect("spmv");
+        rows.push(cal_row("SpMV", class, model.spmv(&a, p), &r.run));
+    }
+
+    for (class, a) in [
+        ("rmat-lower", gen::rmat(192, 4, 5)),
+        ("banded-lower", gen::banded_fem(384, 10, 5, 3)),
+    ] {
+        let t = unit_triangular_from(&a, Triangle::Lower).expect("square matrix");
+        let b = t.matvec(&gen::dense_vector(a.ncols(), 17));
+        let r = SptrsvPim::new(device.clone()).run(&t, &b).expect("sptrsv");
+        rows.push(cal_row("SpTRSV", class, model.sptrsv(&t, p), &r.run));
+    }
+
+    let blas = Blas1Pim::new(device, p);
+    for n in [512usize, 4096] {
+        let x = gen::dense_vector(n, 1);
+        let y = gen::dense_vector(n, 2);
+        let class = if n < 1024 {
+            "dense-small"
+        } else {
+            "dense-large"
+        };
+        let r = blas.daxpy(1.5, &x, &y).expect("daxpy");
+        rows.push(cal_row("AXPY", class, model.axpy(n, p), &r.run));
+        let r = blas.dscal(0.5, &x).expect("dscal");
+        rows.push(cal_row("SCAL", class, model.scal(n, p), &r.run));
+        let r = blas.dvdv(&x, &y, BinaryOp::Mul).expect("dvdv");
+        rows.push(cal_row("VV", class, model.vv(n, p), &r.run));
+        let r = blas.ddot(&x, &y).expect("ddot");
+        rows.push(cal_row("DOT", class, model.dot(n, p), &r.run));
+        let r = blas.dnrm2(&x).expect("dnrm2");
+        rows.push(cal_row("NRM2", class, model.norm2(n, p), &r.run));
+    }
+
+    println!("# calibration (analytical estimate vs cycle engine)");
+    println!("# kernel\tclass\test\tactual\terr%");
+    for r in &rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{:+.1}",
+            r.kernel, r.class, r.est_cycles, r.actual_cycles, r.err_pct
+        );
+    }
+
+    let mut mape = Vec::new();
+    for kernel in ["SpMV", "SpTRSV", "AXPY", "SCAL", "VV", "DOT", "NRM2"] {
+        let errs: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.kernel == kernel)
+            .map(|r| r.err_pct.abs())
+            .collect();
+        let mape_pct = errs.iter().sum::<f64>() / errs.len() as f64;
+        let ok = mape_pct <= MAPE_BOUND_PCT;
+        println!("MAPE\t{kernel}\t{mape_pct:.1}%\t(bound {MAPE_BOUND_PCT}%)");
+        if !ok {
+            println!(
+                "calibration\tVIOLATION\t{kernel} MAPE {mape_pct:.1}% exceeds {MAPE_BOUND_PCT}%"
+            );
+            *violations += 1;
+        }
+        mape.push(MapeRow {
+            kernel,
+            mape_pct,
+            ok,
+        });
+    }
+    (rows, mape)
+}
+
+fn main() {
+    let mut violations = 0usize;
+
+    let selftests = run_selftests(&mut violations);
+    let equivalence = run_equivalence(&mut violations);
+    let ok = equivalence.iter().filter(|r| r.ok).count();
+    println!(
+        "equiv\t{ok}/{} kernel fingerprints bit-identical",
+        equivalence.len()
+    );
+    let (throughput, aggregate_speedup) = run_throughput(&mut violations);
+    let (calibration, mape) = run_calibration(&mut violations);
+
+    let report = FastpathReport {
+        selftests,
+        equivalence,
+        throughput,
+        aggregate_speedup,
+        speedup_floor: SPEEDUP_FLOOR,
+        calibration,
+        mape,
+        mape_bound_pct: MAPE_BOUND_PCT,
+        violations,
+    };
+    let json = report.to_json();
+    let path = "results/BENCH_fastpath.json";
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, format!("{json}\n")))
+    {
+        eprintln!("psim-fastpath: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("psim-fastpath: wrote {path}");
+
+    if violations > 0 {
+        eprintln!("psim-fastpath: {violations} gate violation(s)");
+        std::process::exit(1);
+    }
+    println!("psim-fastpath: tiers equivalent, fast path fast, estimates calibrated");
+}

@@ -45,6 +45,37 @@ pub enum ExecMode {
     PerBank,
 }
 
+/// Which channel-replay implementation the engine uses. Both produce
+/// bit-identical [`RunReport`]s (the `psim_fastpath` gate and the
+/// tick-vs-event tests enforce this); they differ only in host-side
+/// simulation speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EngineTier {
+    /// The original command-by-command replay: every offer steps the PU
+    /// interpreter inline and every channel command re-walks all banks.
+    #[default]
+    Tick,
+    /// Event-driven fast path: PU step streams are precomputed per bank in
+    /// cache-hot batches (their evolution is independent of command
+    /// timing — see DESIGN.md), and all-bank channels collapse to a single
+    /// representative bank.
+    Event,
+}
+
+impl EngineTier {
+    /// Tier selection from the environment: `PSIM_ENGINE=event` picks the
+    /// fast path, anything else (or unset) the tick engine. This is how
+    /// the CI equivalence gate re-runs the golden suites under the event
+    /// tier without touching call sites.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("PSIM_ENGINE").as_deref() {
+            Ok("event") => EngineTier::Event,
+            _ => EngineTier::Tick,
+        }
+    }
+}
+
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -82,6 +113,8 @@ pub struct EngineConfig {
     /// `trace_limit` idiom — overflow is counted in the registry's
     /// `events_dropped`, never silently truncated).
     pub event_limit: usize,
+    /// Channel-replay implementation (tick vs event-driven fast path).
+    pub tier: EngineTier,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +130,7 @@ impl Default for EngineConfig {
             validate: false,
             attribute: false,
             event_limit: 4096,
+            tier: EngineTier::default(),
         }
     }
 }
@@ -186,6 +220,21 @@ impl RunReport {
     pub fn violation_count(&self) -> u64 {
         self.violations.len() as u64 + self.violations_suppressed + self.pu_audit.len() as u64
     }
+}
+
+/// Host wall-clock nanoseconds spent inside engine phases, process-wide.
+/// Benchmarks read this through [`take_engine_wall_s`] to time the
+/// simulation kernel itself, excluding host-side data preparation, without
+/// perturbing any serialized report (the accumulator lives outside
+/// [`RunReport`], so deterministic artifacts stay deterministic).
+static ENGINE_WALL_NANOS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Drain the process-wide engine wall-clock accumulator: returns the
+/// seconds spent inside [`Engine::run`]/[`Engine::run_parallel`] since the
+/// last call, and resets it to zero.
+#[must_use]
+pub fn take_engine_wall_s() -> f64 {
+    ENGINE_WALL_NANOS.swap(0, std::sync::atomic::Ordering::Relaxed) as f64 * 1e-9
 }
 
 /// The pSyncPIM cube: processing units + bank memories + channel models.
@@ -311,6 +360,16 @@ impl Engine {
     }
 
     fn run_with_workers(&mut self, workers: usize) -> Result<RunReport, CoreError> {
+        let wall_start = std::time::Instant::now();
+        let result = self.run_with_workers_inner(workers);
+        ENGINE_WALL_NANOS.fetch_add(
+            wall_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        result
+    }
+
+    fn run_with_workers_inner(&mut self, workers: usize) -> Result<RunReport, CoreError> {
         let program = self
             .program
             .clone()

@@ -10,14 +10,15 @@
 //! worker threads, merging [`ChannelOutcome`]s in channel order so the
 //! result is bit-identical either way.
 
-use super::{EngineConfig, ExecMode, TraceEvent};
+use super::{EngineConfig, EngineTier, ExecMode, TraceEvent};
 use crate::error::CoreError;
 use crate::isa::Program;
 use crate::memory::{BankMemory, Binding};
 use crate::pu::{ProcessingUnit, StepOutcome, StepReport, DRAM_CYCLES_PER_PU_CYCLE};
 use crate::trace::{Category, ChannelMetrics, CycleBreakdown, StallEvent};
 use psim_dram::{
-    Channel, ChannelStats, CheckPolicy, CheckReport, CmdKind, IssueError, ProtocolChecker, Scope,
+    AbChannel, Channel, ChannelStats, CheckPolicy, CheckReport, CmdKind, IssueError, Issued,
+    ProtocolChecker, Scope,
 };
 
 /// Read-only inputs shared by every channel of one kernel execution.
@@ -102,14 +103,15 @@ impl Attr {
 
     /// Advance every cursor to `to` (all-bank lockstep spans): the bus
     /// gets `cat`; a PU that has already exited idles post-CEXIT instead.
-    fn span_all(&mut self, to: u64, cat: Category, pus: &[ProcessingUnit]) {
+    ///
+    /// Exit state comes from the driver's consumed-offer flags, not the
+    /// units themselves: the event tier's interpreter runs ahead of the
+    /// timing loop, so `pus[i].exited()` may already be true for a unit
+    /// that (on the command timeline) has offers still in flight.
+    fn span_all(&mut self, to: u64, cat: Category, exited: &[bool]) {
         self.bus_span(to, cat);
-        for (i, pu) in pus.iter().enumerate() {
-            let c = if pu.exited() {
-                Category::PostExitIdle
-            } else {
-                cat
-            };
+        for (i, &ex) in exited.iter().enumerate() {
+            let c = if ex { Category::PostExitIdle } else { cat };
             self.pu_span(i, to, c);
         }
     }
@@ -245,10 +247,56 @@ impl TraceBuf {
     }
 }
 
+/// The channel model behind a replay, selected by
+/// [`EngineConfig::tier`](super::EngineConfig): the tick tier's two-pass
+/// earliest+issue full channel, or the event tier's single-pass variants —
+/// the representative-bank [`AbChannel`] for all-bank lockstep, the full
+/// channel's fused `issue_earliest_fast` for per-bank scopes. All three
+/// pick identical cycles (cross-checked in `psim_dram::fastab`), so the
+/// command stream is tier-independent.
+enum Issuer {
+    Tick(Channel),
+    Fast(Channel),
+    FastAb(AbChannel),
+}
+
+impl Issuer {
+    fn new(cfg: &EngineConfig) -> Self {
+        match (cfg.tier, cfg.mode) {
+            (EngineTier::Tick, _) => Issuer::Tick(Channel::new(&cfg.hbm)),
+            (EngineTier::Event, ExecMode::AllBank) => Issuer::FastAb(AbChannel::new(&cfg.hbm)),
+            (EngineTier::Event, ExecMode::PerBank) => Issuer::Fast(Channel::new(&cfg.hbm)),
+        }
+    }
+
+    fn issue_earliest(
+        &mut self,
+        scope: Scope,
+        cmd: CmdKind,
+        from: u64,
+    ) -> Result<Issued, IssueError> {
+        match self {
+            Issuer::Tick(c) => c.issue_earliest(scope, cmd, from),
+            Issuer::Fast(c) => c.issue_earliest_fast(scope, cmd, from),
+            Issuer::FastAb(c) => {
+                debug_assert!(matches!(scope, Scope::AllBanks));
+                c.issue_earliest(cmd, from)
+            }
+        }
+    }
+
+    fn stats(&self) -> &ChannelStats {
+        match self {
+            Issuer::Tick(c) | Issuer::Fast(c) => c.stats(),
+            Issuer::FastAb(c) => c.stats(),
+        }
+    }
+}
+
 /// Issue a command, optionally recording it and feeding it to the
 /// independent protocol checker.
 fn issue_traced(
-    channel: &mut Channel,
+    channel: &mut Issuer,
     trace: &mut TraceBuf,
     checker: &mut Option<ProtocolChecker>,
     ch: usize,
@@ -311,6 +359,144 @@ fn slot_advance(ins: &crate::isa::Instruction) -> (usize, usize) {
     }
 }
 
+/// Resolve a slot's cursor to the DRAM row to open and the column within
+/// it. Shared by every replay path (tick/event × all-bank/per-bank) so the
+/// four formerly-duplicated decode sites cannot drift apart, and checked:
+/// a cursor that has run past the `u32` row space aborts the run instead
+/// of silently truncating into a bogus row.
+fn decode_slot_addr(
+    start_row: u32,
+    cursor: usize,
+    elem_bytes: usize,
+    row_bytes: usize,
+    col_bytes: usize,
+) -> Result<(u32, u32), CoreError> {
+    let overflow = |byte_off: usize| {
+        CoreError::Execution(format!(
+            "slot byte offset {byte_off} (cursor {cursor} x {elem_bytes} B from row \
+             {start_row}) overflows the DRAM row address space"
+        ))
+    };
+    let byte_off = cursor
+        .checked_mul(elem_bytes)
+        .ok_or_else(|| overflow(usize::MAX))?;
+    let want_row = u32::try_from(byte_off / row_bytes)
+        .ok()
+        .and_then(|r| start_row.checked_add(r))
+        .ok_or_else(|| overflow(byte_off))?;
+    let col = u32::try_from((byte_off % row_bytes) / col_bytes)
+        .expect("column index is bounded by columns per row");
+    Ok((want_row, col))
+}
+
+/// A parked-slot cache entry meaning "unknown / not parked": the next
+/// offer must go through the interpreter.
+const NOT_PARKED: usize = usize::MAX;
+
+/// Tier-agnostic PU stepping front-end.
+///
+/// Under partially synchronous execution every offer a bank sees is
+/// determined by the fixed cyclic command schedule alone — the timing loop
+/// decides *when* commands issue, never *which* PU steps next. The tick
+/// tier steps the interpreter on every offer. The event tier skips it
+/// whenever the outcome is already known without running it:
+///
+/// * a live unit parked at memory slot `m` ([`ProcessingUnit::parked_memory_slot`])
+///   offered any `slot != m` only bumps `predicated_off` and reports
+///   `OutOfPhase` — synthesized here from the cached parked slot;
+/// * an exited unit only bumps `predicated_off` and reports `Exited`.
+///
+/// Everything else (the schedule reaching the parked slot) steps the
+/// alloc-free interpreter ([`ProcessingUnit::on_command_fast`]) and
+/// refreshes the cache. Most offers in a partially synchronous stream are
+/// predications — the whole point of the execution model — so this removes
+/// the interpreter from the common case entirely.
+///
+/// `exited`/`live` track exit state *as consumed by the timing loop* —
+/// exactly what `pus[i].exited()` reads as on the tick path — so round
+/// bookkeeping, attribution and loop termination are tier-independent.
+struct PuDriver<'a> {
+    pus: &'a mut [ProcessingUnit],
+    mems: &'a mut [BankMemory],
+    exited: Vec<bool>,
+    live: usize,
+    /// Event tier only: per-bank parked memory slot, [`NOT_PARKED`] when
+    /// the unit must be stepped through the interpreter.
+    parked: Option<Vec<usize>>,
+}
+
+impl<'a> PuDriver<'a> {
+    fn new(tier: EngineTier, pus: &'a mut [ProcessingUnit], mems: &'a mut [BankMemory]) -> Self {
+        let n = pus.len();
+        PuDriver {
+            pus,
+            mems,
+            exited: vec![false; n],
+            live: n,
+            parked: matches!(tier, EngineTier::Event).then(|| vec![NOT_PARKED; n]),
+        }
+    }
+
+    /// Run every unit's free prelude (control/compute instructions before
+    /// the first memory slot) and record prelude exits.
+    fn prelude(&mut self) {
+        for b in 0..self.pus.len() {
+            self.pus[b].run_free(&mut self.mems[b]);
+            if self.pus[b].exited() {
+                self.exited[b] = true;
+                self.live -= 1;
+            } else if let Some(parked) = &mut self.parked {
+                parked[b] = self.pus[b].parked_memory_slot().unwrap_or(NOT_PARKED);
+            }
+        }
+    }
+
+    /// Offer the command at `slot` to bank `b` and return its report.
+    /// Updates the consumed-offer exit flags; exit-*round* bookkeeping
+    /// stays with the caller (the two exec modes time-stamp it
+    /// differently).
+    fn step(&mut self, b: usize, slot: usize) -> StepReport {
+        let Some(parked) = &mut self.parked else {
+            let rep = self.pus[b].on_command(slot, &mut self.mems[b]);
+            if !self.exited[b] && self.pus[b].exited() {
+                self.exited[b] = true;
+                self.live -= 1;
+            }
+            return rep;
+        };
+        if self.exited[b] {
+            // Post-exit offers on the tick path still run the interpreter
+            // far enough to count a predication; reproduce the count.
+            self.pus[b].note_predicated_off(1);
+            return StepReport {
+                executed: false,
+                pu_cycles: 0,
+                outcome: StepOutcome::Exited,
+            };
+        }
+        let m = parked[b];
+        if m != NOT_PARKED && m != slot {
+            // Parked unit, foreign slot: a pure predication (see
+            // `parked_memory_slot`); the interpreter would change nothing
+            // but this counter.
+            self.pus[b].note_predicated_off(1);
+            return StepReport {
+                executed: false,
+                pu_cycles: 0,
+                outcome: StepOutcome::OutOfPhase,
+            };
+        }
+        let rep = self.pus[b].on_command_fast(slot, &mut self.mems[b]);
+        if self.pus[b].exited() {
+            self.exited[b] = true;
+            self.live -= 1;
+        } else {
+            parked[b] = self.pus[b].parked_memory_slot().unwrap_or(NOT_PARKED);
+        }
+        rep
+    }
+}
+
 /// Replay channel `ch` of the kernel to completion over this channel's
 /// banks. `pus`/`mems` are the channel's slice of the cube (bank `i` of
 /// the channel at index `i`); no state outside the slices is touched, so
@@ -335,12 +521,13 @@ fn run_channel_allbank(
 ) -> Result<ChannelOutcome, CoreError> {
     let cfg = ctx.cfg;
     let program = ctx.program;
-    let mut channel = Channel::new(&cfg.hbm);
+    let mut channel = Issuer::new(cfg);
     let mut trace = TraceBuf::new(cfg);
     let mut checker = make_checker(cfg, ch);
     let row_bytes = cfg.hbm.row_bytes();
     let col_bytes = cfg.hbm.col_bytes;
     let nbanks = pus.len();
+    let mut driver = PuDriver::new(cfg.tier, pus, mems);
     let mut attr = cfg
         .attribute
         .then(|| Attr::new(ch, nbanks, cfg.event_limit));
@@ -363,12 +550,10 @@ fn run_channel_allbank(
         .issue_cycle;
     }
     if let Some(a) = attr.as_mut() {
-        a.span_all(now, Category::Setup, pus);
+        a.span_all(now, Category::Setup, &driver.exited);
     }
 
-    for b in 0..nbanks {
-        pus[b].run_free(&mut mems[b]);
-    }
+    driver.prelude();
 
     let t_refi = cfg.hbm.timing.t_refi;
     let mut next_refresh = now + t_refi;
@@ -389,7 +574,7 @@ fn run_channel_allbank(
     let mut pu_free: u64 = 0;
 
     'outer: loop {
-        if pus.iter().all(ProcessingUnit::exited) {
+        if driver.live == 0 {
             break;
         }
         rounds += 1;
@@ -428,7 +613,7 @@ fn run_channel_allbank(
                 .issue_cycle;
                 next_refresh = now + t_refi;
                 if let Some(a) = attr.as_mut() {
-                    a.span_all(now, Category::RefreshShadow, pus);
+                    a.span_all(now, Category::RefreshShadow, &driver.exited);
                 }
             }
             let ins = &program[slot];
@@ -439,9 +624,9 @@ fn run_channel_allbank(
             // Engine-side open-row bookkeeping uses the first bank's
             // layout; all banks allocate regions identically (equal
             // rows/bank).
-            let region = mems[0].region(region_id);
-            let byte_off = cursors[slot] * elem_bytes;
-            let want_row = region.start_row() + (byte_off / row_bytes) as u32;
+            let start_row = driver.mems[0].region(region_id).start_row();
+            let (want_row, col) =
+                decode_slot_addr(start_row, cursors[slot], elem_bytes, row_bytes, col_bytes)?;
             if open_row != Some(want_row) {
                 if open_row.is_some() {
                     now = issue_traced(
@@ -469,10 +654,9 @@ fn run_channel_allbank(
                 .issue_cycle;
                 open_row = Some(want_row);
                 if let Some(a) = attr.as_mut() {
-                    a.span_all(now, Category::RowSwitchWait, pus);
+                    a.span_all(now, Category::RowSwitchWait, &driver.exited);
                 }
             }
-            let col = ((byte_off % row_bytes) / col_bytes) as u32;
             let kind = if ins.writes_bank() {
                 CmdKind::Wr { col }
             } else {
@@ -495,11 +679,11 @@ fn run_channel_allbank(
                 step_buf.clear();
             }
             for b in 0..nbanks {
-                let was_exited = pus[b].exited();
-                let rep = pus[b].on_command(slot, &mut mems[b]);
+                let was_exited = driver.exited[b];
+                let rep = driver.step(b, slot);
                 max_busy = max_busy.max(rep.pu_cycles);
-                if !was_exited && pus[b].exited() {
-                    pus[b].mark_exit_round(rounds);
+                if !was_exited && driver.exited[b] {
+                    driver.pus[b].mark_exit_round(rounds);
                 }
                 if attr.is_some() {
                     step_buf.push(rep);
@@ -515,7 +699,7 @@ fn run_channel_allbank(
                 a.data_all(issued.issue_cycle, now, &step_buf, rounds, slot);
             }
 
-            if pus.iter().all(ProcessingUnit::exited) {
+            if driver.live == 0 {
                 break 'outer;
             }
         }
@@ -539,12 +723,12 @@ fn run_channel_allbank(
         .map_err(|e| CoreError::Execution(e.to_string()))?
         .issue_cycle;
         if let Some(a) = attr.as_mut() {
-            a.span_all(now, Category::HostSync, pus);
+            a.span_all(now, Category::HostSync, &driver.exited);
         }
     }
     // PUs that exited during the free prelude never went through the
     // in-round exit bookkeeping; mark_exit_round is idempotent.
-    for pu in pus.iter_mut() {
+    for pu in driver.pus.iter_mut() {
         if pu.exited() {
             pu.mark_exit_round(rounds);
         }
@@ -579,7 +763,7 @@ fn run_channel_allbank(
     if let Some(a) = attr.as_mut() {
         // Teardown precharge + SB switch: bus does setup work, every PU
         // (all exited by now) idles post-CEXIT via span_all.
-        a.span_all(now, Category::Setup, pus);
+        a.span_all(now, Category::Setup, &driver.exited);
     }
     let (metrics, stall_events, stall_events_dropped) = finish_attr(attr, now);
     Ok(ChannelOutcome {
@@ -614,13 +798,14 @@ fn run_channel_perbank(
     let cfg = ctx.cfg;
     let program = ctx.program;
     let schedule = ctx.schedule;
-    let mut channel = Channel::new(&cfg.hbm);
+    let mut channel = Issuer::new(cfg);
     let mut trace = TraceBuf::new(cfg);
     let mut checker = make_checker(cfg, ch);
     let row_bytes = cfg.hbm.row_bytes();
     let col_bytes = cfg.hbm.col_bytes;
     let nbanks = pus.len();
     let banks_per_group = cfg.hbm.banks_per_group;
+    let mut driver = PuDriver::new(cfg.tier, pus, mems);
     let mut attr = cfg
         .attribute
         .then(|| Attr::new(ch, nbanks, cfg.event_limit));
@@ -647,7 +832,7 @@ fn run_channel_perbank(
         .issue_cycle;
     }
     if let Some(a) = attr.as_mut() {
-        a.span_all(now, Category::Setup, pus);
+        a.span_all(now, Category::Setup, &driver.exited);
     }
 
     let init_cursors: Vec<usize> = (0..program.len())
@@ -670,9 +855,7 @@ fn run_channel_perbank(
             pu_free: 0,
         })
         .collect();
-    for b in 0..nbanks {
-        pus[b].run_free(&mut mems[b]);
-    }
+    driver.prelude();
 
     let t_refi = cfg.hbm.timing.t_refi;
     let mut next_refresh = now + t_refi;
@@ -725,7 +908,7 @@ fn run_channel_perbank(
             if let Some(a) = attr.as_mut() {
                 a.bus_span(floor, Category::RefreshShadow);
                 for (i, ctl) in ctls.iter().enumerate() {
-                    let c = if pus[i].exited() {
+                    let c = if driver.exited[i] {
                         Category::PostExitIdle
                     } else {
                         Category::RefreshShadow
@@ -735,12 +918,11 @@ fn run_channel_perbank(
             }
         }
         let mut any_active = false;
-        for i in 0..nbanks {
-            if pus[i].exited() {
+        for (i, ctl) in ctls.iter_mut().enumerate() {
+            if driver.exited[i] {
                 continue;
             }
             any_active = true;
-            let ctl = &mut ctls[i];
             if ctl.rounds > cfg.max_rounds {
                 return Err(CoreError::Execution(format!(
                     "per-bank kernel exceeded {} rounds",
@@ -753,9 +935,14 @@ fn run_channel_perbank(
             let region_id = binding.region;
             let (elem_bytes, natural) = slot_advance(ins);
             let advance = binding.stride.unwrap_or(natural);
-            let region = mems[i].region(region_id);
-            let byte_off = ctl.cursors[slot] * elem_bytes;
-            let want_row = region.start_row() + (byte_off / row_bytes) as u32;
+            let start_row = driver.mems[i].region(region_id).start_row();
+            let (want_row, col) = decode_slot_addr(
+                start_row,
+                ctl.cursors[slot],
+                elem_bytes,
+                row_bytes,
+                col_bytes,
+            )?;
             let scope = Scope::OneBank {
                 bg: i / banks_per_group,
                 ba: i % banks_per_group,
@@ -794,7 +981,6 @@ fn run_channel_perbank(
                 ctl.open_row = Some(want_row);
                 switched_at = Some(t);
             }
-            let col = ((byte_off % row_bytes) / col_bytes) as u32;
             let kind = if ins.writes_bank() {
                 CmdKind::Wr { col }
             } else {
@@ -804,7 +990,7 @@ fn run_channel_perbank(
                 .map_err(|e| CoreError::Execution(e.to_string()))?;
             floor = floor.max(issued.issue_cycle);
 
-            let rep = pus[i].on_command(slot, &mut mems[i]);
+            let rep = driver.step(i, slot);
             ctl.pu_free =
                 ctl.pu_free.max(issued.data_cycle) + rep.pu_cycles * DRAM_CYCLES_PER_PU_CYCLE;
             ctl.ready = issued.issue_cycle.max(ctl.pu_free.saturating_sub(pipeline));
@@ -830,8 +1016,8 @@ fn run_channel_perbank(
                 ctl.rounds += 1;
                 max_rounds = max_rounds.max(ctl.rounds);
             }
-            if pus[i].exited() {
-                pus[i].mark_exit_round(ctl.rounds);
+            if driver.exited[i] {
+                driver.pus[i].mark_exit_round(ctl.rounds);
             }
         }
         if !any_active {
@@ -841,7 +1027,7 @@ fn run_channel_perbank(
     // PUs that exited during the free prelude were skipped by the issue
     // loop and never recorded an exit round; mark_exit_round is
     // idempotent.
-    for (pu, ctl) in pus.iter_mut().zip(ctls.iter()) {
+    for (pu, ctl) in driver.pus.iter_mut().zip(ctls.iter()) {
         if pu.exited() {
             pu.mark_exit_round(ctl.rounds);
         }

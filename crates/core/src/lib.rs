@@ -41,7 +41,9 @@ pub mod pu;
 pub mod stats;
 pub mod trace;
 
-pub use engine::{Engine, EngineConfig, ExecMode, RunReport, TraceEvent};
+pub use engine::{
+    take_engine_wall_s, Engine, EngineConfig, EngineTier, ExecMode, RunReport, TraceEvent,
+};
 pub use error::CoreError;
 pub use host::{ExternalBus, HostController};
 pub use memory::{BankMemory, Region, RegionId};

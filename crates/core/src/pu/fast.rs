@@ -1,0 +1,945 @@
+//! Alloc-free PU stepping for the event-driven engine tier.
+//!
+//! [`ProcessingUnit::on_command`] allocates on most accepted offers (gather
+//! buffers, dense-operand clones, merge windows) — cheap individually,
+//! dominant in aggregate: an all-bank command steps 16 PUs, so one IndMOV
+//! broadcast costs ~32 malloc/free pairs on the tick path. This module is
+//! the same interpreter with every per-step heap allocation replaced by a
+//! stack buffer or an in-place register update.
+//!
+//! Equivalence contract: every arm either **delegates** to the tick
+//! interpreter (instructions that never allocated) or reproduces its exact
+//! floating-point operation order, quantization points, stats increments
+//! and queue effects. Inputs wider than the stack buffers fall back to the
+//! tick arm rather than truncating. The contract is enforced three ways:
+//! the differential tests below, the engine-level tick-vs-event report
+//! equality tests, and the `psim_fastpath` golden-trace gate in CI.
+
+use super::{ExecOutcome, ProcessingUnit, StepOutcome, StepReport};
+use crate::isa::{Instruction, Operand};
+use crate::memory::{BankMemory, SENTINEL};
+
+/// Stack-buffer width in elements. The widest precision runs 16 lanes
+/// (32 B / 2 B), so 32 covers every real program; anything wider falls
+/// back to the tick interpreter.
+const BUF: usize = 32;
+
+fn drf_idx(op: Operand) -> usize {
+    // Mirrors `drf_of`/`drf_of_mut`: non-DRF operands alias register 0.
+    match op {
+        Operand::Drf(i) => i as usize,
+        _ => 0,
+    }
+}
+
+impl ProcessingUnit {
+    /// Account post-exit offers the event tier synthesizes instead of
+    /// stepping the interpreter: the tick path increments
+    /// `predicated_off` once per command offered to an exited unit.
+    pub(crate) fn note_predicated_off(&mut self, n: u64) {
+        self.stats.predicated_off += n;
+    }
+
+    /// The memory slot this unit is parked at, if any.
+    ///
+    /// After [`ProcessingUnit::run_free`] or any `on_command` return, a
+    /// live unit's `pc` always rests on a memory instruction (free
+    /// instructions run to quiescence inside those calls). Offering any
+    /// *other* slot to a parked unit is a pure predication: the tick
+    /// interpreter bumps `predicated_off` and returns
+    /// `{executed: false, pu_cycles: 0, OutOfPhase}` without touching
+    /// state — so the event tier synthesizes that report directly and
+    /// only steps the interpreter when the schedule reaches this slot.
+    /// Returns `None` for an exited unit or (defensively) a `pc` not on a
+    /// memory instruction, forcing the caller back to the interpreter.
+    pub(crate) fn parked_memory_slot(&self) -> Option<usize> {
+        if self.exited {
+            return None;
+        }
+        let prog = self.program.as_ref()?;
+        let ins = prog.get(self.pc)?;
+        ins.is_memory().then_some(self.pc)
+    }
+
+    /// [`ProcessingUnit::on_command`] with the alloc-free instruction
+    /// arms. Same skeleton, same reports, same stats.
+    pub(crate) fn on_command_fast(&mut self, slot: usize, mem: &mut BankMemory) -> StepReport {
+        assert!(self.program.is_some(), "no kernel loaded");
+        if self.exited {
+            self.stats.predicated_off += 1;
+            return StepReport {
+                executed: false,
+                pu_cycles: 0,
+                outcome: StepOutcome::Exited,
+            };
+        }
+        let mut cycles = 0u64;
+        for _ in 0..4 * crate::isa::Program::len_limit() {
+            let prog = self.program.as_ref().expect("checked above");
+            if self.pc >= prog.len() {
+                self.exited = true;
+                break;
+            }
+            let ins = *prog.get(self.pc).expect("bounds checked");
+            if ins.is_memory() {
+                if self.pc != slot {
+                    self.stats.predicated_off += 1;
+                    return StepReport {
+                        executed: false,
+                        pu_cycles: cycles,
+                        outcome: StepOutcome::OutOfPhase,
+                    };
+                }
+                return match self.exec_memory_fast(&ins, slot, mem) {
+                    outcome @ (ExecOutcome::Done(_) | ExecOutcome::DoneEmpty(_)) => {
+                        let (c, step) = match outcome {
+                            ExecOutcome::Done(c) => (c, StepOutcome::Executed),
+                            ExecOutcome::DoneEmpty(c) => (c, StepOutcome::ExecutedEmpty),
+                            ExecOutcome::Stall => unreachable!("matched above"),
+                        };
+                        self.pc += 1;
+                        self.stats.instructions += 1;
+                        self.stats.mem_ops += 1;
+                        let total = cycles + c;
+                        self.stats.busy_cycles += total;
+                        StepReport {
+                            executed: true,
+                            pu_cycles: total,
+                            outcome: step,
+                        }
+                    }
+                    ExecOutcome::Stall => {
+                        self.stats.predicated_off += 1;
+                        self.stats.busy_cycles += cycles;
+                        StepReport {
+                            executed: false,
+                            pu_cycles: cycles,
+                            outcome: StepOutcome::QueueFull,
+                        }
+                    }
+                };
+            }
+            match self.exec_free_fast(&ins) {
+                ExecOutcome::Done(c) | ExecOutcome::DoneEmpty(c) => {
+                    cycles += c;
+                    self.stats.instructions += 1;
+                    if self.exited {
+                        break;
+                    }
+                }
+                ExecOutcome::Stall => {
+                    self.stats.predicated_off += 1;
+                    self.stats.busy_cycles += cycles;
+                    return StepReport {
+                        executed: false,
+                        pu_cycles: cycles,
+                        outcome: StepOutcome::QueueFull,
+                    };
+                }
+            }
+        }
+        self.stats.busy_cycles += cycles;
+        StepReport {
+            executed: false,
+            pu_cycles: cycles,
+            outcome: if self.exited {
+                StepOutcome::Exited
+            } else {
+                StepOutcome::OutOfPhase
+            },
+        }
+    }
+
+    fn exec_free_fast(&mut self, ins: &Instruction) -> ExecOutcome {
+        match *ins {
+            Instruction::Dmov {
+                dst,
+                src,
+                precision,
+            } => {
+                let lanes = precision.lanes();
+                match (dst, src) {
+                    (Operand::Drf(d), Operand::Drf(s)) => {
+                        let (d, s) = (d as usize, s as usize);
+                        if d != s {
+                            let (lo, hi) = self.drf.split_at_mut(d.max(s));
+                            let (dv, sv) = if d < s {
+                                (&mut lo[d], &hi[0])
+                            } else {
+                                (&mut hi[0], &lo[s])
+                            };
+                            dv.clone_from(sv);
+                        }
+                    }
+                    (Operand::Drf(d), Operand::Srf) => {
+                        let v = self.srf;
+                        let dv = &mut self.drf[d as usize];
+                        dv.clear();
+                        dv.resize(lanes, v);
+                    }
+                    (Operand::Srf, Operand::Drf(s)) => {
+                        self.srf = self.drf[s as usize].first().copied().unwrap_or(0.0);
+                    }
+                    _ => {}
+                }
+                self.pc += 1;
+                ExecOutcome::Done(1)
+            }
+            Instruction::Sdv {
+                dst,
+                src,
+                op,
+                precision,
+            } => {
+                let (d, s) = (drf_idx(dst), drf_idx(src));
+                let srf = self.srf;
+                let k = self.drf[s].len();
+                if d == s {
+                    for i in 0..k {
+                        let v = self.drf[s][i];
+                        self.drf[s][i] = precision.quantize(op.apply(v, srf));
+                    }
+                } else {
+                    self.drf[d].truncate(k);
+                    self.drf[d].resize(k, 0.0);
+                    for i in 0..k {
+                        let v = precision.quantize(op.apply(self.drf[s][i], srf));
+                        self.drf[d][i] = v;
+                    }
+                }
+                self.stats.lane_ops += k as u64;
+                self.pc += 1;
+                ExecOutcome::Done(1)
+            }
+            Instruction::Dvdv {
+                dst,
+                src0,
+                src1,
+                op,
+                precision,
+            } => {
+                let (d, s0, s1) = (drf_idx(dst), drf_idx(src0), drf_idx(src1));
+                let k = self.drf[s0].len().max(self.drf[s1].len());
+                if k > BUF {
+                    return self.exec_free(ins);
+                }
+                let mut buf = [0.0f64; BUF];
+                for (i, out) in buf.iter_mut().enumerate().take(k) {
+                    let a = self.drf[s0].get(i).copied().unwrap_or(0.0);
+                    let b = self.drf[s1].get(i).copied().unwrap_or(0.0);
+                    *out = precision.quantize(op.apply(a, b));
+                }
+                let dv = &mut self.drf[d];
+                dv.clear();
+                dv.extend_from_slice(&buf[..k]);
+                self.stats.lane_ops += k as u64;
+                self.pc += 1;
+                ExecOutcome::Done(1)
+            }
+            Instruction::SpVdv {
+                dst,
+                src0,
+                src1,
+                op,
+                precision,
+                ..
+            } => {
+                let (Operand::SpVq(d), Operand::SpVq(s)) = (dst, src0) else {
+                    self.pc += 1;
+                    return ExecOutcome::Done(1);
+                };
+                let lanes = precision.lanes();
+                if lanes > BUF {
+                    return self.exec_free(ins);
+                }
+                let elem_bytes = precision.bytes();
+                let k = self.queues[s as usize].len().min(lanes);
+                if k > 0 && !self.queues[d as usize].can_push(k, elem_bytes) {
+                    return ExecOutcome::Stall;
+                }
+                // The dense operand, with the tick arm's out-of-range
+                // default of 0.0 preserved via `dlen`.
+                let mut dense = [0.0f64; BUF];
+                let dlen = match src1 {
+                    Operand::Drf(i) => {
+                        let dv = &self.drf[i as usize];
+                        if dv.len() > BUF {
+                            return self.exec_free(ins);
+                        }
+                        dense[..dv.len()].copy_from_slice(dv);
+                        dv.len()
+                    }
+                    Operand::Srf => {
+                        dense[..lanes].fill(self.srf);
+                        lanes
+                    }
+                    _ => lanes,
+                };
+                for (i, &dval) in dense.iter().enumerate().take(k) {
+                    let (r, c, v) = self.queues[s as usize].pop().expect("len checked");
+                    if r == SENTINEL || c == SENTINEL {
+                        continue;
+                    }
+                    let b = if i < dlen { dval } else { 0.0 };
+                    let nv = precision.quantize(op.apply(v, b));
+                    self.queues[d as usize].push(r, c, nv);
+                }
+                self.stats.lane_ops += k as u64;
+                self.pc += 1;
+                ExecOutcome::Done(1)
+            }
+            Instruction::SpVSpv {
+                dst,
+                src0,
+                src1,
+                op,
+                set,
+                precision,
+            } => {
+                use crate::isa::SetMode;
+                let (Operand::SpVq(d), Operand::SpVq(a), Operand::SpVq(b)) = (dst, src0, src1)
+                else {
+                    self.pc += 1;
+                    return ExecOutcome::Done(1);
+                };
+                let lanes = precision.lanes();
+                if lanes > BUF {
+                    return self.exec_free(ins);
+                }
+                let elem_bytes = precision.bytes();
+                let ka = self.queues[a as usize].len().min(lanes);
+                let kb = self.queues[b as usize].len().min(lanes);
+                if (ka + kb > 0) && !self.queues[d as usize].can_push(ka + kb, elem_bytes) {
+                    return ExecOutcome::Stall;
+                }
+                // Pop the windows, dropping sentinel padding as we go (the
+                // tick arm pops into Vecs then retains — same order).
+                let mut wa = [(0.0f64, 0.0f64, 0.0f64); BUF];
+                let mut na = 0usize;
+                for _ in 0..ka {
+                    let (r, c, v) = self.queues[a as usize].pop().expect("len checked");
+                    if r != SENTINEL && c != SENTINEL {
+                        wa[na] = (r, c, v);
+                        na += 1;
+                    }
+                }
+                let mut wb = [(0.0f64, 0.0f64, 0.0f64); BUF];
+                let mut nb = 0usize;
+                for _ in 0..kb {
+                    let (r, c, v) = self.queues[b as usize].pop().expect("len checked");
+                    if r != SENTINEL && c != SENTINEL {
+                        wb[nb] = (r, c, v);
+                        nb += 1;
+                    }
+                }
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < na || j < nb {
+                    match (wa[..na].get(i), wb[..nb].get(j)) {
+                        (Some(&(ra, ca, va)), Some(&(rb, cb, vb))) => {
+                            use std::cmp::Ordering;
+                            let key_a = (ra, ca);
+                            let key_b = (rb, cb);
+                            match key_a.partial_cmp(&key_b).unwrap_or(Ordering::Equal) {
+                                Ordering::Equal => {
+                                    self.queues[d as usize].push(
+                                        ra,
+                                        ca,
+                                        precision.quantize(op.apply(va, vb)),
+                                    );
+                                    i += 1;
+                                    j += 1;
+                                }
+                                Ordering::Less => {
+                                    if set == SetMode::Union {
+                                        self.queues[d as usize].push(
+                                            ra,
+                                            ca,
+                                            precision.quantize(op.apply(va, op.identity())),
+                                        );
+                                    }
+                                    i += 1;
+                                }
+                                Ordering::Greater => {
+                                    if set == SetMode::Union {
+                                        self.queues[d as usize].push(
+                                            rb,
+                                            cb,
+                                            precision.quantize(op.apply(op.identity(), vb)),
+                                        );
+                                    }
+                                    j += 1;
+                                }
+                            }
+                        }
+                        (Some(&(ra, ca, va)), None) => {
+                            if set == SetMode::Union {
+                                self.queues[d as usize].push(ra, ca, precision.quantize(va));
+                            }
+                            i += 1;
+                        }
+                        (None, Some(&(rb, cb, vb))) => {
+                            if set == SetMode::Union {
+                                self.queues[d as usize].push(rb, cb, precision.quantize(vb));
+                            }
+                            j += 1;
+                        }
+                        (None, None) => break,
+                    }
+                }
+                self.stats.lane_ops += (ka + kb) as u64;
+                self.pc += 1;
+                ExecOutcome::Done(1)
+            }
+            // Nop/Exit/CExit/Jump/SSpv/Reduce never allocate — run the
+            // tick arm directly.
+            _ => self.exec_free(ins),
+        }
+    }
+
+    fn exec_memory_fast(
+        &mut self,
+        ins: &Instruction,
+        slot: usize,
+        mem: &mut BankMemory,
+    ) -> ExecOutcome {
+        let binding = self.bindings[slot].expect("validated at load_kernel");
+        let region = binding.region;
+        match *ins {
+            Instruction::Dmov {
+                dst,
+                src,
+                precision,
+            } => {
+                let lanes = precision.lanes();
+                let cur = self.cursors[slot];
+                match (dst, src) {
+                    (Operand::Drf(d), Operand::Bank) => {
+                        let r = mem.region(region);
+                        let dv = &mut self.drf[d as usize];
+                        dv.clear();
+                        for i in 0..lanes {
+                            dv.push(r.get(cur + i));
+                        }
+                        self.cursors[slot] += binding.stride.unwrap_or(lanes);
+                    }
+                    (Operand::Srf, Operand::Bank) => {
+                        self.srf = mem.region(region).get(cur);
+                        self.cursors[slot] += binding.stride.unwrap_or(1);
+                    }
+                    (Operand::Bank, Operand::Drf(d)) => {
+                        let r = mem.region_mut(region);
+                        for (i, v) in self.drf[d as usize].iter().enumerate().take(lanes) {
+                            r.set(cur + i, precision.quantize(*v));
+                        }
+                        self.cursors[slot] += binding.stride.unwrap_or(lanes);
+                    }
+                    (Operand::Bank, Operand::Srf) => {
+                        mem.region_mut(region)
+                            .set(cur, precision.quantize(self.srf));
+                        self.cursors[slot] += binding.stride.unwrap_or(1);
+                    }
+                    _ => unreachable!("non-bank DMOV routed to exec_free"),
+                }
+                ExecOutcome::Done(1)
+            }
+            Instruction::IndMov {
+                dst,
+                idx_queue,
+                precision,
+            } => {
+                let lanes = precision.lanes();
+                if lanes > BUF {
+                    return self.exec_memory(ins, slot, mem);
+                }
+                let q = &self.queues[idx_queue as usize];
+                let mut cols = [0.0f64; BUF];
+                let k = q.peek_cols_into(lanes, &mut cols);
+                let r = mem.region(region);
+                match dst {
+                    Operand::Drf(d) => {
+                        let dv = &mut self.drf[d as usize];
+                        dv.clear();
+                        for &c in &cols[..k] {
+                            dv.push(if c == SENTINEL {
+                                0.0
+                            } else {
+                                r.get(c as usize)
+                            });
+                        }
+                    }
+                    Operand::Srf => {
+                        self.srf = if k == 0 || cols[0] == SENTINEL {
+                            0.0
+                        } else {
+                            r.get(cols[0] as usize)
+                        };
+                    }
+                    _ => {}
+                }
+                let k = k as u64;
+                self.stats.lane_ops += k;
+                if k == 0 {
+                    ExecOutcome::DoneEmpty(1)
+                } else {
+                    ExecOutcome::Done(k)
+                }
+            }
+            Instruction::SpVdv {
+                dst: Operand::SpVq(d),
+                src0: Operand::SpVq(s),
+                src1: Operand::Bank,
+                op,
+                precision,
+                ..
+            } => {
+                let lanes = precision.lanes();
+                if lanes > BUF {
+                    return self.exec_memory(ins, slot, mem);
+                }
+                let elem_bytes = precision.bytes();
+                let k = self.queues[s as usize].len().min(lanes);
+                if k > 0 && !self.queues[d as usize].can_push(k, elem_bytes) {
+                    return ExecOutcome::Stall;
+                }
+                let cur = self.cursors[slot];
+                let mut dense = [0.0f64; BUF];
+                {
+                    let r = mem.region(region);
+                    for (i, dv) in dense.iter_mut().enumerate().take(k) {
+                        *dv = r.get(cur + i);
+                    }
+                }
+                self.cursors[slot] += binding.stride.unwrap_or(lanes);
+                for &b in &dense[..k] {
+                    let (r, c, v) = self.queues[s as usize].pop().expect("len checked");
+                    if r == SENTINEL || c == SENTINEL {
+                        continue;
+                    }
+                    self.queues[d as usize].push(r, c, precision.quantize(op.apply(v, b)));
+                }
+                self.stats.lane_ops += k as u64;
+                if k == 0 {
+                    ExecOutcome::DoneEmpty(2)
+                } else {
+                    ExecOutcome::Done(2)
+                }
+            }
+            // SpMOV, SpFW, GthSct and the scatter-accumulate SpVDV never
+            // allocate per step — run the tick arms directly.
+            _ => self.exec_memory(ins, slot, mem),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{BinaryOp, Identity, Program, SetMode, SubQueue};
+    use crate::memory::Binding;
+    use psim_sparse::Precision;
+
+    /// Drive the same offer stream through a tick PU and a fast PU over
+    /// identical memories; every report and the complete final state
+    /// (registers, queues, cursors, stats — `ProcessingUnit` derives
+    /// `PartialEq`) must agree.
+    fn differential(
+        program: Program,
+        bindings: Vec<Option<Binding>>,
+        setup: impl Fn(&mut BankMemory),
+        srf: Option<f64>,
+        offers: usize,
+    ) {
+        let schedule = program.command_schedule().expect("schedulable");
+        let row_bytes = 1024;
+        let mut mem_a = BankMemory::new(row_bytes);
+        setup(&mut mem_a);
+        let mut mem_b = BankMemory::new(row_bytes);
+        setup(&mut mem_b);
+        let mut tick = ProcessingUnit::new();
+        tick.load_kernel(program.clone(), bindings.clone())
+            .expect("load");
+        let mut fast = ProcessingUnit::new();
+        fast.load_kernel(program, bindings).expect("load");
+        if let Some(v) = srf {
+            tick.set_srf(v);
+            fast.set_srf(v);
+        }
+        tick.run_free(&mut mem_a);
+        fast.run_free(&mut mem_b);
+        assert_eq!(tick, fast, "after free prelude");
+        let mut idx = 0usize;
+        for n in 0..offers {
+            let slot = schedule[idx];
+            idx = (idx + 1) % schedule.len();
+            let ra = tick.on_command(slot, &mut mem_a);
+            let rb = fast.on_command_fast(slot, &mut mem_b);
+            assert_eq!(ra, rb, "offer {n} slot {slot}");
+            assert_eq!(tick, fast, "state after offer {n} slot {slot}");
+            if tick.exited() {
+                break;
+            }
+        }
+        assert_eq!(mem_a, mem_b, "final memories");
+    }
+
+    fn region_with(mem: &mut BankMemory, name: &str, data: &[f64]) -> crate::memory::RegionId {
+        mem.alloc(name, 8, data.to_vec())
+    }
+
+    #[test]
+    fn sparse_stream_matches_tick() {
+        // The SpMV inner loop: SPMOV row/col/val, INDMOV gather, SpVDV
+        // against a dense register, SpVDV accumulate into the bank,
+        // CEXIT + JUMP — every alloc-heavy memory arm in one program.
+        use Instruction as I;
+        let program = Program::new(vec![
+            I::SpMov {
+                dst: Operand::SpVq(0),
+                src: Operand::Bank,
+                sub: SubQueue::Row,
+                precision: Precision::Fp64,
+            },
+            I::SpMov {
+                dst: Operand::SpVq(0),
+                src: Operand::Bank,
+                sub: SubQueue::Col,
+                precision: Precision::Fp64,
+            },
+            I::SpMov {
+                dst: Operand::SpVq(0),
+                src: Operand::Bank,
+                sub: SubQueue::Val,
+                precision: Precision::Fp64,
+            },
+            I::IndMov {
+                dst: Operand::Drf(2),
+                idx_queue: 0,
+                precision: Precision::Fp64,
+            },
+            I::SpVdv {
+                dst: Operand::SpVq(1),
+                src0: Operand::SpVq(0),
+                src1: Operand::Drf(2),
+                op: BinaryOp::Mul,
+                set: SetMode::Intersection,
+                precision: Precision::Fp64,
+            },
+            I::SpVdv {
+                dst: Operand::Bank,
+                src0: Operand::SpVq(1),
+                src1: Operand::Bank,
+                op: BinaryOp::Add,
+                set: SetMode::Union,
+                precision: Precision::Fp64,
+            },
+            I::CExit { queue: 0 },
+            I::Jump {
+                target: 0,
+                order: 0,
+                count: 0,
+            },
+        ])
+        .expect("valid");
+        let s = crate::memory::SENTINEL;
+        let rows = [0.0, 1.0, 2.0, 3.0, s, s, s, s];
+        let cols = [0.0, 1.0, 2.0, 0.0, s, s, s, s];
+        let vals = [2.0, 3.0, 4.0, 5.0, 0.0, 0.0, 0.0, 0.0];
+        let differential_setup = move |mem: &mut BankMemory| {
+            let mut triples = Vec::new();
+            triples.extend_from_slice(&rows[..4]);
+            triples.extend_from_slice(&cols[..4]);
+            triples.extend_from_slice(&vals[..4]);
+            triples.extend_from_slice(&rows[4..]);
+            triples.extend_from_slice(&cols[4..]);
+            triples.extend_from_slice(&vals[4..]);
+            let t = region_with(mem, "triples", &triples);
+            let x = region_with(mem, "x", &[1.0, 10.0, 100.0, 1000.0]);
+            let y = region_with(mem, "y", &[0.0; 8]);
+            assert_eq!((t.0, x.0, y.0), (0, 1, 2));
+        };
+        let t = crate::memory::RegionId(0);
+        let x = crate::memory::RegionId(1);
+        let y = crate::memory::RegionId(2);
+        let bindings = vec![
+            Some(Binding::strided(t, 0, 12)),
+            Some(Binding::strided(t, 4, 12)),
+            Some(Binding::strided(t, 8, 12)),
+            Some(Binding::new(x)),
+            None,
+            Some(Binding::new(y)),
+            None,
+            None,
+        ];
+        differential(program, bindings, differential_setup, None, 64);
+    }
+
+    #[test]
+    fn blas1_register_ops_match_tick() {
+        // DMOV bank<->DRF, SDV, DVDV, REDUCE and a counted JUMP: the
+        // dense BLAS-1 shapes (AXPY/DOT) plus the register-move arms.
+        use Instruction as I;
+        let program = Program::new(vec![
+            I::Dmov {
+                dst: Operand::Drf(0),
+                src: Operand::Bank,
+                precision: Precision::Fp64,
+            },
+            I::Dmov {
+                dst: Operand::Drf(1),
+                src: Operand::Bank,
+                precision: Precision::Fp64,
+            },
+            I::Sdv {
+                dst: Operand::Drf(0),
+                src: Operand::Drf(0),
+                op: BinaryOp::Mul,
+                precision: Precision::Fp64,
+            },
+            I::Dvdv {
+                dst: Operand::Drf(1),
+                src0: Operand::Drf(0),
+                src1: Operand::Drf(1),
+                op: BinaryOp::Add,
+                precision: Precision::Fp64,
+            },
+            I::Dmov {
+                dst: Operand::Bank,
+                src: Operand::Drf(1),
+                precision: Precision::Fp64,
+            },
+            I::Dmov {
+                dst: Operand::Drf(2),
+                src: Operand::Srf,
+                precision: Precision::Fp64,
+            },
+            I::Reduce {
+                src: Operand::Drf(1),
+                op: BinaryOp::Add,
+                precision: Precision::Fp64,
+            },
+            I::Jump {
+                target: 0,
+                order: 1,
+                count: 3,
+            },
+            I::Exit,
+        ])
+        .expect("valid");
+        let setup = |mem: &mut BankMemory| {
+            let x = region_with(
+                mem,
+                "x",
+                &[
+                    1.5, -2.0, 3.25, 4.0, 0.5, 6.0, -7.5, 8.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0,
+                    8.0,
+                ],
+            );
+            let y = region_with(
+                mem,
+                "y",
+                &[
+                    0.5, 1.0, -1.0, 2.0, 3.0, -3.0, 4.0, 0.25, 9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0,
+                    2.0,
+                ],
+            );
+            assert_eq!((x.0, y.0), (0, 1));
+        };
+        let x = crate::memory::RegionId(0);
+        let y = crate::memory::RegionId(1);
+        let bindings = vec![
+            Some(Binding::new(x)),
+            Some(Binding::new(y)),
+            None,
+            None,
+            Some(Binding::new(y)),
+            None,
+            None,
+            None,
+            None,
+        ];
+        differential(program, bindings, setup, Some(1.25), 64);
+    }
+
+    #[test]
+    fn gather_scatter_and_spvspv_match_tick() {
+        use Instruction as I;
+        let program = Program::new(vec![
+            I::GthSct {
+                dst: Operand::SpVq(0),
+                src: Operand::Bank,
+                identity: Identity::Zero,
+                precision: Precision::Fp64,
+            },
+            I::GthSct {
+                dst: Operand::SpVq(1),
+                src: Operand::Bank,
+                identity: Identity::Zero,
+                precision: Precision::Fp64,
+            },
+            I::SpVSpv {
+                dst: Operand::SpVq(2),
+                src0: Operand::SpVq(0),
+                src1: Operand::SpVq(1),
+                op: BinaryOp::Add,
+                set: SetMode::Union,
+                precision: Precision::Fp64,
+            },
+            I::SpFw {
+                src: 2,
+                precision: Precision::Fp64,
+            },
+            I::CExit { queue: 0 },
+            I::Jump {
+                target: 0,
+                order: 0,
+                count: 0,
+            },
+        ])
+        .expect("valid");
+        let setup = |mem: &mut BankMemory| {
+            let a = region_with(mem, "a", &[0.0, 2.0, 0.0, 4.0, 5.0, 0.0, 0.0, 8.0]);
+            let b = region_with(mem, "b", &[1.0, 0.0, 3.0, 4.0, 0.0, 6.0, 0.0, 0.0]);
+            let out = region_with(mem, "out", &[0.0; 48]);
+            assert_eq!((a.0, b.0, out.0), (0, 1, 2));
+        };
+        let a = crate::memory::RegionId(0);
+        let b = crate::memory::RegionId(1);
+        let out = crate::memory::RegionId(2);
+        let bindings = vec![
+            Some(Binding::new(a)),
+            Some(Binding::new(b)),
+            None,
+            Some(Binding::new(out)),
+            None,
+            None,
+        ];
+        differential(program, bindings, setup, None, 64);
+    }
+}
+
+#[cfg(test)]
+mod bench {
+    // `cargo test -p psyncpim-core --release perf_probe -- --ignored --nocapture`
+    use super::super::*;
+    use crate::isa::{BinaryOp, Program, SetMode, SubQueue};
+    use crate::memory::{BankMemory, Binding};
+    use psim_sparse::Precision;
+
+    #[test]
+    #[ignore]
+    fn perf_probe() {
+        use crate::isa::{Instruction as I, Operand};
+        let program = Program::new(vec![
+            I::SpMov {
+                dst: Operand::SpVq(0),
+                src: Operand::Bank,
+                sub: SubQueue::Row,
+                precision: Precision::Fp64,
+            },
+            I::SpMov {
+                dst: Operand::SpVq(0),
+                src: Operand::Bank,
+                sub: SubQueue::Col,
+                precision: Precision::Fp64,
+            },
+            I::SpMov {
+                dst: Operand::SpVq(0),
+                src: Operand::Bank,
+                sub: SubQueue::Val,
+                precision: Precision::Fp64,
+            },
+            I::IndMov {
+                dst: Operand::Drf(2),
+                idx_queue: 0,
+                precision: Precision::Fp64,
+            },
+            I::SpVdv {
+                dst: Operand::SpVq(1),
+                src0: Operand::SpVq(0),
+                src1: Operand::Drf(2),
+                op: BinaryOp::Mul,
+                set: SetMode::Intersection,
+                precision: Precision::Fp64,
+            },
+            I::SpVdv {
+                dst: Operand::Bank,
+                src0: Operand::SpVq(1),
+                src1: Operand::Bank,
+                op: BinaryOp::Add,
+                set: SetMode::Union,
+                precision: Precision::Fp64,
+            },
+            I::CExit { queue: 0 },
+            I::Jump {
+                target: 0,
+                order: 0,
+                count: 0,
+            },
+        ])
+        .unwrap();
+        let schedule = program.command_schedule().unwrap();
+        let n = 200_000usize;
+        let mut mem = BankMemory::new(1024);
+        let mut triples = Vec::new();
+        for i in 0..n {
+            triples.push((i / 4) as f64);
+            triples.push((i % 977) as f64);
+            triples.push(1.0 + (i % 13) as f64);
+        }
+        // layout rows/cols/vals interleaved in groups of 4 per burst
+        let mut flat = Vec::new();
+        for c in triples.chunks(12) {
+            let k = c.len() / 3;
+            for j in 0..k {
+                flat.push(c[3 * j]);
+            }
+            flat.extend(std::iter::repeat_n(crate::memory::SENTINEL, 4 - k));
+            for j in 0..k {
+                flat.push(c[3 * j + 1]);
+            }
+            flat.extend(std::iter::repeat_n(crate::memory::SENTINEL, 4 - k));
+            for j in 0..k {
+                flat.push(c[3 * j + 2]);
+            }
+            flat.extend(std::iter::repeat_n(0.0, 4 - k));
+        }
+        let t = mem.alloc("triples", 8, flat);
+        let x = mem.alloc("x", 8, (0..1024).map(|i| i as f64).collect());
+        let y = mem.alloc("y", 8, vec![0.0; 4096]);
+        let bindings = vec![
+            Some(Binding::strided(t, 0, 12)),
+            Some(Binding::strided(t, 4, 12)),
+            Some(Binding::strided(t, 8, 12)),
+            Some(Binding::new(x)),
+            None,
+            Some(Binding::new(y)),
+            None,
+            None,
+        ];
+        for fast in [false, true] {
+            let mut pu = ProcessingUnit::new();
+            pu.load_kernel(program.clone(), bindings.clone()).unwrap();
+            let mut m = mem.clone();
+            pu.run_free(&mut m);
+            let t0 = std::time::Instant::now();
+            let mut offers = 0u64;
+            let mut idx = 0usize;
+            while !pu.exited() {
+                let slot = schedule[idx];
+                idx = (idx + 1) % schedule.len();
+                let _ = if fast {
+                    pu.on_command_fast(slot, &mut m)
+                } else {
+                    pu.on_command(slot, &mut m)
+                };
+                offers += 1;
+            }
+            let w = t0.elapsed().as_secs_f64();
+            println!(
+                "fast={fast}: {offers} offers in {w:.3}s = {:.1} ns/offer, instructions={}",
+                w * 1e9 / offers as f64,
+                pu.stats().instructions
+            );
+        }
+    }
+}

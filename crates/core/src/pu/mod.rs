@@ -14,6 +14,7 @@
 //! of §IV-E. A unit that has taken `CEXIT` ignores all further commands
 //! while the host keeps driving the remaining units (§IV-D).
 
+mod fast;
 mod queue;
 
 pub use queue::SpQueue;

@@ -109,6 +109,17 @@ impl SpQueue {
     pub fn peek_cols(&self, k: usize) -> Vec<f64> {
         self.col.iter().take(k.min(self.len())).copied().collect()
     }
+
+    /// [`SpQueue::peek_cols`] into a caller-provided buffer: same
+    /// complete-triple bound, no allocation. Returns the number of
+    /// addresses written.
+    pub fn peek_cols_into(&self, k: usize, out: &mut [f64]) -> usize {
+        let n = k.min(self.len()).min(out.len());
+        for (slot, &c) in out.iter_mut().zip(self.col.iter().take(n)) {
+            *slot = c;
+        }
+        n
+    }
 }
 
 #[cfg(test)]

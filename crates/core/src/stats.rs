@@ -139,16 +139,32 @@ impl Histogram {
 
     /// Approximate `q`-quantile (`0.0..=1.0`) with linear interpolation
     /// inside the winning bucket, clamped to the observed min/max.
+    ///
+    /// Contract at the edges: an **empty** histogram returns 0 for every
+    /// `q` (there is no observation to report, and 0 keeps downstream
+    /// arithmetic total); `q = 0.0` returns the recorded minimum and
+    /// `q = 1.0` the recorded maximum exactly, never an interpolated
+    /// value from inside their log2 buckets. `q` outside `0.0..=1.0`
+    /// (including NaN) is clamped.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        // `f64::clamp` propagates NaN, which would otherwise fall through
+        // both edge checks below and interpolate with a garbage rank.
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         if q <= 0.0 {
             // The 0-quantile is the smallest observation by definition;
             // interpolating inside the min's bucket would overshoot it.
             return self.min;
+        }
+        if q >= 1.0 {
+            // Symmetric edge: the 1-quantile is the largest observation.
+            // Interpolating inside the max's bucket lands on the bucket's
+            // upper bound, which only coincides with the max by clamping;
+            // return it directly so the contract holds by construction.
+            return self.max;
         }
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -289,6 +305,39 @@ mod tests {
         assert!(h.quantile(1.0) <= h.max);
         assert!(h.p50() <= h.p95());
         assert!(h.p95() <= h.p99());
+    }
+
+    #[test]
+    fn quantile_edges_on_empty_single_and_saturated() {
+        // Empty: every quantile is 0 by contract.
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "empty at q={q}");
+        }
+
+        // Single sample: every quantile is that sample, even though its
+        // log2 bucket (4..=7 for 5) spans other values.
+        let mut single = Histogram::new();
+        single.record(5);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(single.quantile(q), 5, "single at q={q}");
+        }
+
+        // Saturated bucket: many values in one bucket plus one outlier
+        // above it. q=1.0 must report the true recorded max, not the
+        // saturated bucket's upper bound.
+        let mut sat = Histogram::new();
+        for _ in 0..10_000 {
+            sat.record(1000); // bucket 9 (512..=1023)
+        }
+        sat.record(1_000_000);
+        assert_eq!(sat.quantile(0.0), 1000);
+        assert_eq!(sat.quantile(0.5), 1000);
+        assert_eq!(sat.quantile(1.0), 1_000_000);
+        // NaN and out-of-range q are treated as clamped, not propagated.
+        assert_eq!(sat.quantile(f64::NAN), sat.min);
+        assert_eq!(sat.quantile(-3.0), sat.min);
+        assert_eq!(sat.quantile(7.0), sat.max);
     }
 
     #[test]

@@ -164,11 +164,7 @@ impl Channel {
         };
 
         // Bank-level earliest.
-        let bank_indices: Vec<usize> = match scope {
-            Scope::OneBank { bg, ba } => vec![bg * self.cfg.banks_per_group + ba],
-            Scope::AllBanks => (0..self.banks.len()).collect(),
-        };
-        for &bi in &bank_indices {
+        for bi in self.bank_range(scope) {
             e = e.max(self.banks[bi].earliest(cmd, t)?);
         }
 
@@ -202,31 +198,27 @@ impl Channel {
         Some(e)
     }
 
-    /// Issue `cmd` at cycle `at`.
-    ///
-    /// # Errors
-    ///
-    /// [`IssueError::TooEarly`] if `at` precedes the earliest legal cycle,
-    /// [`IssueError::IllegalState`] if the command cannot issue in the
-    /// current bank state.
-    pub fn issue(&mut self, scope: Scope, cmd: CmdKind, at: u64) -> Result<Issued, IssueError> {
-        let earliest = self
-            .earliest_inner(scope, cmd, 0)
-            .ok_or_else(|| IssueError::IllegalState(format!("{cmd} with {scope}")))?
-            .max(0) as u64;
-        if at < earliest {
-            return Err(IssueError::TooEarly {
-                requested: at,
-                earliest,
-            });
+    /// The bank indices a scope addresses, as a range (all-bank scopes are
+    /// contiguous, so no per-call index vector is needed).
+    fn bank_range(&self, scope: Scope) -> std::ops::Range<usize> {
+        match scope {
+            Scope::OneBank { bg, ba } => {
+                let i = bg * self.cfg.banks_per_group + ba;
+                i..i + 1
+            }
+            Scope::AllBanks => 0..self.banks.len(),
         }
+    }
+
+    /// Apply `cmd` at `at` unconditionally: bank state, channel cursors,
+    /// bus slots, stats. Callers must have established legality via
+    /// [`Channel::earliest_inner`] first.
+    fn apply_at(&mut self, scope: Scope, cmd: CmdKind, at: u64) -> Issued {
         let t = self.cfg.timing;
         let at_i = at as i64;
-        let bank_indices: Vec<usize> = match scope {
-            Scope::OneBank { bg, ba } => vec![bg * self.cfg.banks_per_group + ba],
-            Scope::AllBanks => (0..self.banks.len()).collect(),
-        };
-        for &bi in &bank_indices {
+        let range = self.bank_range(scope);
+        let nbanks = range.len();
+        for bi in range {
             self.banks[bi].apply(cmd, at_i, &t);
         }
 
@@ -263,17 +255,38 @@ impl Channel {
             self.bus_count = 1;
         }
 
-        self.stats.record(scope, cmd, bank_indices.len());
+        self.stats.record(scope, cmd, nbanks);
 
         let data_cycle = match cmd {
             CmdKind::Rd { .. } => at + t.rl + 1,
             CmdKind::Wr { .. } => at + t.wl + 1,
             _ => at,
         };
-        Ok(Issued {
+        Issued {
             issue_cycle: at,
             data_cycle,
-        })
+        }
+    }
+
+    /// Issue `cmd` at cycle `at`.
+    ///
+    /// # Errors
+    ///
+    /// [`IssueError::TooEarly`] if `at` precedes the earliest legal cycle,
+    /// [`IssueError::IllegalState`] if the command cannot issue in the
+    /// current bank state.
+    pub fn issue(&mut self, scope: Scope, cmd: CmdKind, at: u64) -> Result<Issued, IssueError> {
+        let earliest = self
+            .earliest_inner(scope, cmd, 0)
+            .ok_or_else(|| IssueError::IllegalState(format!("{cmd} with {scope}")))?
+            .max(0) as u64;
+        if at < earliest {
+            return Err(IssueError::TooEarly {
+                requested: at,
+                earliest,
+            });
+        }
+        Ok(self.apply_at(scope, cmd, at))
     }
 
     /// Convenience: issue at the earliest legal cycle ≥ `from`.
@@ -292,6 +305,28 @@ impl Channel {
             return Err(IssueError::IllegalState(format!("{cmd} with {scope}")));
         }
         self.issue(scope, cmd, e)
+    }
+
+    /// Single-pass [`Channel::issue_earliest`]: one constraint evaluation,
+    /// then commit. Produces identical results — `issue_earliest` computes
+    /// `e = earliest(from) ≥ earliest(0)`, so the re-check inside `issue`
+    /// never fires; this variant just skips it. The event-driven engine
+    /// tier uses it on its per-bank hot path.
+    ///
+    /// # Errors
+    ///
+    /// [`IssueError::IllegalState`] if the command cannot issue at all.
+    pub fn issue_earliest_fast(
+        &mut self,
+        scope: Scope,
+        cmd: CmdKind,
+        from: u64,
+    ) -> Result<Issued, IssueError> {
+        let e = self
+            .earliest_inner(scope, cmd, from as i64)
+            .ok_or_else(|| IssueError::IllegalState(format!("{cmd} with {scope}")))?
+            .max(0) as u64;
+        Ok(self.apply_at(scope, cmd, e))
     }
 }
 

@@ -32,6 +32,7 @@ pub mod channel;
 pub mod checker;
 pub mod command;
 pub mod config;
+pub mod fastab;
 pub mod mode;
 pub mod power;
 pub mod stats;
@@ -42,6 +43,7 @@ pub use channel::{Channel, IssueError, Issued};
 pub use checker::{check_trace, CheckPolicy, CheckReport, ProtocolChecker, Rule, Violation};
 pub use command::{CmdClass, CmdKind, Scope};
 pub use config::{HbmConfig, Timing};
+pub use fastab::AbChannel;
 pub use mode::{Mode, ModeController, ModeError};
 pub use power::{EnergyModel, EnergyStats};
 pub use stats::ChannelStats;

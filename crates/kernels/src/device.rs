@@ -3,7 +3,8 @@
 use psim_dram::{HbmConfig, Mode};
 use psim_sparse::Precision;
 use psyncpim_core::{
-    CycleBreakdown, Engine, EngineConfig, ExecMode, HostController, MetricsRegistry, RunReport,
+    CycleBreakdown, Engine, EngineConfig, EngineTier, ExecMode, HostController, MetricsRegistry,
+    RunReport,
 };
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +31,9 @@ pub struct PimDevice {
     /// Stall-event buffer capacity per engine phase when tracing
     /// (overflow is counted, never silently truncated).
     pub trace_events: usize,
+    /// Engine tier: the cycle-stepping reference loop or the bit-identical
+    /// event-driven fast path. Constructors honor `PSIM_ENGINE=event`.
+    pub tier: EngineTier,
 }
 
 impl PimDevice {
@@ -43,6 +47,7 @@ impl PimDevice {
             validate: false,
             trace: false,
             trace_events: DEFAULT_TRACE_EVENTS,
+            tier: EngineTier::from_env(),
         }
     }
 
@@ -56,6 +61,7 @@ impl PimDevice {
             validate: false,
             trace: false,
             trace_events: DEFAULT_TRACE_EVENTS,
+            tier: EngineTier::from_env(),
         }
     }
 
@@ -69,6 +75,7 @@ impl PimDevice {
             validate: false,
             trace: false,
             trace_events: DEFAULT_TRACE_EVENTS,
+            tier: EngineTier::from_env(),
         }
     }
 
@@ -89,6 +96,7 @@ impl PimDevice {
             validate: false,
             trace: false,
             trace_events: DEFAULT_TRACE_EVENTS,
+            tier: EngineTier::from_env(),
         }
     }
 
@@ -128,6 +136,7 @@ impl PimDevice {
             validate: self.validate,
             trace: self.trace,
             trace_events: self.trace_events,
+            tier: self.tier,
         })
     }
 
@@ -146,6 +155,7 @@ impl PimDevice {
             validate: self.validate,
             attribute: self.trace,
             event_limit: self.trace_events,
+            tier: self.tier,
             ..Default::default()
         })
     }

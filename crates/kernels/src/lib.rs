@@ -19,6 +19,7 @@
 //! switches).
 
 pub mod blas1;
+pub mod costmodel;
 pub mod device;
 pub mod gemv;
 pub mod oracle;
@@ -27,6 +28,7 @@ pub mod selftest;
 pub mod spmv;
 pub mod sptrsv;
 
+pub use costmodel::{CostEstimate, CostModel};
 pub use device::{KernelRun, PimDevice};
 pub use oracle::{audit_run, run_oracle, OracleCase, OracleReport};
 pub use selftest::{all_pass, selftest, CheckResult};

@@ -19,7 +19,7 @@
 use std::time::Instant;
 
 use psim_kernels::blas1::Blas1Pim;
-use psim_kernels::{KernelRun, PimDevice, SpmvPim, SptrsvPim};
+use psim_kernels::{CostModel, KernelRun, PimDevice, SpmvPim, SptrsvPim};
 use psyncpim_core::CoreError;
 
 use crate::job::{Job, JobClass, JobId, JobKind, JobValue};
@@ -60,6 +60,24 @@ impl std::fmt::Display for SchedError {
 
 impl std::error::Error for SchedError {}
 
+/// How the executor estimates a job's cost for shard placement.
+///
+/// Placement never affects job *results*, only which shard serves which
+/// job (and therefore simulated waiting time), so both tiers are safe —
+/// they trade placement quality against estimation cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostTier {
+    /// Operand-size proxy (`nnz + len`): free, but blind to skew, waves
+    /// and level-schedule serialization.
+    #[default]
+    Heuristic,
+    /// The O(nnz) analytical model ([`psim_kernels::CostModel`]):
+    /// predicts DRAM cycles from partition shape and level structure, so
+    /// a skewed SpMV or a chain-like SpTRSV weighs what it will actually
+    /// cost.
+    Analytical,
+}
+
 /// Executor configuration.
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
@@ -81,6 +99,8 @@ pub struct ExecutorConfig {
     /// category, and [`SimStats`] aggregates the batch-wide breakdown.
     /// Off by default (tracing is cheap but not free).
     pub trace: bool,
+    /// Cost estimator for shard placement. Heuristic by default.
+    pub cost_tier: CostTier,
 }
 
 impl ExecutorConfig {
@@ -93,6 +113,7 @@ impl ExecutorConfig {
             host_threads: 1,
             validate: true,
             trace: false,
+            cost_tier: CostTier::default(),
         }
     }
 
@@ -105,7 +126,15 @@ impl ExecutorConfig {
             host_threads: shards,
             validate: true,
             trace: false,
+            cost_tier: CostTier::default(),
         }
+    }
+
+    /// Same configuration under a different placement cost tier.
+    #[must_use]
+    pub fn with_cost_tier(mut self, tier: CostTier) -> Self {
+        self.cost_tier = tier;
+        self
     }
 }
 
@@ -190,6 +219,33 @@ impl ShardExecutor {
         &self.shard_device
     }
 
+    /// The placement cost of one job under the configured [`CostTier`].
+    ///
+    /// Heuristic: the operand-size proxy from [`Job::cost_estimate`].
+    /// Analytical: predicted DRAM cycles on the *shard* device (jobs run
+    /// on shard slices, so the slice geometry is what placement should
+    /// weigh).
+    #[must_use]
+    pub fn job_cost(&self, job: &Job) -> u64 {
+        match self.cfg.cost_tier {
+            CostTier::Heuristic => job.cost_estimate(),
+            CostTier::Analytical => {
+                let model = CostModel::new(&self.shard_device);
+                let p = job.spec.precision;
+                let cycles = match &job.spec.kind {
+                    JobKind::Spmv { a, .. } => model.spmv(a, p).cycles,
+                    JobKind::Sptrsv { t, .. } => model.sptrsv(t, p).cycles,
+                    JobKind::Axpy { x, .. } => model.axpy(x.len(), p).cycles,
+                    JobKind::Scal { x, .. } => model.scal(x.len(), p).cycles,
+                    JobKind::Vv { x, .. } => model.vv(x.len(), p).cycles,
+                    JobKind::Dot { x, .. } => model.dot(x.len(), p).cycles,
+                    JobKind::Norm2 { x } => model.norm2(x.len(), p).cycles,
+                };
+                cycles.max(1)
+            }
+        }
+    }
+
     /// Drain every job currently queued (in the queue's fairness order)
     /// and execute the batch.
     ///
@@ -208,7 +264,8 @@ impl ShardExecutor {
     pub fn run_jobs(&self, jobs: Vec<Job>) -> Result<BatchReport, SchedError> {
         let started = Instant::now();
         let shards = self.cfg.shards;
-        let plan = assign_shards(jobs, shards);
+        let costs: Vec<u64> = jobs.iter().map(|j| self.job_cost(j)).collect();
+        let plan = assign_shards(jobs, &costs, shards);
         let threads = self.cfg.host_threads.clamp(1, shards);
 
         // One result slot per shard, merged in shard order below.
@@ -332,14 +389,15 @@ impl ShardExecutor {
 /// Deterministic job→shard placement: longest-processing-time-style greedy
 /// by a priori cost — each job (in scheduling order) goes to the shard
 /// with the least accumulated estimated cost, ties to the lowest shard id.
-fn assign_shards(jobs: Vec<Job>, shards: usize) -> Vec<Vec<Job>> {
+/// `costs` is parallel to `jobs` (computed by the configured [`CostTier`]).
+fn assign_shards(jobs: Vec<Job>, costs: &[u64], shards: usize) -> Vec<Vec<Job>> {
     let mut lanes: Vec<Vec<Job>> = (0..shards).map(|_| Vec::new()).collect();
     let mut load = vec![0u64; shards];
-    for job in jobs {
+    for (job, &cost) in jobs.into_iter().zip(costs) {
         let target = (0..shards)
             .min_by_key(|&s| (load[s], s))
             .expect("shards >= 1");
-        load[target] += job.cost_estimate();
+        load[target] += cost;
         lanes[target].push(job);
     }
     lanes
@@ -517,11 +575,87 @@ mod tests {
                 spec: scal_job("t", n),
             })
             .collect();
-        let lanes = assign_shards(jobs, 2);
+        let costs: Vec<u64> = jobs.iter().map(Job::cost_estimate).collect();
+        let lanes = assign_shards(jobs, &costs, 2);
         // Greedy: 100→s0, 100→s1, then the small jobs alternate.
         let cost = |lane: &Vec<Job>| lane.iter().map(Job::cost_estimate).sum::<u64>();
         assert_eq!(cost(&lanes[0]), 120);
         assert_eq!(cost(&lanes[1]), 120);
+    }
+
+    #[test]
+    fn analytical_tier_sees_serialization_the_heuristic_misses() {
+        // Two SpTRSV jobs with identical nnz: a pure dependency chain
+        // (n levels, one launch each) and a star (every row depends only
+        // on x[0] — one level, one launch). The heuristic proxy
+        // (nnz + len) prices them identically; the analytical tier walks
+        // the level schedule and must see the chain's serialization.
+        use psim_sparse::triangular::{Triangle, UnitTriangular};
+        let n = 64usize;
+        let mut chain = psim_sparse::Coo::new(n, n);
+        let mut star = psim_sparse::Coo::new(n, n);
+        for i in 1..n {
+            chain.push(i as u32, i as u32 - 1, 0.5);
+            star.push(i as u32, 0, 0.5);
+        }
+        let b = vec![1.0; n];
+        let job = |s: psim_sparse::Coo| Job {
+            id: 0,
+            spec: JobSpec::batch(
+                "t",
+                JobKind::Sptrsv {
+                    t: Arc::new(UnitTriangular::from_strict(Triangle::Lower, s).unwrap()),
+                    b: b.clone(),
+                },
+            ),
+        };
+        let (chain, star) = (job(chain), job(star));
+        // The heuristic proxy is identical by construction.
+        assert_eq!(chain.cost_estimate(), star.cost_estimate());
+        let cfg = ExecutorConfig::serial(PimDevice::tiny(2)).with_cost_tier(CostTier::Analytical);
+        let exec = ShardExecutor::new(cfg).unwrap();
+        let (c, s) = (exec.job_cost(&chain), exec.job_cost(&star));
+        assert!(
+            c > s * 10,
+            "analytical cost must punish level serialization: chain {c} vs star {s}"
+        );
+    }
+
+    #[test]
+    fn analytical_placement_preserves_results() {
+        // Placement tier changes *which shard* serves a job, never the
+        // job's value: the same batch under both tiers returns the same
+        // numbers.
+        let a = Arc::new(psim_sparse::gen::rmat(48, 4, 9));
+        let x: Vec<f64> = (0..48).map(|i| 0.5 + i as f64).collect();
+        let run = |tier: CostTier| {
+            let queue = JobQueue::bounded(8);
+            let spmv = queue
+                .submit(JobSpec::batch(
+                    "t0",
+                    JobKind::spmv(Arc::clone(&a), x.clone()),
+                ))
+                .unwrap();
+            let dot = queue
+                .submit(JobSpec::batch(
+                    "t1",
+                    JobKind::Dot {
+                        x: x.clone(),
+                        y: x.clone(),
+                    },
+                ))
+                .unwrap();
+            let exec = ShardExecutor::new(
+                ExecutorConfig::sharded(PimDevice::tiny(2), 2).with_cost_tier(tier),
+            )
+            .unwrap();
+            let report = exec.drain_and_run(&queue).unwrap();
+            (
+                report.job(spmv).unwrap().value.clone(),
+                report.job(dot).unwrap().value.clone(),
+            )
+        };
+        assert_eq!(run(CostTier::Heuristic), run(CostTier::Analytical));
     }
 
     #[test]

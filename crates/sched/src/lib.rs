@@ -48,7 +48,9 @@ pub mod job;
 pub mod queue;
 pub mod stats;
 
-pub use executor::{BatchReport, CompletedJob, ExecutorConfig, SchedError, ShardExecutor};
+pub use executor::{
+    BatchReport, CompletedJob, CostTier, ExecutorConfig, SchedError, ShardExecutor,
+};
 pub use job::{Job, JobClass, JobId, JobKind, JobSpec, JobValue, MatrixStore};
 pub use queue::{JobQueue, SubmitError};
 pub use stats::{ClassStats, HostStats, ServiceStats, SimStats};

@@ -29,6 +29,7 @@ fn run_with_threads(specs: &[JobSpec], shards: usize, threads: usize) -> BatchRe
         // below covers the per-category service attribution, and the
         // proptest compares each job's full metrics registry.
         trace: true,
+        cost_tier: psim_sched::CostTier::default(),
     })
     .unwrap();
     exec.drain_and_run(&queue).unwrap()

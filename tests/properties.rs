@@ -411,3 +411,114 @@ proptest! {
         prop_assert_eq!(back, program);
     }
 }
+
+proptest! {
+    // Full engine runs per case; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The event-driven engine tier must be bit-identical to the tick
+    /// tier: same results, same cycle count, same command accounting, on
+    /// random matrices.
+    #[test]
+    fn engine_tiers_agree_on_random_matrices(a in arb_coo(80, 250), seed in 0u64..100) {
+        use psyncpim::core::EngineTier;
+        let x = psyncpim::sparse::gen::dense_vector(a.ncols(), seed);
+        let run = |tier: EngineTier| {
+            let mut dev = PimDevice::tiny(1);
+            dev.tier = tier;
+            SpmvPim::new(dev, Precision::Fp64).run(&a, &x).expect("spmv")
+        };
+        let t = run(EngineTier::Tick);
+        let e = run(EngineTier::Event);
+        prop_assert_eq!(&t.y, &e.y);
+        prop_assert_eq!(t.run.dram_cycles, e.run.dram_cycles);
+        prop_assert_eq!(t.run.commands, e.run.commands);
+        prop_assert_eq!(t.run.rounds, e.run.rounds);
+        prop_assert_eq!(t.run.mem_ops, e.run.mem_ops);
+        prop_assert_eq!(t.run.energy_j, e.run.energy_j);
+    }
+
+    /// Regression for the engine's `saturating_sub` ready/bus accounting:
+    /// the command-bus cursor and the per-bank ready cursors only ever
+    /// move forward, so the issued command stream of each channel is
+    /// monotone non-decreasing in cycle — under randomly skewed per-bank
+    /// loads, in both exec modes and both engine tiers. (A cursor that
+    /// stepped backwards — e.g. a PU-backpressure term underflowing past
+    /// the pipeline depth — would reorder the trace.)
+    #[test]
+    fn trace_cycles_monotone_under_random_streams(
+        loads in prop::collection::vec(prop::collection::vec((0u32..12, 0u32..12, -4.0f64..4.0), 0..10), 8..9),
+        mode_sel in 0usize..2,
+        tier_sel in 0usize..2,
+    ) {
+        use psyncpim::core::engine::{Engine, EngineConfig, EngineTier, ExecMode};
+        use psyncpim::core::isa::assemble;
+        use psyncpim::core::memory::SENTINEL;
+        use psyncpim::dram::HbmConfig;
+
+        let mode = [ExecMode::AllBank, ExecMode::PerBank][mode_sel];
+        let tier = [EngineTier::Tick, EngineTier::Event][tier_sel];
+        let hbm = HbmConfig {
+            num_bankgroups: 2,
+            banks_per_group: 2,
+            num_pseudo_channels: 2,
+            ..HbmConfig::default()
+        };
+        let cfg = EngineConfig {
+            hbm,
+            mode,
+            tier,
+            record_trace: true,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(cfg);
+        let n = 12usize;
+        let lanes = 4;
+        let max_len = loads.iter().map(Vec::len).max().unwrap_or(0)
+            .div_ceil(lanes).max(1) * lanes;
+        let mut bindings = Vec::new();
+        for (b, entries) in loads.iter().enumerate() {
+            let mut rows = vec![SENTINEL; max_len];
+            let mut cols = vec![SENTINEL; max_len];
+            let mut vals = vec![0.0; max_len];
+            for (i, &(r, c, v)) in entries.iter().enumerate() {
+                rows[i] = f64::from(r);
+                cols[i] = f64::from(c);
+                vals[i] = v;
+            }
+            let mem = engine.mem_mut(b);
+            let r0 = mem.alloc("rows", 8, rows);
+            let r1 = mem.alloc("cols", 8, cols);
+            let r2 = mem.alloc("vals", 8, vals);
+            let r3 = mem.alloc("x", 8, (0..n).map(|i| i as f64).collect());
+            let r4 = mem.alloc_zeroed("y", 8, n);
+            if b == 0 {
+                bindings = vec![
+                    Some(r0), Some(r1), Some(r2), Some(r3),
+                    None, Some(r4), None, None,
+                ];
+            }
+        }
+        let program = assemble(
+            "SPMOV  SPVQ0, BANK, ROW, FP64\n\
+             SPMOV  SPVQ0, BANK, COL, FP64\n\
+             SPMOV  SPVQ0, BANK, VAL, FP64\n\
+             INDMOV DRF2, SPVQ0, FP64\n\
+             SPVDV  SPVQ1, SPVQ0, DRF2, MUL, INTER, FP64\n\
+             SPVDV  BANK, SPVQ1, BANK, ADD, UNION, FP64\n\
+             CEXIT  SPVQ0\n\
+             JUMP   0, 0, 0\n",
+        ).expect("canonical spmv");
+        engine.load_kernel(program, bindings).expect("bindings valid");
+        let report = engine.run().expect("run");
+        prop_assert!(report.trace_dropped == 0, "trace must be complete for the check");
+        let mut last = [0u64; 2];
+        for ev in &report.trace {
+            prop_assert!(
+                ev.cycle >= last[ev.channel],
+                "channel {} went backwards: {} after {}", ev.channel, ev.cycle, last[ev.channel]
+            );
+            last[ev.channel] = ev.cycle;
+        }
+    }
+}
