@@ -22,6 +22,10 @@ echo "==> psim-fastpath (tick/event equivalence + speedup floor + cost-model cal
 cargo run -q --release -p psim-bench --bin psim_fastpath
 test -s results/BENCH_fastpath.json || { echo "missing results/BENCH_fastpath.json" >&2; exit 1; }
 
+echo "==> psim-soak (service-mode fusion/steal soak, scaled down; writes results/BENCH_soak.json)"
+cargo run -q --release -p psim-bench --bin soak_sched -- --jobs 30000 --gate
+test -s results/BENCH_soak.json || { echo "missing results/BENCH_soak.json" >&2; exit 1; }
+
 echo "==> golden traces + protocol replay under the event engine tier (PSIM_ENGINE=event)"
 PSIM_ENGINE=event cargo test -q -p psyncpim --test golden_trace
 PSIM_ENGINE=event cargo run -q --release -p psim-bench --bin psim_check

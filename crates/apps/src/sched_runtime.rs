@@ -87,6 +87,7 @@ impl SchedRuntime {
             class: self.class,
             precision: self.precision,
             kind,
+            arrival_s: 0.0,
         };
         self.queue.submit(spec).expect("queue open and sized");
         let mut report = self

@@ -132,6 +132,12 @@ fn main() {
                     p,
                     &programs::sparse_stream_batched(p, mul, acc),
                 );
+                gate.check(
+                    "spmm_stream",
+                    &format!("{mul}x{acc}"),
+                    p,
+                    &programs::spmm_stream(p, mul, acc),
+                );
             }
         }
         for acc in OPS {

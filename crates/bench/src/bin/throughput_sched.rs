@@ -100,7 +100,7 @@ fn main() {
             .max(64)
             .next_power_of_two()
     };
-    let mut store = MatrixStore::new();
+    let store = MatrixStore::new();
     store.insert("web", gen::rmat(dim(2048), 8, 1));
     store.insert("road", gen::rmat(dim(4096), 3, 2));
     store.insert("social", gen::rmat(dim(1024), 6, 3));

@@ -206,6 +206,14 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile — the soak-bench tail. Below 1000 observations
+    /// the rank rounds up to the maximum, which is the honest answer for
+    /// a tail that hasn't been sampled yet.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Merge another histogram (exact: bucket-wise addition).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -305,6 +313,39 @@ mod tests {
         assert!(h.quantile(1.0) <= h.max);
         assert!(h.p50() <= h.p95());
         assert!(h.p95() <= h.p99());
+    }
+
+    #[test]
+    fn tail_quantiles_stay_accurate_at_p999() {
+        // Heavy-tailed service shape: 100k fast observations, 100 slow,
+        // 10 very slow. p999 (rank 99_911 of 100_110) must land in the
+        // slow band — within the factor-of-two log2-bucket bound — and
+        // never collapse to the fast mode or overshoot the max.
+        let mut h = Histogram::new();
+        for _ in 0..100_000 {
+            h.record(100);
+        }
+        for _ in 0..100 {
+            h.record(10_000);
+        }
+        for _ in 0..10 {
+            h.record(500_000);
+        }
+        let (p99, p999) = (h.p99(), h.p999());
+        assert!((100..=200).contains(&p99), "p99 = {p99} should be fast");
+        assert!(
+            (8_192..=16_383).contains(&p999),
+            "p999 = {p999} must land in the slow band's bucket"
+        );
+        assert!(p999 <= h.quantile(0.9999));
+        assert_eq!(h.quantile(1.0), 500_000);
+
+        // Under 1000 samples the p999 rank rounds up to the max.
+        let mut small = Histogram::new();
+        for v in 1..=100u64 {
+            small.record(v);
+        }
+        assert_eq!(small.p999(), 100);
     }
 
     #[test]

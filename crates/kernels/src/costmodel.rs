@@ -300,6 +300,67 @@ impl CostModel {
         est
     }
 
+    /// SpMM `Y = A X` over `width` fused vectors: same partition walk as
+    /// [`CostModel::spmv`], but every bank stream is the *block-diagonal
+    /// expansion* (`width × max_nnz` entries through one launch), exactly
+    /// as [`crate::SpmmPim`] lays it out. Width 1 is identical to
+    /// [`CostModel::spmv`].
+    #[must_use]
+    pub fn spmm(&self, a: &Coo, width: usize, precision: Precision) -> CostEstimate {
+        self.spmm_with(a, width, precision, DistPolicy::RoundRobin, true)
+    }
+
+    /// [`CostModel::spmm`] with explicit placement policy and compression.
+    #[must_use]
+    pub fn spmm_with(
+        &self,
+        a: &Coo,
+        width: usize,
+        precision: Precision,
+        policy: DistPolicy,
+        compress: bool,
+    ) -> CostEstimate {
+        assert!(width >= 1, "spmm width must be at least 1");
+        let nbanks = self.banks_per_cube * self.cubes;
+        let part = BankPartition::build(
+            a,
+            PartitionConfig {
+                num_banks: nbanks,
+                row_bytes: self.row_bytes,
+                precision,
+                policy,
+                compress,
+            },
+        );
+        let mut per_bank: Vec<Vec<usize>> = vec![Vec::new(); nbanks];
+        for s in part.submatrices() {
+            per_bank[s.bank].push(s.nnz());
+        }
+        let waves = per_bank.iter().map(Vec::len).max().unwrap_or(0);
+        let lanes = precision.lanes();
+
+        let mut est = CostEstimate::default();
+        for wave in 0..waves {
+            let mut wave_cycles = 0u64;
+            for cube in 0..self.cubes {
+                let lo = cube * self.banks_per_cube;
+                let max_nnz = (0..self.banks_per_cube)
+                    .filter_map(|b| per_bank[lo + b].get(wave).copied())
+                    .max()
+                    .unwrap_or(0);
+                if max_nnz == 0 {
+                    continue;
+                }
+                let rounds = Self::batched_rounds(width * max_nnz, lanes);
+                wave_cycles = wave_cycles.max(self.phase_cycles(&BATCHED_SPARSE, rounds));
+            }
+            if wave_cycles > 0 {
+                est.add_phase(wave_cycles);
+            }
+        }
+        est
+    }
+
     /// SpTRSV `T x = b`: walk the same block plan and level schedule as
     /// [`crate::SptrsvPim`], costing each level batch as one launch of the
     /// batched stream and each off-diagonal update as an SpMV.
@@ -484,6 +545,47 @@ mod tests {
                 "rmat({n},{deg}): est {est} vs actual {actual} (ratio {ratio:.2})"
             );
         }
+    }
+
+    #[test]
+    fn spmm_estimate_tracks_fusion_economics() {
+        // Width 1 must collapse to the SpMV estimate, and a fused pass of
+        // width w must cost less than w independent SpMV passes (the fixed
+        // setup/teardown is paid once) while still growing with w.
+        let device = PimDevice::tiny(2);
+        let model = CostModel::new(&device);
+        let a = gen::rmat(128, 4, 21);
+        let spmv = model.spmv(&a, Precision::Fp64);
+        assert_eq!(model.spmm(&a, 1, Precision::Fp64), spmv);
+        let w = 8usize;
+        let fused = model.spmm(&a, w, Precision::Fp64);
+        assert!(fused.cycles > spmv.cycles);
+        assert!(
+            fused.cycles < w as u64 * spmv.cycles,
+            "fused {} must beat {w} solo passes {}",
+            fused.cycles,
+            w as u64 * spmv.cycles
+        );
+        assert_eq!(fused.phases, spmv.phases);
+    }
+
+    #[test]
+    fn spmm_estimate_tracks_engine_within_factor_two() {
+        let device = PimDevice::tiny(2);
+        let model = CostModel::new(&device);
+        let a = gen::rmat(128, 4, 21);
+        let xs: Vec<Vec<f64>> = (0..6).map(|v| gen::dense_vector(128, v)).collect();
+        let actual = crate::SpmmPim::new(device, Precision::Fp64)
+            .run(&a, &xs)
+            .unwrap()
+            .run
+            .dram_cycles;
+        let est = model.spmm(&a, xs.len(), Precision::Fp64).cycles;
+        let ratio = est as f64 / actual as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "est {est} vs actual {actual} (ratio {ratio:.2})"
+        );
     }
 
     #[test]

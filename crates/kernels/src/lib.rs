@@ -8,6 +8,8 @@
 //!   SpAXPY, DDOT, SpDOT, DNRM2, GATHER, SCATTER),
 //! * [`gemv`] — DGEMV and DTRSV,
 //! * [`spmv`] — SpMV with the §V compression/distribution policy,
+//! * [`spmm`] — multi-vector SpMV (SpMM) via block-diagonal expansion, the
+//!   substrate for the scheduler's same-matrix job fusion,
 //! * [`sptrsv`] — SpTRSV via the recursive block algorithm, level batches
 //!   and the scalar-multiplication column sweep (§VI),
 //! * [`device`] — the simulated pSyncPIM device configurations (1×, 3×,
@@ -25,6 +27,7 @@ pub mod gemv;
 pub mod oracle;
 pub mod programs;
 pub mod selftest;
+pub mod spmm;
 pub mod spmv;
 pub mod sptrsv;
 
@@ -32,5 +35,6 @@ pub use costmodel::{CostEstimate, CostModel};
 pub use device::{KernelRun, PimDevice};
 pub use oracle::{audit_run, run_oracle, OracleCase, OracleReport};
 pub use selftest::{all_pass, selftest, CheckResult};
+pub use spmm::{SpmmPim, SpmmResult, MAX_SPMM_WIDTH};
 pub use spmv::SpmvPim;
 pub use sptrsv::SptrsvPim;

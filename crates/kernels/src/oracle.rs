@@ -4,9 +4,9 @@
 //!
 //! The [`selftest`](crate::selftest) battery checks one instance of every
 //! kernel; the oracle instead sweeps *many* randomly generated inputs
-//! (different sparsity structures, sizes, and degrees) through the three
-//! kernel families the paper evaluates — SpMV, SpTRSV, and BLAS-1 — with
-//! the independent protocol checker forced on. A kernel that produces the
+//! (different sparsity structures, sizes, and degrees) through the kernel
+//! families the paper evaluates — SpMV, SpMM (fused multi-vector SpMV),
+//! SpTRSV, and BLAS-1 — with the independent protocol checker forced on. A kernel that produces the
 //! right numbers through an illegal command stream, or that claims more
 //! productive memory ops than the channels delivered bursts, fails here
 //! even though a pure numerics test would pass.
@@ -155,6 +155,37 @@ pub fn run_oracle(device: &PimDevice, cases: usize, seed: u64) -> Result<OracleR
                 .cases
                 .push(diff("SpMV", &name, &a, &r.y, &want, 1e-9, &r.run));
         }
+        // SpMM: fuse 2..=5 vectors through one pass; every fused result
+        // must match the per-vector SpMV oracle output *bit-exactly* (the
+        // scheduler's fusion contract, not just a tolerance check).
+        {
+            let width = 2 + (splitmix(&mut rng) % 4) as usize;
+            let xs: Vec<Vec<f64>> = (0..width)
+                .map(|_| gen::dense_vector(n, splitmix(&mut rng)))
+                .collect();
+            let spmm = crate::spmm::SpmmPim::new(device.clone(), Precision::Fp64);
+            let r = spmm.run(&a, &xs)?;
+            let mut max_err = 0.0f64;
+            let mut exact = true;
+            for (v, x) in xs.iter().enumerate() {
+                let solo = spmm.as_spmv().run(&a, x)?;
+                for (g, s) in r.ys[v].iter().zip(&solo.y) {
+                    max_err = max_err.max((g - s).abs());
+                    exact &= g.to_bits() == s.to_bits();
+                }
+            }
+            let audit = audit_run(&r.run);
+            report.cases.push(OracleCase {
+                kernel: "SpMM",
+                matrix: format!("{name} w={width}"),
+                n,
+                nnz: a.nnz(),
+                max_err,
+                tolerance: 0.0,
+                pass: exact && audit.is_empty(),
+                audit,
+            });
+        }
         // SpTRSV: solve L x = b for a unit-triangular L built from the
         // matrix pattern; the exact solution is the x we built b from.
         {
@@ -231,7 +262,7 @@ mod tests {
     #[test]
     fn oracle_sweep_passes_on_tiny_device() {
         let report = run_oracle(&PimDevice::tiny(2), 4, 0xC0FFEE).expect("simulator ok");
-        assert_eq!(report.cases.len(), 16); // 4 kernels × 4 cases
+        assert_eq!(report.cases.len(), 20); // 5 kernels × 4 cases
         assert!(report.all_pass(), "{:?}", report.failures());
     }
 

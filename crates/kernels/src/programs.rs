@@ -66,6 +66,20 @@ JUMP   0, 0, 0
     )
 }
 
+/// SpMM (multi-vector SpMV) stream: the same batched two-chunk schedule as
+/// [`sparse_stream_batched`], consumed over the *block-diagonal expansion*
+/// of the operands. The host replicates each bank's submatrix entries once
+/// per fused vector `v`, shifting indices by `(v·max_out, v·max_in)` into
+/// stacked input/output regions, so one kernel launch — one mode-switch
+/// cycle, one CRF programming, one completion poll — traverses the matrix
+/// for every fused vector. The PU-side program text is identical to the
+/// batched stream (the expansion lives entirely in the data layout), so a
+/// width-1 SpMM is bit-identical to SpMV by construction.
+#[must_use]
+pub fn spmm_stream(p: Precision, mul_op: &str, acc_op: &str) -> String {
+    sparse_stream_batched(p, mul_op, acc_op)
+}
+
 /// A bounded loop back-edge: `JUMP` executes its body `iters` times; a
 /// single-iteration loop degenerates to `NOP` (a zero-count JUMP would be
 /// the *unconditional* loop of Algorithm 2). Keeping the line in place
@@ -296,6 +310,24 @@ mod tests {
     #[test]
     fn batched_stream_schedule_shape() {
         let prog = assemble(&sparse_stream_batched(Precision::Fp64, "MUL", "ADD")).unwrap();
+        assert!(prog.is_conditional_loop());
+        assert_eq!(
+            prog.command_schedule().unwrap(),
+            vec![0, 1, 2, 3, 4, 5, 6, 8, 10, 11]
+        );
+    }
+
+    #[test]
+    fn spmm_stream_matches_batched_schedule() {
+        // The SpMM program must stay textually identical to the batched
+        // stream: width-1 bit-identity of the SpMM kernel depends on it.
+        for p in [Precision::Fp64, Precision::Fp32, Precision::Int8] {
+            assert_eq!(
+                spmm_stream(p, "MUL", "ADD"),
+                sparse_stream_batched(p, "MUL", "ADD")
+            );
+        }
+        let prog = assemble(&spmm_stream(Precision::Fp64, "MUL", "MIN")).unwrap();
         assert!(prog.is_conditional_loop());
         assert_eq!(
             prog.command_schedule().unwrap(),

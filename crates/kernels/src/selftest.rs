@@ -55,6 +55,27 @@ pub fn selftest(device: &PimDevice) -> Result<Vec<CheckResult>, psyncpim_core::C
         out.push(check("SpMV", &r.y, &want, tol));
         violations += r.run.violations;
     }
+    // SpMM (fused 3-vector SpMV): must be bit-exact vs per-vector SpMV.
+    {
+        let xs = vec![x.clone(), y.clone(), gen::dense_vector(n, 6)];
+        let spmm = crate::spmm::SpmmPim::new(device.clone(), Precision::Fp64);
+        let r = spmm.run(&a, &xs)?;
+        let mut max_err = 0.0f64;
+        for (v, xv) in xs.iter().enumerate() {
+            let solo = spmm.as_spmv().run(&a, xv)?;
+            for (g, s) in r.ys[v].iter().zip(&solo.y) {
+                if g.to_bits() != s.to_bits() {
+                    max_err = max_err.max((g - s).abs()).max(f64::MIN_POSITIVE);
+                }
+            }
+        }
+        out.push(CheckResult {
+            kernel: "SpMM",
+            max_err,
+            pass: max_err == 0.0,
+        });
+        violations += r.run.violations;
+    }
     // SpTRSV (lower).
     {
         let t = unit_triangular_from(&a, Triangle::Lower)
@@ -168,7 +189,7 @@ mod tests {
     #[test]
     fn battery_passes_on_tiny_device() {
         let results = selftest(&PimDevice::tiny(2)).expect("simulator ok");
-        assert_eq!(results.len(), 13);
+        assert_eq!(results.len(), 14);
         for r in &results {
             assert!(r.pass, "{} failed with max_err {}", r.kernel, r.max_err);
         }

@@ -6,7 +6,7 @@
 //! can reference the same operand without cloning megabytes per job.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use psim_sparse::triangular::UnitTriangular;
 use psim_sparse::{Coo, Precision};
@@ -159,6 +159,10 @@ pub struct JobSpec {
     pub precision: Precision,
     /// The operation.
     pub kind: JobKind,
+    /// Simulated arrival time (seconds on the service clock). Closed
+    /// batches leave it at 0.0; open-arrival traces stamp each job so the
+    /// executor charges queue wait from arrival, not from batch start.
+    pub arrival_s: f64,
 }
 
 impl JobSpec {
@@ -170,6 +174,7 @@ impl JobSpec {
             class: JobClass::Batch,
             precision: Precision::Fp64,
             kind,
+            arrival_s: 0.0,
         }
     }
 
@@ -177,6 +182,13 @@ impl JobSpec {
     #[must_use]
     pub fn with_class(mut self, class: JobClass) -> Self {
         self.class = class;
+        self
+    }
+
+    /// Same job arriving at a simulated instant (open-arrival traces).
+    #[must_use]
+    pub fn at(mut self, arrival_s: f64) -> Self {
+        self.arrival_s = arrival_s;
         self
     }
 }
@@ -227,57 +239,225 @@ impl JobValue {
     }
 }
 
-/// Shared matrix registry: tenants register operands once and submit many
-/// jobs against the returned handles.
-#[derive(Debug, Clone, Default)]
+/// One resident operand with its LRU bookkeeping.
+#[derive(Debug)]
+struct StoreEntry<T> {
+    value: Arc<T>,
+    bytes: usize,
+    /// Last-touch tick (monotone per store); smallest = least recent.
+    touched: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    matrices: HashMap<String, StoreEntry<Coo>>,
+    triangulars: HashMap<String, StoreEntry<UnitTriangular>>,
+    resident_bytes: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl StoreInner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evict least-recently-used operands (across both maps) until the
+    /// resident set fits the budget. Entries still referenced elsewhere
+    /// stay alive through their `Arc`s — eviction only drops the *cache's*
+    /// reference, so in-flight jobs are never invalidated.
+    fn evict_to(&mut self, budget: usize) {
+        while self.resident_bytes > budget {
+            let lru_m = self
+                .matrices
+                .iter()
+                .min_by_key(|(n, e)| (e.touched, n.as_str()));
+            let lru_t = self
+                .triangulars
+                .iter()
+                .min_by_key(|(n, e)| (e.touched, n.as_str()));
+            match (lru_m, lru_t) {
+                (Some((nm, em)), Some((nt, et))) => {
+                    if em.touched <= et.touched {
+                        let name = nm.clone();
+                        let e = self.matrices.remove(&name).expect("present");
+                        self.resident_bytes -= e.bytes;
+                    } else {
+                        let name = nt.clone();
+                        let e = self.triangulars.remove(&name).expect("present");
+                        self.resident_bytes -= e.bytes;
+                    }
+                }
+                (Some((nm, _)), None) => {
+                    let name = nm.clone();
+                    let e = self.matrices.remove(&name).expect("present");
+                    self.resident_bytes -= e.bytes;
+                }
+                (None, Some((nt, _))) => {
+                    let name = nt.clone();
+                    let e = self.triangulars.remove(&name).expect("present");
+                    self.resident_bytes -= e.bytes;
+                }
+                (None, None) => break,
+            }
+            self.evictions += 1;
+        }
+    }
+}
+
+/// Shared concurrent matrix registry: tenants register operands once and
+/// submit many jobs against the returned handles. Interior mutability
+/// (`&self` everywhere) lets producer threads register and look up
+/// operands concurrently with the admission loop; a byte budget with LRU
+/// eviction bounds the resident set for long-running services. Evicted
+/// operands stay alive for jobs already holding their `Arc` — eviction
+/// only governs what *future* lookups can find.
+#[derive(Debug, Default)]
 pub struct MatrixStore {
-    matrices: HashMap<String, Arc<Coo>>,
-    triangulars: HashMap<String, Arc<UnitTriangular>>,
+    inner: Mutex<StoreInner>,
+    /// Resident-set budget in bytes (`usize::MAX` = unbounded).
+    budget: usize,
 }
 
 impl MatrixStore {
-    /// An empty store.
+    /// An unbounded store.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        MatrixStore {
+            inner: Mutex::new(StoreInner::default()),
+            budget: usize::MAX,
+        }
+    }
+
+    /// A store that evicts least-recently-used operands once the resident
+    /// set exceeds `budget` bytes. A single operand larger than the budget
+    /// is admitted (and evicted on the next insert) — refusing it would
+    /// deadlock the tenant, and the service still holds it only as long as
+    /// jobs do.
+    #[must_use]
+    pub fn with_budget(budget: usize) -> Self {
+        MatrixStore {
+            inner: Mutex::new(StoreInner::default()),
+            budget: budget.max(1),
+        }
     }
 
     /// Register a matrix under a name, returning its shared handle.
-    pub fn insert(&mut self, name: &str, a: Coo) -> Arc<Coo> {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex is poisoned.
+    pub fn insert(&self, name: &str, a: Coo) -> Arc<Coo> {
+        let bytes = a.storage_bytes(Precision::Fp64);
         let arc = Arc::new(a);
-        self.matrices.insert(name.to_string(), Arc::clone(&arc));
+        let mut inner = self.inner.lock().unwrap();
+        let touched = inner.touch();
+        if let Some(old) = inner.matrices.insert(
+            name.to_string(),
+            StoreEntry {
+                value: Arc::clone(&arc),
+                bytes,
+                touched,
+            },
+        ) {
+            inner.resident_bytes -= old.bytes;
+        }
+        inner.resident_bytes += bytes;
+        inner.evict_to(self.budget);
         arc
     }
 
     /// Register a triangular factor under a name.
-    pub fn insert_triangular(&mut self, name: &str, t: UnitTriangular) -> Arc<UnitTriangular> {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex is poisoned.
+    pub fn insert_triangular(&self, name: &str, t: UnitTriangular) -> Arc<UnitTriangular> {
+        // Strict part in COO-equivalent storage plus the unit diagonal.
+        let bytes = t.nnz() * 16 + t.dim() * 8;
         let arc = Arc::new(t);
-        self.triangulars.insert(name.to_string(), Arc::clone(&arc));
+        let mut inner = self.inner.lock().unwrap();
+        let touched = inner.touch();
+        if let Some(old) = inner.triangulars.insert(
+            name.to_string(),
+            StoreEntry {
+                value: Arc::clone(&arc),
+                bytes,
+                touched,
+            },
+        ) {
+            inner.resident_bytes -= old.bytes;
+        }
+        inner.resident_bytes += bytes;
+        inner.evict_to(self.budget);
         arc
     }
 
-    /// Look up a registered matrix.
+    /// Look up a registered matrix (refreshes its LRU position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex is poisoned.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<Arc<Coo>> {
-        self.matrices.get(name).cloned()
+        let mut inner = self.inner.lock().unwrap();
+        let touched = inner.touch();
+        let entry = inner.matrices.get_mut(name)?;
+        entry.touched = touched;
+        Some(Arc::clone(&entry.value))
     }
 
-    /// Look up a registered triangular factor.
+    /// Look up a registered triangular factor (refreshes its LRU
+    /// position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex is poisoned.
     #[must_use]
     pub fn get_triangular(&self, name: &str) -> Option<Arc<UnitTriangular>> {
-        self.triangulars.get(name).cloned()
+        let mut inner = self.inner.lock().unwrap();
+        let touched = inner.touch();
+        let entry = inner.triangulars.get_mut(name)?;
+        entry.touched = touched;
+        Some(Arc::clone(&entry.value))
     }
 
-    /// Number of registered operands.
+    /// Number of resident operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.matrices.len() + self.triangulars.len()
+        let inner = self.inner.lock().unwrap();
+        inner.matrices.len() + inner.triangulars.len()
     }
 
     /// Whether the store is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.matrices.is_empty() && self.triangulars.is_empty()
+        self.len() == 0
+    }
+
+    /// Bytes currently resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex is poisoned.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().unwrap().resident_bytes
+    }
+
+    /// Operands evicted under the byte budget so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex is poisoned.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().unwrap().evictions
     }
 }
 
@@ -300,12 +480,61 @@ mod tests {
 
     #[test]
     fn store_shares_matrices() {
-        let mut store = MatrixStore::new();
+        let store = MatrixStore::new();
         let a = store.insert("web", gen::rmat(32, 2, 7));
         let b = store.get("web").unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert!(store.get("absent").is_none());
         assert_eq!(store.len(), 1);
+        assert!(store.resident_bytes() > 0);
+        assert_eq!(store.evictions(), 0);
+    }
+
+    #[test]
+    fn store_evicts_lru_under_byte_budget() {
+        let small = gen::rmat(32, 2, 7);
+        let per = small.storage_bytes(psim_sparse::Precision::Fp64);
+        // Room for roughly two matrices of this size.
+        let store = MatrixStore::with_budget(per * 2 + per / 2);
+        let a = store.insert("a", small.clone());
+        store.insert("b", gen::rmat(32, 2, 8));
+        // Touch "a" so "b" becomes the LRU victim when "c" arrives.
+        assert!(store.get("a").is_some());
+        store.insert("c", gen::rmat(32, 2, 9));
+        assert!(store.get("b").is_none(), "LRU entry must be evicted");
+        assert!(store.get("a").is_some());
+        assert!(store.get("c").is_some());
+        assert_eq!(store.evictions(), 1);
+        assert!(store.resident_bytes() <= per * 2 + per / 2);
+        // The evicted-era handle we still hold remains fully usable.
+        assert_eq!(a.nnz(), small.nnz());
+    }
+
+    #[test]
+    fn store_is_usable_from_concurrent_producers() {
+        let store = MatrixStore::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..8 {
+                        store.insert(&format!("m{t}-{i}"), gen::rmat(16, 2, t * 100 + i));
+                        assert!(store.get(&format!("m{t}-{i}")).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 32);
+    }
+
+    #[test]
+    fn arrival_stamp_travels_with_the_spec() {
+        let spec = JobSpec::batch("t", JobKind::Norm2 { x: vec![1.0] }).at(2.5e-3);
+        assert_eq!(spec.arrival_s, 2.5e-3);
+        assert_eq!(
+            JobSpec::batch("t", JobKind::Norm2 { x: vec![] }).arrival_s,
+            0.0
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@
 pub mod executor;
 pub mod job;
 pub mod queue;
+pub mod service;
 pub mod stats;
 
 pub use executor::{
@@ -53,4 +54,5 @@ pub use executor::{
 };
 pub use job::{Job, JobClass, JobId, JobKind, JobSpec, JobValue, MatrixStore};
 pub use queue::{JobQueue, SubmitError};
-pub use stats::{ClassStats, HostStats, ServiceStats, SimStats};
+pub use service::{Service, ServiceConfig, ServiceReport};
+pub use stats::{ClassStats, HostStats, ServiceStats, SimAcc, SimStats};

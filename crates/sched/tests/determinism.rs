@@ -14,8 +14,8 @@ use psim_sparse::Coo;
 use serde::Serialize;
 use std::sync::Arc;
 
-/// Run the same batch with a given host thread count.
-fn run_with_threads(specs: &[JobSpec], shards: usize, threads: usize) -> BatchReport {
+/// Run the same batch with a given host thread count and fusion width.
+fn run_with_fusion(specs: &[JobSpec], shards: usize, threads: usize, fusion: usize) -> BatchReport {
     let queue = JobQueue::bounded(specs.len().max(1));
     for spec in specs {
         queue.submit(spec.clone()).unwrap();
@@ -30,9 +30,15 @@ fn run_with_threads(specs: &[JobSpec], shards: usize, threads: usize) -> BatchRe
         // proptest compares each job's full metrics registry.
         trace: true,
         cost_tier: psim_sched::CostTier::default(),
+        fusion,
     })
     .unwrap();
     exec.drain_and_run(&queue).unwrap()
+}
+
+/// Run the same batch with a given host thread count (fusion off).
+fn run_with_threads(specs: &[JobSpec], shards: usize, threads: usize) -> BatchReport {
+    run_with_fusion(specs, shards, threads, 1)
 }
 
 /// Everything that must be reproducible: the deterministic half of the
@@ -161,6 +167,31 @@ fn arb_specs() -> impl Strategy<Value = Vec<JobSpec>> {
     )
 }
 
+/// Random same-matrix SpMV streams (shared `Arc`, mixed tenants) that the
+/// fusion window can actually coalesce, salted with non-fusible jobs.
+fn arb_fusible_specs() -> impl Strategy<Value = Vec<JobSpec>> {
+    (2usize..14, 0u64..1000).prop_map(|(count, seed)| {
+        let n = 32usize;
+        let a: Arc<Coo> = Arc::new(gen::rmat(n, 3, seed));
+        (0..count)
+            .map(|i| {
+                let tenant = ["t0", "t1", "t2"][i % 3];
+                if i % 5 == 4 {
+                    JobSpec::batch(
+                        tenant,
+                        JobKind::Norm2 {
+                            x: gen::dense_vector(n, seed + i as u64),
+                        },
+                    )
+                } else {
+                    let x = gen::dense_vector(n, seed + i as u64);
+                    JobSpec::batch(tenant, JobKind::spmv(Arc::clone(&a), x))
+                }
+            })
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -176,6 +207,48 @@ proptest! {
             prop_assert_eq!(s.run.attr.total(), s.service_cycles, "job {}", s.id);
             let m = s.run.metrics.as_ref().expect("tracing on");
             prop_assert!(m.conservation_failures().is_empty(), "job {}", s.id);
+        }
+    }
+
+    #[test]
+    fn fused_runs_are_deterministic_and_never_change_values(specs in arb_fusible_specs()) {
+        // The fusing, work-stealing executor keeps the determinism
+        // contract: threads are noise even when groups fuse and lanes
+        // steal. And fusion changes scheduling only — every job's value
+        // must be bit-identical to the unfused run's.
+        let fused_serial = run_with_fusion(&specs, 2, 1, 4);
+        let fused_parallel = run_with_fusion(&specs, 2, 4, 4);
+        prop_assert_eq!(fingerprint(&fused_serial), fingerprint(&fused_parallel));
+        let unfused = run_with_threads(&specs, 2, 1);
+        prop_assert_eq!(fused_serial.jobs.len(), unfused.jobs.len());
+        let mut fused_cycles = 0u64;
+        for (f, u) in fused_serial.jobs.iter().zip(unfused.jobs.iter()) {
+            prop_assert_eq!(f.id, u.id);
+            match (&f.value, &u.value) {
+                (psim_sched::JobValue::Scalar(a), psim_sched::JobValue::Scalar(b)) => {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "job {}", f.id);
+                }
+                (psim_sched::JobValue::Vector(a), psim_sched::JobValue::Vector(b)) => {
+                    prop_assert_eq!(a.len(), b.len(), "job {}", f.id);
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        prop_assert_eq!(x.to_bits(), y.to_bits(), "job {}", f.id);
+                    }
+                }
+                _ => prop_assert!(false, "job {} changed value shape", f.id),
+            }
+            // Leaders carry the group's cycles once; followers zero.
+            prop_assert_eq!(f.run.attr.total(), f.service_cycles, "job {}", f.id);
+            if !f.fused_leader {
+                prop_assert_eq!(f.service_cycles, 0, "follower {}", f.id);
+            }
+            fused_cycles += f.service_cycles;
+        }
+        prop_assert!(fused_cycles > 0);
+        if specs.len() >= 4 {
+            prop_assert!(
+                fused_serial.stats.sim.fused_jobs > 0,
+                "a same-matrix stream of {} jobs must fuse", specs.len()
+            );
         }
     }
 }
