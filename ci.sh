@@ -11,6 +11,23 @@ cargo test -q --workspace
 
 echo "==> psim-lint (static program verification gate)"
 cargo run -q --release -p psim-bench --bin psim_lint
+if base=$(git show HEAD:results/psim_lint.json 2>/dev/null); then
+  if [ "$base" = "$(cat results/psim_lint.json)" ]; then
+    echo "lint delta: results/psim_lint.json unchanged vs HEAD"
+  else
+    echo "lint delta: results/psim_lint.json CHANGED vs HEAD:"
+    diff <(printf '%s\n' "$base" | tr ',' '\n') <(tr ',' '\n' < results/psim_lint.json) | head -40 || true
+  fi
+else
+  echo "lint delta: no committed results/psim_lint.json at HEAD (first run)"
+fi
+
+echo "==> psim-model (concurrency model-check gate, scaled down; writes results/psim_model.json)"
+cargo run -q --release -p psim-bench --bin psim_model -- --budget 4000
+test -s results/psim_model.json || { echo "missing results/psim_model.json" >&2; exit 1; }
+
+echo "==> sched test suite under the instrumented sync backend (PSIM_SYNC=instrument)"
+PSIM_SYNC=instrument cargo test -q -p psim-sched
 
 echo "==> psim-check (protocol + kernel-semantics validation gate)"
 cargo run -q --release -p psim-bench --bin psim_check

@@ -8,12 +8,14 @@
 //! queue underflow/overflow — fails the build before the expensive
 //! dynamic sweep in psim-check even starts.
 //!
-//! Emits a machine-readable JSON summary to `results/psim_lint.json`
-//! (totals plus one record per non-clean program).
+//! Emits a machine-readable JSON summary to `results/psim_lint.json`:
+//! totals, a `pass` verdict, per-code severity counts over the whole
+//! corpus (zero counts included, so ci.sh can diff against the committed
+//! baseline code-by-code), and one record per non-clean program.
 
 use psim_kernels::programs;
 use psim_sparse::Precision;
-use psyncpim_core::isa::{assemble, Diagnostic, Severity};
+use psyncpim_core::isa::{assemble, Diagnostic, Severity, ALL_LINT_CODES};
 use serde::Serialize;
 
 /// Binary ops accepted by the assembler's semiring slots.
@@ -33,12 +35,25 @@ struct LintRecord {
     diagnostics: Vec<Diagnostic>,
 }
 
+/// Corpus-wide tally for one lint code (zero counts included, so the
+/// baseline delta in ci.sh sees every code every run).
+#[derive(Serialize)]
+struct CodeRow {
+    code: String,
+    severity: String,
+    count: usize,
+}
+
 #[derive(Serialize)]
 struct LintSummary {
     programs: usize,
     clean: usize,
     errors: usize,
     warnings: usize,
+    /// Machine-readable gate verdict: no assemble failures, no
+    /// Error-severity diagnostics anywhere in the corpus.
+    pass: bool,
+    per_code: Vec<CodeRow>,
     records: Vec<LintRecord>,
 }
 
@@ -47,6 +62,7 @@ struct Gate {
     clean: usize,
     errors: usize,
     warnings: usize,
+    per_code: [usize; ALL_LINT_CODES.len()],
     records: Vec<LintRecord>,
     failures: usize,
 }
@@ -58,6 +74,7 @@ impl Gate {
             clean: 0,
             errors: 0,
             warnings: 0,
+            per_code: [0; ALL_LINT_CODES.len()],
             records: Vec::new(),
             failures: 0,
         }
@@ -82,6 +99,11 @@ impl Gate {
         let warnings = diags.len() - errors;
         self.errors += errors;
         self.warnings += warnings;
+        for d in &diags {
+            if let Some(i) = ALL_LINT_CODES.iter().position(|c| *c == d.code) {
+                self.per_code[i] += 1;
+            }
+        }
         if diags.is_empty() {
             self.clean += 1;
             return;
@@ -108,6 +130,16 @@ impl Gate {
             clean: self.clean,
             errors: self.errors,
             warnings: self.warnings,
+            pass: self.failures == 0,
+            per_code: ALL_LINT_CODES
+                .iter()
+                .zip(self.per_code)
+                .map(|(c, count)| CodeRow {
+                    code: c.code().to_string(),
+                    severity: c.severity().to_string(),
+                    count,
+                })
+                .collect(),
             records: std::mem::take(&mut self.records),
         }
     }
@@ -184,8 +216,8 @@ fn main() {
     }
 
     println!(
-        "lint\tsummary\tprograms={}\tclean={}\terrors={}\twarnings={}",
-        summary.programs, summary.clean, summary.errors, summary.warnings
+        "lint\tsummary\tprograms={}\tclean={}\terrors={}\twarnings={}\tpass={}",
+        summary.programs, summary.clean, summary.errors, summary.warnings, summary.pass
     );
     if failures > 0 {
         eprintln!("psim-lint: {failures} program(s) FAILED static verification");

@@ -1,0 +1,103 @@
+//! Global lock-order graph.
+//!
+//! Every time a thread acquires a shim mutex while holding others (under
+//! the instrumented or model backend), we record a directed edge
+//! `held-label -> acquired-label`. The union of edges over all runs is a
+//! conservative over-approximation of the program's lock acquisition
+//! order; a **cycle** in it means two code paths nest the same pair of
+//! locks in opposite orders — a potential lock-order inversion that can
+//! deadlock under the right timing even if no explored schedule actually
+//! wedged. The `psim_model` gate asserts this graph is acyclic.
+//!
+//! Nodes are the `&'static str` labels given to [`crate::Mutex::labeled`]
+//! — two *different* locks sharing a label are merged, so a self-edge
+//! (`A -> A`) is reported as a cycle: either a genuine recursive
+//! acquisition or two same-role locks nested, and neither is orderable.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+fn graph() -> &'static StdMutex<BTreeSet<(&'static str, &'static str)>> {
+    static GRAPH: OnceLock<StdMutex<BTreeSet<(&'static str, &'static str)>>> = OnceLock::new();
+    GRAPH.get_or_init(|| StdMutex::new(BTreeSet::new()))
+}
+
+/// Record that a thread acquired `acquiring` while holding `held`.
+pub(crate) fn record_edge(held: &'static str, acquiring: &'static str) {
+    graph()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert((held, acquiring));
+}
+
+/// All recorded `held -> acquired` edges, sorted.
+#[must_use]
+pub fn edges() -> Vec<(&'static str, &'static str)> {
+    graph()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .copied()
+        .collect()
+}
+
+/// Forget everything recorded so far (test isolation).
+pub fn reset() {
+    graph()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// Find a cycle in the recorded graph, as the list of labels along it
+/// (first == last), or `None` when the graph is acyclic.
+#[must_use]
+pub fn find_cycle() -> Option<Vec<&'static str>> {
+    // Three-color DFS; the path stack yields the cycle on a back edge.
+    fn dfs(
+        node: &'static str,
+        adj: &BTreeMap<&'static str, Vec<&'static str>>,
+        color: &mut BTreeMap<&'static str, u8>,
+        path: &mut Vec<&'static str>,
+    ) -> Option<Vec<&'static str>> {
+        color.insert(node, 1);
+        path.push(node);
+        for &next in adj.get(node).map_or(&Vec::new(), |v| v) {
+            match color.get(next).copied().unwrap_or(0) {
+                0 => {
+                    if let Some(c) = dfs(next, adj, color, path) {
+                        return Some(c);
+                    }
+                }
+                1 => {
+                    let start = path.iter().position(|&n| n == next).unwrap_or(0);
+                    let mut cycle: Vec<&'static str> = path[start..].to_vec();
+                    cycle.push(next);
+                    return Some(cycle);
+                }
+                _ => {}
+            }
+        }
+        path.pop();
+        color.insert(node, 2);
+        None
+    }
+
+    let edges = edges();
+    let mut adj: BTreeMap<&'static str, Vec<&'static str>> = BTreeMap::new();
+    for (from, to) in edges {
+        adj.entry(from).or_default().push(to);
+        adj.entry(to).or_default();
+    }
+    let nodes: Vec<&'static str> = adj.keys().copied().collect();
+    let mut color: BTreeMap<&'static str, u8> = BTreeMap::new();
+    let mut path: Vec<&'static str> = Vec::new();
+    for node in nodes {
+        if color.get(node).copied().unwrap_or(0) == 0 {
+            if let Some(c) = dfs(node, &adj, &mut color, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,360 @@
+//! The sync shim: `Mutex` / `Condvar` / atomics with three backends.
+//!
+//! * **Passthrough** (default): delegates to `std::sync` with one
+//!   deliberate semantic change — lock poisoning is *recovered*
+//!   (`PoisonError::into_inner`) instead of propagated. The scheduler's
+//!   invariants are re-established under the lock (every wait re-checks
+//!   its predicate; see DESIGN.md §16), so a panicked peer must not
+//!   cascade into unrelated submitters. Zero overhead beyond a branch on
+//!   a cached mode flag.
+//! * **Instrumented** (`PSIM_SYNC=instrument`): passthrough plus a
+//!   per-thread held-lock stack feeding the global [`crate::order`]
+//!   lock-order graph, and a same-thread double-lock check that panics
+//!   *before* std would wedge. Cheap enough to run the whole test suite
+//!   under.
+//! * **Model**: active whenever the calling thread runs under
+//!   [`crate::model::Explorer`] — every operation becomes a scheduling
+//!   decision of the interleaving explorer, the condvar loses spurious
+//!   wakeups, and lock-order edges are recorded too.
+//!
+//! The backend is chosen per *thread*, not per lock: a mutex touched by
+//! both model and non-model threads degrades to std mutual exclusion for
+//! the non-model side, so scenarios must spawn every participant via
+//! [`crate::model::spawn`] to get full coverage.
+
+use std::cell::RefCell;
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock, PoisonError,
+};
+
+use crate::model;
+use crate::order;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    Pass,
+    Instrument,
+}
+
+fn global_mode() -> Mode {
+    static MODE: OnceLock<Mode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("PSIM_SYNC") {
+        Ok(v) if v == "instrument" => Mode::Instrument,
+        _ => Mode::Pass,
+    })
+}
+
+thread_local! {
+    /// Instrument-mode held stack: (mutex key, label) in acquisition order.
+    static HELD: RefCell<Vec<(usize, &'static str)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Instrument-mode bookkeeping done *before* blocking on the std mutex,
+/// so a would-be deadlock is reported instead of wedging.
+fn instr_acquire(addr: usize, label: &'static str) {
+    HELD.with(|h| {
+        let mut h = h.borrow_mut();
+        for &(a, l) in &*h {
+            assert!(
+                a != addr,
+                "psim-conc: thread re-locked '{l}' it already holds (self-deadlock)"
+            );
+            order::record_edge(l, label);
+        }
+        h.push((addr, label));
+    });
+}
+
+fn instr_release(addr: usize) {
+    HELD.with(|h| {
+        let mut h = h.borrow_mut();
+        if let Some(pos) = h.iter().rposition(|&(a, _)| a == addr) {
+            h.remove(pos);
+        }
+    });
+}
+
+enum Kind {
+    Pass,
+    Instrument,
+    Model(model::Ctx),
+}
+
+/// A mutual-exclusion primitive; see the module docs for backend
+/// semantics. Unlike `std::sync::Mutex`, locking never returns a poison
+/// error — panicked-holder state is recovered.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    label: &'static str,
+    inner: StdMutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> Mutex<T> {
+    /// An unlabeled mutex (shows up as `"mutex"` in lock-order reports).
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex::labeled("mutex", value)
+    }
+
+    /// A mutex carrying a `'static` label — the node name in the
+    /// lock-order graph and in model deadlock reports. Use one label per
+    /// lock *role* (all `JobQueue` inner locks share `"sched.queue"`).
+    pub const fn labeled(label: &'static str, value: T) -> Mutex<T> {
+        Mutex {
+            label,
+            inner: StdMutex::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(self).addr()
+    }
+
+    /// Acquire the mutex, blocking; recovers (never propagates) poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(cx) = model::ctx() {
+            cx.acquire(self.addr(), self.label);
+            let std = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            return MutexGuard {
+                lock: self,
+                std: Some(std),
+                kind: Kind::Model(cx),
+            };
+        }
+        let kind = match global_mode() {
+            Mode::Pass => Kind::Pass,
+            Mode::Instrument => {
+                instr_acquire(self.addr(), self.label);
+                Kind::Instrument
+            }
+        };
+        let std = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            lock: self,
+            std: Some(std),
+            kind,
+        }
+    }
+
+    /// Mutable access without locking (exclusive borrow proves unicity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases (and notifies the model backend)
+/// on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    std: Option<StdMutexGuard<'a, T>>,
+    kind: Kind,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// Take the guard apart without running release bookkeeping — used
+    /// by [`Condvar::wait`], which transfers ownership of the lock into
+    /// the wait protocol.
+    fn dismantle(mut self) -> (&'a Mutex<T>, StdMutexGuard<'a, T>, Kind) {
+        let std = self.std.take().expect("guard is live");
+        let lock = self.lock;
+        let kind = std::mem::replace(&mut self.kind, Kind::Pass);
+        std::mem::forget(self);
+        (lock, std, kind)
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard is live")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard is live")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        match &self.kind {
+            Kind::Pass => {}
+            Kind::Instrument => instr_release(self.lock.addr()),
+            // Model release is pure bookkeeping (no yield): the token
+            // stays with this thread until its next operation, so the
+            // std guard (dropped right after) is gone before any other
+            // model thread can be granted this lock.
+            Kind::Model(cx) => cx.release(self.lock.addr()),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Condition variable shim. Under the model there are **no spurious
+/// wakeups** and waiters wake FIFO — so a dropped notify is a
+/// detectable deadlock, not a timing accident.
+#[derive(Debug)]
+pub struct Condvar {
+    label: &'static str,
+    inner: StdCondvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    /// An unlabeled condvar.
+    #[must_use]
+    pub const fn new() -> Condvar {
+        Condvar::labeled("condvar")
+    }
+
+    /// A condvar with a `'static` label for model deadlock reports.
+    #[must_use]
+    pub const fn labeled(label: &'static str) -> Condvar {
+        Condvar {
+            label,
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(self).addr()
+    }
+
+    /// Release the guard's mutex, park until notified, re-acquire.
+    /// Callers must re-check their predicate in a loop: the passthrough
+    /// backend keeps std's spurious wakeups.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let (lock, std, kind) = guard.dismantle();
+        match kind {
+            Kind::Model(cx) => {
+                // Release the real mutex before parking in the model:
+                // another model thread may be granted it while we wait.
+                drop(std);
+                cx.cond_wait(self.addr(), self.label, lock.addr());
+                let std = lock.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                MutexGuard {
+                    lock,
+                    std: Some(std),
+                    kind: Kind::Model(cx),
+                }
+            }
+            Kind::Instrument => {
+                instr_release(lock.addr());
+                let std = self.inner.wait(std).unwrap_or_else(PoisonError::into_inner);
+                instr_acquire(lock.addr(), lock.label);
+                MutexGuard {
+                    lock,
+                    std: Some(std),
+                    kind: Kind::Instrument,
+                }
+            }
+            Kind::Pass => {
+                let std = self.inner.wait(std).unwrap_or_else(PoisonError::into_inner);
+                MutexGuard {
+                    lock,
+                    std: Some(std),
+                    kind: Kind::Pass,
+                }
+            }
+        }
+    }
+
+    /// Wake one waiter (FIFO under the model).
+    pub fn notify_one(&self) {
+        if let Some(cx) = model::ctx() {
+            cx.notify(self.addr(), self.label, false);
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        if let Some(cx) = model::ctx() {
+            cx.notify(self.addr(), self.label, true);
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}
+
+/// A `u64` atomic whose read-modify-write operations are model yield
+/// points (plain `SeqCst` delegation otherwise).
+#[derive(Debug, Default)]
+pub struct AtomicU64 {
+    inner: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicU64 {
+    /// A new atomic with the given initial value.
+    #[must_use]
+    pub const fn new(value: u64) -> AtomicU64 {
+        AtomicU64 {
+            inner: std::sync::atomic::AtomicU64::new(value),
+        }
+    }
+
+    /// `SeqCst` load.
+    pub fn load(&self) -> u64 {
+        self.inner.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// `SeqCst` store.
+    pub fn store(&self, value: u64) {
+        self.inner.store(value, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// `SeqCst` fetch-add; a scheduling decision under the model.
+    pub fn fetch_add(&self, value: u64) -> u64 {
+        model::yield_now();
+        self.inner
+            .fetch_add(value, std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{instr_acquire, instr_release};
+    use crate::order;
+
+    #[test]
+    fn instrument_held_stack_records_edges_and_traps_relock() {
+        // The instrument path is driven directly (the global mode flag
+        // is cached per process, so tests can't flip PSIM_SYNC): nested
+        // acquisition records the edge, re-acquiring a held key panics.
+        instr_acquire(0x1000, "instr.outer");
+        instr_acquire(0x2000, "instr.inner");
+        assert!(order::edges().contains(&("instr.outer", "instr.inner")));
+        instr_release(0x2000);
+        let relock = std::panic::catch_unwind(|| instr_acquire(0x1000, "instr.outer"));
+        let msg = *relock
+            .expect_err("relock must panic")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("re-locked"), "got: {msg}");
+        instr_release(0x1000);
+    }
+}

@@ -19,7 +19,7 @@ pub mod verify;
 
 pub use asm::{assemble, disassemble};
 pub use program::Program;
-pub use verify::{lint, Diagnostic, LintCode, Severity, VerifiedProgram};
+pub use verify::{lint, Diagnostic, LintCode, Severity, VerifiedProgram, ALL_LINT_CODES};
 
 use psim_sparse::Precision;
 use serde::{Deserialize, Serialize};

@@ -9,7 +9,7 @@
 //! story (the dynamic half is the `psim_dram::ProtocolChecker` replay of
 //! PR 2).
 //!
-//! Two passes over the instruction list:
+//! Three passes over the instruction list:
 //!
 //! 1. **Structural / control-flow** ([`cfg`]): per-slot field range checks
 //!    (jump targets, the 32-entry loop-counter file, queue ids 0–2,
@@ -26,6 +26,11 @@
 //!    stall forever; predication makes pops *optional*, so only
 //!    impossibilities are errors), and precision consistency along
 //!    def-use chains.
+//! 3. **Partial-synchrony** ([`psync`]): loop-level hazards of the
+//!    execution model itself — unbounded loops with no memory lockstep
+//!    point (`PSL014`), gather-freshness / fused-SpMM cross-read
+//!    violations (`PSL015`), and `CEXIT` loops whose watched queue can
+//!    never drain (`PSL016`).
 //!
 //! Severity policy: **Error** marks programs the processing unit cannot
 //! execute meaningfully (panic, hang, or a guaranteed no-op data path);
@@ -36,6 +41,7 @@
 
 mod absint;
 mod cfg;
+mod psync;
 
 #[cfg(test)]
 mod tests;
@@ -64,7 +70,7 @@ impl fmt::Display for Severity {
     }
 }
 
-/// Stable lint codes (`PSL001`–`PSL013`). The number is the contract:
+/// Stable lint codes (`PSL001`–`PSL016`). The number is the contract:
 /// tests, CI output and the JSON summary key on it, so codes are never
 /// renumbered — only appended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -107,10 +113,23 @@ pub enum LintCode {
     /// `PSL013` — a value produced at one precision and consumed at
     /// another along a def-use chain.
     PrecisionMismatch,
+    /// `PSL014` — an unbounded loop (`JUMP` count 0) containing no memory
+    /// instruction: banks never re-align at the controller and
+    /// partial-synchrony phase drift is unbounded.
+    PhaseDivergence,
+    /// `PSL015` — a gather-freshness violation: an `INDMOV` gather is
+    /// clobbered unconsumed, combined against a different queue than it
+    /// was indexed through (fused SpMM cross-read), or combined after the
+    /// queue advanced past the gathered segment.
+    FusionSafety,
+    /// `PSL016` — a reachable `CEXIT` inside a loop that pushes its
+    /// watched queue but never drains it: the exit condition is
+    /// unsatisfiable and the bank spins forever.
+    CExitTermination,
 }
 
 /// Every lint code, for sweeps and reporting.
-pub const ALL_LINT_CODES: [LintCode; 13] = [
+pub const ALL_LINT_CODES: [LintCode; 16] = [
     LintCode::JumpTargetRange,
     LintCode::OrderRange,
     LintCode::CountRange,
@@ -124,6 +143,9 @@ pub const ALL_LINT_CODES: [LintCode; 13] = [
     LintCode::QueueUnderflow,
     LintCode::QueueOverflow,
     LintCode::PrecisionMismatch,
+    LintCode::PhaseDivergence,
+    LintCode::FusionSafety,
+    LintCode::CExitTermination,
 ];
 
 impl LintCode {
@@ -144,6 +166,9 @@ impl LintCode {
             LintCode::QueueUnderflow => "PSL011",
             LintCode::QueueOverflow => "PSL012",
             LintCode::PrecisionMismatch => "PSL013",
+            LintCode::PhaseDivergence => "PSL014",
+            LintCode::FusionSafety => "PSL015",
+            LintCode::CExitTermination => "PSL016",
         }
     }
 
@@ -159,7 +184,10 @@ impl LintCode {
             | LintCode::OrderReuse
             | LintCode::NoExitPath
             | LintCode::QueueUnderflow
-            | LintCode::QueueOverflow => Severity::Error,
+            | LintCode::QueueOverflow
+            | LintCode::PhaseDivergence
+            | LintCode::FusionSafety
+            | LintCode::CExitTermination => Severity::Error,
             LintCode::Unreachable
             | LintCode::ImplicitExit
             | LintCode::ReadBeforeWrite
@@ -224,6 +252,7 @@ pub fn lint(instrs: &[Instruction]) -> Vec<Diagnostic> {
     graph.check(instrs, &mut diags);
     order_reuse(instrs, &mut diags);
     absint::check(instrs, &graph, &mut diags);
+    psync::check(instrs, &graph, &mut diags);
     diags.sort_by_key(|d| (d.slot, d.code.code()));
     diags
 }

@@ -1,0 +1,335 @@
+//! Partial-synchrony lints (`PSL014`–`PSL016`).
+//!
+//! The first thirteen lint codes check a program against the *ISA*; these
+//! three check it against the *execution model*. Under partially
+//! synchronous execution, per-bank PUs run the same program text but
+//! advance independently between memory operations — the memory
+//! controller is the only point where their phases re-align, and `CEXIT`
+//! termination is a per-bank decision driven by queue occupancy. Three
+//! loop-level shapes are therefore hazards that none of the structural or
+//! dataflow passes see:
+//!
+//! * **`PSL014` — phase divergence.** An *unbounded* loop (`JUMP` count
+//!   0, Algorithm 2's stream loop) whose cycle contains no
+//!   memory-touching instruction never passes through the controller:
+//!   nothing bounds how far one bank's phase drifts from another's, and
+//!   the host's completion poll observes an arbitrarily skewed machine.
+//!   Counted loops are exempt — the trip count itself bounds the drift.
+//! * **`PSL015` — fusion safety / gather freshness.** `INDMOV` gathers
+//!   dense-vector elements into a DRF *through* the index stream at the
+//!   head of a sparse queue; a later `SPVDV` combining that queue against
+//!   the DRF is only aligned while the queue has not been popped since
+//!   the gather. Fused (block-diagonal) SpMM relies on this: a follower
+//!   vector's gather must be consumed against the *same* queue segment it
+//!   was indexed through, never cross-read against another queue or
+//!   reused after the segment advanced. The pass runs a per-DRF
+//!   freshness fixpoint and rejects gather clobbers, cross-queue
+//!   combines, and stale (post-pop) combines. Joins are optimistic —
+//!   a shape is flagged only when *every* path into the slot exhibits
+//!   it, so the pass adds no false positives on predicated streams.
+//! * **`PSL016` — `CEXIT` non-termination.** `CEXIT` terminates the bank
+//!   when its watched queue is empty. A cycle that *pushes* the watched
+//!   queue but never *drains* it keeps the queue non-empty from the
+//!   first iteration on: the exit condition is unsatisfiable and the
+//!   bank spins forever (the dynamic twin of `PSL007`, visible only
+//!   through queue-occupancy reasoning). `INDMOV` peeks without
+//!   popping, so it is not a drain.
+//!
+//! All three are [`Severity::Error`](super::Severity::Error): each marks
+//! a program that hangs or silently computes against misaligned data.
+
+use super::super::{Instruction, Operand};
+use super::cfg::Cfg;
+use super::{Diagnostic, LintCode};
+
+/// Run the partial-synchrony passes, appending findings to `diags`.
+pub(super) fn check(instrs: &[Instruction], cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let reach = reach1(cfg);
+    phase_divergence(instrs, cfg, &reach, diags);
+    gather_freshness(instrs, cfg, diags);
+    cexit_termination(instrs, cfg, &reach, diags);
+}
+
+/// `reach[i][j]` — a path of **at least one edge** leads from `i` to `j`
+/// (so `reach[i][i]` means `i` sits on a cycle). Programs cap at a few
+/// dozen slots; per-node DFS is plenty.
+fn reach1(cfg: &Cfg) -> Vec<Vec<bool>> {
+    let n = cfg.succs.len();
+    let mut reach = vec![vec![false; n]; n];
+    for (s, row) in reach.iter_mut().enumerate() {
+        let mut stack: Vec<usize> = cfg.succs[s].clone();
+        while let Some(t) = stack.pop() {
+            if !row[t] {
+                row[t] = true;
+                stack.extend(cfg.succs[t].iter().copied());
+            }
+        }
+    }
+    reach
+}
+
+/// The strongly connected component of `slot`, as a slot list.
+fn scc_of(slot: usize, reach: &[Vec<bool>]) -> Vec<usize> {
+    (0..reach.len())
+        .filter(|&j| j == slot || (reach[slot][j] && reach[j][slot]))
+        .collect()
+}
+
+// ---- PSL014: unbounded loop with no memory lockstep point --------------
+
+fn phase_divergence(
+    instrs: &[Instruction],
+    cfg: &Cfg,
+    reach: &[Vec<bool>],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (slot, ins) in instrs.iter().enumerate() {
+        if !cfg.reachable[slot] || !matches!(*ins, Instruction::Jump { count: 0, .. }) {
+            continue;
+        }
+        if !reach[slot][slot] {
+            continue; // backward jump whose body exits before returning
+        }
+        let scc = scc_of(slot, reach);
+        if scc.iter().any(|&j| instrs[j].is_memory()) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            slot,
+            LintCode::PhaseDivergence,
+            "unbounded loop (JUMP count 0) contains no memory instruction: banks never \
+             re-align at the controller and partial-synchrony phase drift is unbounded",
+        ));
+    }
+}
+
+// ---- PSL016: CEXIT whose watched queue can never drain -----------------
+
+/// The instruction *pushes* a burst into `SPVQ{q}` (queue as destination).
+fn pushes_queue(ins: &Instruction, q: u8) -> bool {
+    let qop = Operand::SpVq(q);
+    match *ins {
+        Instruction::Dmov { dst, .. }
+        | Instruction::SpMov { dst, .. }
+        | Instruction::GthSct { dst, .. }
+        | Instruction::SSpv { dst, .. }
+        | Instruction::SpVdv { dst, .. }
+        | Instruction::SpVSpv { dst, .. } => dst == qop,
+        _ => false,
+    }
+}
+
+/// The instruction *pops* `SPVQ{q}` (queue as a consumed source). `INDMOV`
+/// peeks the index stream without advancing the queue, so it is excluded.
+fn drains_queue(ins: &Instruction, q: u8) -> bool {
+    let qop = Operand::SpVq(q);
+    match *ins {
+        Instruction::SpFw { src, .. } => src == q,
+        Instruction::Dmov { src, .. }
+        | Instruction::SpMov { src, .. }
+        | Instruction::GthSct { src, .. }
+        | Instruction::SSpv { src, .. } => src == qop,
+        Instruction::SpVdv { src0, .. } => src0 == qop,
+        Instruction::SpVSpv { src0, src1, .. } => src0 == qop || src1 == qop,
+        _ => false,
+    }
+}
+
+fn cexit_termination(
+    instrs: &[Instruction],
+    cfg: &Cfg,
+    reach: &[Vec<bool>],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (slot, ins) in instrs.iter().enumerate() {
+        let Instruction::CExit { queue } = *ins else {
+            continue;
+        };
+        if queue >= 3 || !cfg.reachable[slot] || !reach[slot][slot] {
+            continue; // out-of-range is PSL004; acyclic CEXIT always exits
+        }
+        let scc = scc_of(slot, reach);
+        let pushes = scc.iter().any(|&j| pushes_queue(&instrs[j], queue));
+        let drains = scc.iter().any(|&j| drains_queue(&instrs[j], queue));
+        if pushes && !drains {
+            diags.push(Diagnostic::new(
+                slot,
+                LintCode::CExitTermination,
+                format!(
+                    "CEXIT watches SPVQ{queue}, but the loop pushes that queue and never \
+                     drains it: the exit condition is unsatisfiable and the bank spins forever"
+                ),
+            ));
+        }
+    }
+}
+
+// ---- PSL015: gather freshness / fusion safety --------------------------
+
+/// Per-DRF gather state. Ordered as a lattice chain per queue:
+/// `Stale(q) < Fresh(q) < Unknown`, with `Unknown` the optimistic top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gather {
+    /// No gather tracked (top — suppresses all PSL015 findings).
+    Unknown,
+    /// The DRF holds an `INDMOV` gather indexed through `SPVQ{q}` and the
+    /// queue has not been popped since: combining against `q` is aligned.
+    Fresh(u8),
+    /// The queue was popped after the gather: the DRF's elements no
+    /// longer correspond to the queue's head segment.
+    Stale(u8),
+}
+
+/// Optimistic join: agreement is kept, fresh wins over stale on the same
+/// queue (some path is still aligned), anything else loses all claims.
+fn join(a: Gather, b: Gather) -> Gather {
+    match (a, b) {
+        _ if a == b => a,
+        (Gather::Fresh(q), Gather::Stale(p)) | (Gather::Stale(q), Gather::Fresh(p)) if q == p => {
+            Gather::Fresh(q)
+        }
+        _ => Gather::Unknown,
+    }
+}
+
+/// The dense-register destination of `ins`, if any (excluding `INDMOV`,
+/// whose write is the tracked gather itself).
+fn drf_dst(ins: &Instruction) -> Option<u8> {
+    let (Instruction::Dmov { dst, .. }
+    | Instruction::SpMov { dst, .. }
+    | Instruction::GthSct { dst, .. }
+    | Instruction::Sdv { dst, .. }
+    | Instruction::SSpv { dst, .. }
+    | Instruction::Dvdv { dst, .. }
+    | Instruction::SpVdv { dst, .. }
+    | Instruction::SpVSpv { dst, .. }) = *ins
+    else {
+        return None;
+    };
+    match dst {
+        Operand::Drf(d) if d < 3 => Some(d),
+        _ => None,
+    }
+}
+
+/// Apply one instruction's effect to the per-DRF gather states.
+fn transfer(ins: &Instruction, st: &mut [Gather; 3]) {
+    if let Instruction::IndMov {
+        dst: Operand::Drf(d),
+        idx_queue,
+        ..
+    } = *ins
+    {
+        if d < 3 && idx_queue < 3 {
+            st[d as usize] = Gather::Fresh(idx_queue);
+        }
+        return;
+    }
+    // A pop advances the queue head: every fresh gather through that
+    // queue is now misaligned.
+    for q in 0..3u8 {
+        if drains_queue(ins, q) {
+            for g in &mut *st {
+                if *g == Gather::Fresh(q) {
+                    *g = Gather::Stale(q);
+                }
+            }
+        }
+    }
+    if let Some(d) = drf_dst(ins) {
+        st[d as usize] = Gather::Unknown;
+    }
+}
+
+fn gather_freshness(instrs: &[Instruction], cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let n = instrs.len();
+    if n == 0 {
+        return;
+    }
+
+    // Worklist fixpoint over per-slot entry states. The lattice chain has
+    // height 3 per DRF and the join is monotone, so this terminates.
+    let mut states: Vec<[Gather; 3]> = vec![[Gather::Unknown; 3]; n];
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    let mut work = vec![0usize];
+    while let Some(s) = work.pop() {
+        let mut out = states[s];
+        transfer(&instrs[s], &mut out);
+        for &t in &cfg.succs[s] {
+            if !visited[t] {
+                visited[t] = true;
+                states[t] = out;
+                work.push(t);
+            } else {
+                let mut merged = states[t];
+                for d in 0..3 {
+                    merged[d] = join(merged[d], out[d]);
+                }
+                if merged != states[t] {
+                    states[t] = merged;
+                    work.push(t);
+                }
+            }
+        }
+    }
+
+    // Reporting pass over the converged entry states.
+    for (slot, ins) in instrs.iter().enumerate() {
+        if !visited[slot] {
+            continue;
+        }
+        let st = &states[slot];
+        match *ins {
+            Instruction::IndMov {
+                dst: Operand::Drf(d),
+                idx_queue,
+                ..
+            } if d < 3 && idx_queue < 3 => {
+                if let Gather::Fresh(q0) = st[d as usize] {
+                    diags.push(Diagnostic::new(
+                        slot,
+                        LintCode::FusionSafety,
+                        format!(
+                            "INDMOV overwrites DRF{d}, which still holds an unconsumed \
+                             gather from SPVQ{q0}: the gathered operand is lost"
+                        ),
+                    ));
+                }
+            }
+            Instruction::SpVdv {
+                src0: Operand::SpVq(qs),
+                src1: Operand::Drf(d),
+                ..
+            } if qs < 3 && d < 3 => match st[d as usize] {
+                Gather::Fresh(qg) if qg != qs => diags.push(Diagnostic::new(
+                    slot,
+                    LintCode::FusionSafety,
+                    format!(
+                        "SPVDV combines SPVQ{qs} against DRF{d}, which was gathered \
+                             through SPVQ{qg}: fused streams must never cross-read another \
+                             lane's vector segment"
+                    ),
+                )),
+                Gather::Stale(qg) if qg == qs => diags.push(Diagnostic::new(
+                    slot,
+                    LintCode::FusionSafety,
+                    format!(
+                        "DRF{d}'s gather from SPVQ{qs} is stale (the queue was popped \
+                             since the INDMOV): re-gather before combining"
+                    ),
+                )),
+                Gather::Stale(qg) => diags.push(Diagnostic::new(
+                    slot,
+                    LintCode::FusionSafety,
+                    format!(
+                        "SPVDV combines SPVQ{qs} against DRF{d}, which holds a stale \
+                             gather through SPVQ{qg}: wrong queue and wrong segment"
+                    ),
+                )),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}

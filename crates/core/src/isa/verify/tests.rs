@@ -2,7 +2,7 @@
 //! each lint code fires exactly once, plus fixpoint behavior on the loop
 //! shapes the shipped kernels use.
 
-use super::super::{assemble, BinaryOp, Identity, Instruction, Operand, SubQueue};
+use super::super::{assemble, BinaryOp, Identity, Instruction, Operand, SetMode, SubQueue};
 use super::{lint, Diagnostic, LintCode, Severity, VerifiedProgram, ALL_LINT_CODES};
 use crate::error::CoreError;
 use psim_sparse::Precision;
@@ -14,6 +14,25 @@ fn spmov_in(q: u8, sub: SubQueue) -> Instruction {
         dst: Operand::SpVq(q),
         src: Operand::Bank,
         sub,
+        precision: P,
+    }
+}
+
+fn indmov(drf: u8, q: u8) -> Instruction {
+    Instruction::IndMov {
+        dst: Operand::Drf(drf),
+        idx_queue: q,
+        precision: P,
+    }
+}
+
+fn spvdv(dst: Operand, src0: Operand, src1: Operand) -> Instruction {
+    Instruction::SpVdv {
+        dst,
+        src0,
+        src1,
+        op: BinaryOp::Mul,
+        set: SetMode::Intersection,
         precision: P,
     }
 }
@@ -167,6 +186,56 @@ fn corpus() -> Vec<(LintCode, Vec<Instruction>)> {
                 Instruction::Exit,
             ],
         ),
+        (
+            // Compute-only unbounded loop: nothing ever passes through
+            // the memory controller, so bank phases drift without bound.
+            LintCode::PhaseDivergence,
+            vec![
+                Instruction::Sdv {
+                    dst: Operand::Drf(0),
+                    src: Operand::Drf(0),
+                    op: BinaryOp::Mul,
+                    precision: P,
+                },
+                Instruction::CExit { queue: 0 },
+                Instruction::Jump {
+                    target: 0,
+                    order: 0,
+                    count: 0,
+                },
+            ],
+        ),
+        (
+            // The first SPVDV pops SPVQ0, staleifying DRF2's gather; the
+            // second combines against the advanced queue anyway.
+            LintCode::FusionSafety,
+            vec![
+                spmov_in(0, SubQueue::Row),
+                spmov_in(0, SubQueue::Col),
+                spmov_in(0, SubQueue::Val),
+                spmov_in(0, SubQueue::Row),
+                spmov_in(0, SubQueue::Col),
+                spmov_in(0, SubQueue::Val),
+                indmov(2, 0),
+                spvdv(Operand::SpVq(1), Operand::SpVq(0), Operand::Drf(2)),
+                spvdv(Operand::SpVq(1), Operand::SpVq(0), Operand::Drf(2)),
+                Instruction::Exit,
+            ],
+        ),
+        (
+            // The loop pushes the CEXIT-watched queue and never drains
+            // it: the exit condition can never become true.
+            LintCode::CExitTermination,
+            vec![
+                spmov_in(0, SubQueue::Row),
+                Instruction::CExit { queue: 0 },
+                Instruction::Jump {
+                    target: 0,
+                    order: 0,
+                    count: 0,
+                },
+            ],
+        ),
     ]
 }
 
@@ -221,7 +290,7 @@ fn lint_codes_are_unique_and_stable() {
     dedup.sort_unstable();
     dedup.dedup();
     assert_eq!(dedup.len(), ALL_LINT_CODES.len());
-    assert!(codes.contains(&"PSL001") && codes.contains(&"PSL013"));
+    assert!(codes.contains(&"PSL001") && codes.contains(&"PSL016"));
 }
 
 // ---- control flow ------------------------------------------------------
@@ -406,6 +475,109 @@ fn srf_is_host_seeded_and_never_read_before_write() {
     )
     .unwrap();
     assert_eq!(prog.verify(), Vec::new());
+}
+
+// ---- partial synchrony -------------------------------------------------
+
+#[test]
+fn counted_compute_loop_is_not_phase_divergent() {
+    // A trip count bounds the drift; only JUMP count 0 loops qualify.
+    let diags = lint(&[
+        Instruction::Sdv {
+            dst: Operand::Drf(0),
+            src: Operand::Drf(0),
+            op: BinaryOp::Mul,
+            precision: P,
+        },
+        Instruction::Jump {
+            target: 0,
+            order: 1,
+            count: 7,
+        },
+        Instruction::Exit,
+    ]);
+    assert!(
+        !diags.iter().any(|d| d.code == LintCode::PhaseDivergence),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn gather_clobber_is_flagged_at_the_second_indmov() {
+    let diags = lint(&[
+        spmov_in(0, SubQueue::Row),
+        spmov_in(0, SubQueue::Col),
+        spmov_in(0, SubQueue::Val),
+        indmov(2, 0),
+        indmov(2, 0),
+        spvdv(Operand::SpVq(1), Operand::SpVq(0), Operand::Drf(2)),
+        Instruction::Exit,
+    ]);
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.code == LintCode::FusionSafety)
+        .collect();
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].slot, 4);
+    assert!(
+        hits[0].message.contains("unconsumed"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn cross_queue_gather_combine_is_flagged() {
+    // DRF2 is gathered through SPVQ0 but combined against SPVQ1 — the
+    // fused-SpMM cross-read PSL015 exists to forbid.
+    let diags = lint(&[
+        spmov_in(0, SubQueue::Row),
+        spmov_in(0, SubQueue::Col),
+        spmov_in(0, SubQueue::Val),
+        spmov_in(1, SubQueue::Row),
+        spmov_in(1, SubQueue::Col),
+        spmov_in(1, SubQueue::Val),
+        indmov(2, 0),
+        spvdv(Operand::SpVq(2), Operand::SpVq(1), Operand::Drf(2)),
+        Instruction::Exit,
+    ]);
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.code == LintCode::FusionSafety)
+        .collect();
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].slot, 7);
+    assert!(
+        hits[0].message.contains("cross-read"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn draining_cexit_loop_is_not_flagged_as_nonterminating() {
+    // Push + drain in the same loop (the Algorithm-2 shape): the queue
+    // can empty, so CEXIT can fire. Covered end-to-end by the clean
+    // batched-stream fixpoint test too; this pins PSL016 specifically.
+    let diags = lint(&[
+        spmov_in(0, SubQueue::Row),
+        spmov_in(0, SubQueue::Col),
+        spmov_in(0, SubQueue::Val),
+        Instruction::SpFw {
+            src: 0,
+            precision: P,
+        },
+        Instruction::CExit { queue: 0 },
+        Instruction::Jump {
+            target: 0,
+            order: 0,
+            count: 0,
+        },
+    ]);
+    assert!(
+        !diags.iter().any(|d| d.code == LintCode::CExitTermination),
+        "{diags:?}"
+    );
 }
 
 // ---- VerifiedProgram / CoreError ---------------------------------------

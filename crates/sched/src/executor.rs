@@ -647,7 +647,15 @@ impl LaneEngine {
         sink: &mut dyn FnMut(CompletedJob),
     ) -> Result<(), SchedError> {
         type GroupOutcome = Result<(Vec<JobValue>, KernelRun), SchedError>;
-        let threads = exec.cfg.host_threads.max(1);
+        // Under the interleaving explorer raw scoped threads would be
+        // invisible to the model scheduler, so the lane path degrades to
+        // serial execution there — same results by the determinism
+        // contract, every schedule decision stays explorable.
+        let threads = if psim_conc::model::in_model() {
+            1
+        } else {
+            exec.cfg.host_threads.max(1)
+        };
         loop {
             let plan = self.plan_epoch();
             if plan.is_empty() {

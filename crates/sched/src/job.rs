@@ -6,7 +6,9 @@
 //! can reference the same operand without cloning megabytes per job.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use psim_conc::Mutex;
 
 use psim_sparse::triangular::UnitTriangular;
 use psim_sparse::{Coo, Precision};
@@ -313,11 +315,23 @@ impl StoreInner {
 /// eviction bounds the resident set for long-running services. Evicted
 /// operands stay alive for jobs already holding their `Arc` — eviction
 /// only governs what *future* lookups can find.
-#[derive(Debug, Default)]
+///
+/// Synchronization goes through the [`psim_conc`] shim (label
+/// `"sched.store"`), so the insert/evict paths are interleaving-explored
+/// and lock-order checked by the `psim_model` gate.
+#[derive(Debug)]
 pub struct MatrixStore {
     inner: Mutex<StoreInner>,
     /// Resident-set budget in bytes (`usize::MAX` = unbounded).
     budget: usize,
+}
+
+/// Same as [`MatrixStore::new`]: unbounded. (A derived `Default` would
+/// zero the byte budget and evict every operand on the next insert.)
+impl Default for MatrixStore {
+    fn default() -> Self {
+        MatrixStore::new()
+    }
 }
 
 impl MatrixStore {
@@ -325,7 +339,7 @@ impl MatrixStore {
     #[must_use]
     pub fn new() -> Self {
         MatrixStore {
-            inner: Mutex::new(StoreInner::default()),
+            inner: Mutex::labeled("sched.store", StoreInner::default()),
             budget: usize::MAX,
         }
     }
@@ -338,20 +352,16 @@ impl MatrixStore {
     #[must_use]
     pub fn with_budget(budget: usize) -> Self {
         MatrixStore {
-            inner: Mutex::new(StoreInner::default()),
+            inner: Mutex::labeled("sched.store", StoreInner::default()),
             budget: budget.max(1),
         }
     }
 
     /// Register a matrix under a name, returning its shared handle.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the store mutex is poisoned.
     pub fn insert(&self, name: &str, a: Coo) -> Arc<Coo> {
         let bytes = a.storage_bytes(Precision::Fp64);
         let arc = Arc::new(a);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let touched = inner.touch();
         if let Some(old) = inner.matrices.insert(
             name.to_string(),
@@ -369,15 +379,11 @@ impl MatrixStore {
     }
 
     /// Register a triangular factor under a name.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the store mutex is poisoned.
     pub fn insert_triangular(&self, name: &str, t: UnitTriangular) -> Arc<UnitTriangular> {
         // Strict part in COO-equivalent storage plus the unit diagonal.
         let bytes = t.nnz() * 16 + t.dim() * 8;
         let arc = Arc::new(t);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let touched = inner.touch();
         if let Some(old) = inner.triangulars.insert(
             name.to_string(),
@@ -395,13 +401,9 @@ impl MatrixStore {
     }
 
     /// Look up a registered matrix (refreshes its LRU position).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the store mutex is poisoned.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<Arc<Coo>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let touched = inner.touch();
         let entry = inner.matrices.get_mut(name)?;
         entry.touched = touched;
@@ -410,13 +412,9 @@ impl MatrixStore {
 
     /// Look up a registered triangular factor (refreshes its LRU
     /// position).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the store mutex is poisoned.
     #[must_use]
     pub fn get_triangular(&self, name: &str) -> Option<Arc<UnitTriangular>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let touched = inner.touch();
         let entry = inner.triangulars.get_mut(name)?;
         entry.touched = touched;
@@ -424,13 +422,9 @@ impl MatrixStore {
     }
 
     /// Number of resident operands.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the store mutex is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock();
         inner.matrices.len() + inner.triangulars.len()
     }
 
@@ -441,23 +435,55 @@ impl MatrixStore {
     }
 
     /// Bytes currently resident.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the store mutex is poisoned.
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
-        self.inner.lock().unwrap().resident_bytes
+        self.inner.lock().resident_bytes
     }
 
     /// Operands evicted under the byte budget so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
+
+    /// Check the store's accounting invariants in one atomic snapshot:
+    /// `resident_bytes` equals the sum of resident entry sizes, the
+    /// resident set fits the budget whenever eviction could have run,
+    /// and no entry's LRU stamp is ahead of the clock. The model-check
+    /// scenarios call this after every explored interleaving — a lost
+    /// update under concurrent insert/evict shows up here as a byte
+    /// mismatch rather than as a silent leak.
     ///
     /// # Panics
     ///
-    /// Panics if the store mutex is poisoned.
-    #[must_use]
-    pub fn evictions(&self) -> u64 {
-        self.inner.lock().unwrap().evictions
+    /// Panics (with the broken invariant) when the accounting is
+    /// inconsistent.
+    pub fn audit(&self) {
+        let inner = self.inner.lock();
+        let sum: usize = inner.matrices.values().map(|e| e.bytes).sum::<usize>()
+            + inner.triangulars.values().map(|e| e.bytes).sum::<usize>();
+        assert_eq!(
+            inner.resident_bytes, sum,
+            "resident_bytes out of sync with entry sizes"
+        );
+        let max_one = inner
+            .matrices
+            .values()
+            .map(|e| e.bytes)
+            .chain(inner.triangulars.values().map(|e| e.bytes))
+            .max()
+            .unwrap_or(0);
+        assert!(
+            inner.resident_bytes <= self.budget.max(max_one),
+            "resident set exceeds budget beyond the single-oversized-operand allowance"
+        );
+        let ahead = inner
+            .matrices
+            .values()
+            .map(|e| e.touched)
+            .chain(inner.triangulars.values().map(|e| e.touched))
+            .all(|t| t <= inner.tick);
+        assert!(ahead, "an LRU stamp is ahead of the store clock");
     }
 }
 
@@ -476,6 +502,19 @@ mod tests {
         let c_large = JobKind::spmv(Arc::clone(&large), x_large).cost_estimate();
         assert!(c_large > c_small);
         assert!(JobKind::Norm2 { x: vec![] }.cost_estimate() >= 1);
+    }
+
+    #[test]
+    fn default_store_is_unbounded_like_new() {
+        // Regression: the derived Default used to leave budget = 0, so a
+        // default-constructed store evicted everything on every insert.
+        let store = MatrixStore::default();
+        store.insert("a", gen::rmat(32, 2, 7));
+        store.insert("b", gen::rmat(32, 2, 8));
+        assert!(store.get("a").is_some());
+        assert!(store.get("b").is_some());
+        assert_eq!(store.evictions(), 0);
+        store.audit();
     }
 
     #[test]

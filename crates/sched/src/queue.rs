@@ -22,9 +22,21 @@
 //! Given the same set of queued jobs, the drain order is a pure function
 //! of specs and submission order — never of thread timing — which is what
 //! lets the sharded executor promise bit-identical parallel results.
+//!
+//! Synchronization goes through the [`psim_conc`] shim: in production it
+//! is `std::sync` with poisoning recovered (a panicked worker must not
+//! cascade `Err(Poisoned)` into every submitter — all queue invariants
+//! are re-established under the lock, and every wait re-checks its
+//! predicate in a loop), while under `PSIM_SYNC=instrument` or the
+//! `psim_conc::model` explorer the same code paths are lock-order
+//! checked and interleaving-explored (see the `psim_model` gate).
+//! Wakeups are signalled *after* the lock is released: correctness never
+//! depends on it (waiters re-check predicates), it just spares the woken
+//! thread an immediate block on the still-held mutex.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+
+use psim_conc::{Condvar, Mutex};
 
 #[allow(unused_imports)] // doc link
 use crate::job::JobKind;
@@ -80,15 +92,18 @@ impl JobQueue {
     #[must_use]
     pub fn bounded(capacity: usize) -> Self {
         JobQueue {
-            inner: Mutex::new(Inner {
-                tenants: BTreeMap::new(),
-                len: 0,
-                capacity: capacity.max(1),
-                next_id: 0,
-                closed: false,
-            }),
-            not_full: Condvar::new(),
-            not_empty: Condvar::new(),
+            inner: Mutex::labeled(
+                "sched.queue",
+                Inner {
+                    tenants: BTreeMap::new(),
+                    len: 0,
+                    capacity: capacity.max(1),
+                    next_id: 0,
+                    closed: false,
+                },
+            ),
+            not_full: Condvar::labeled("sched.queue.not_full"),
+            not_empty: Condvar::labeled("sched.queue.not_empty"),
         }
     }
 
@@ -98,12 +113,8 @@ impl JobQueue {
     /// # Errors
     ///
     /// [`SubmitError::Closed`] if the queue has been closed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue mutex is poisoned (a worker panicked).
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         loop {
             if inner.closed {
                 return Err(SubmitError::Closed);
@@ -111,9 +122,12 @@ impl JobQueue {
             if inner.len < inner.capacity {
                 break;
             }
-            inner = self.not_full.wait(inner).unwrap();
+            inner = self.not_full.wait(inner);
         }
-        Ok(self.enqueue(&mut inner, spec))
+        let id = Self::enqueue(&mut inner, spec);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(id)
     }
 
     /// Submit without blocking.
@@ -122,40 +136,34 @@ impl JobQueue {
     ///
     /// [`SubmitError::Full`] when at capacity, [`SubmitError::Closed`]
     /// after [`JobQueue::close`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue mutex is poisoned.
     pub fn try_submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         if inner.closed {
             return Err(SubmitError::Closed);
         }
         if inner.len >= inner.capacity {
             return Err(SubmitError::Full);
         }
-        Ok(self.enqueue(&mut inner, spec))
+        let id = Self::enqueue(&mut inner, spec);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(id)
     }
 
-    fn enqueue(&self, inner: &mut Inner, spec: JobSpec) -> JobId {
+    fn enqueue(inner: &mut Inner, spec: JobSpec) -> JobId {
         let id = inner.next_id;
         inner.next_id += 1;
         let class_idx = spec.class as usize;
         let tenant = inner.tenants.entry(spec.tenant.clone()).or_default();
         tenant.pending[class_idx].push_back(Job { id, spec });
         inner.len += 1;
-        self.not_empty.notify_one();
         id
     }
 
     /// Close the queue: submissions fail from now on, pops drain what is
     /// left.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue mutex is poisoned.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.closed = true;
         drop(inner);
         self.not_full.notify_all();
@@ -164,13 +172,10 @@ impl JobQueue {
 
     /// Take the next job per the fairness policy, or `None` if nothing is
     /// pending.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue mutex is poisoned.
     pub fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let job = Self::pick(&mut inner);
+        drop(inner);
         if job.is_some() {
             self.not_full.notify_one();
         }
@@ -179,21 +184,18 @@ impl JobQueue {
 
     /// Take the next job, blocking until one is available. Returns `None`
     /// only when the queue is closed *and* drained.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue mutex is poisoned.
     pub fn pop_wait(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         loop {
             if let Some(job) = Self::pick(&mut inner) {
+                drop(inner);
                 self.not_full.notify_one();
                 return Some(job);
             }
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).unwrap();
+            inner = self.not_empty.wait(inner);
         }
     }
 
@@ -203,13 +205,9 @@ impl JobQueue {
     /// wakeup admits a whole window (the executor's fusion stage scans
     /// it for same-matrix SpMV runs), instead of paying a lock round-trip
     /// per job.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue mutex is poisoned.
     #[must_use]
     pub fn pop_wait_batch(&self, max: usize) -> Vec<Job> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         loop {
             if inner.len > 0 {
                 break;
@@ -217,7 +215,7 @@ impl JobQueue {
             if inner.closed {
                 return Vec::new();
             }
-            inner = self.not_empty.wait(inner).unwrap();
+            inner = self.not_empty.wait(inner);
         }
         let take = max.max(1).min(inner.len);
         let mut jobs = Vec::with_capacity(take);
@@ -231,17 +229,14 @@ impl JobQueue {
 
     /// Drain every pending job in fairness order (the batch the sharded
     /// executor plans over).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue mutex is poisoned.
     #[must_use]
     pub fn drain(&self) -> Vec<Job> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let mut jobs = Vec::with_capacity(inner.len);
         while let Some(job) = Self::pick(&mut inner) {
             jobs.push(job);
         }
+        drop(inner);
         self.not_full.notify_all();
         jobs
     }
@@ -270,13 +265,9 @@ impl JobQueue {
     }
 
     /// Pending jobs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue mutex is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len
+        self.inner.lock().len
     }
 
     /// Whether nothing is pending.
@@ -286,13 +277,9 @@ impl JobQueue {
     }
 
     /// Maximum pending jobs before submitters block.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue mutex is poisoned.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.inner.lock().unwrap().capacity
+        self.inner.lock().capacity
     }
 }
 

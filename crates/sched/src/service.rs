@@ -15,6 +15,14 @@
 //! the queue. With one producer (or producers synchronized by the
 //! caller) a service run is exactly reproducible; with racing producers
 //! the interleaving is the caller's nondeterminism, not the service's.
+//!
+//! Concurrency verification: the service's only synchronization is the
+//! queue's shim-backed locks (`psim_conc`), and the lane path degrades
+//! to serial under the interleaving explorer — so the model scenarios
+//! (`tests/model_shutdown.rs`, the `psim_model` gate) cover close
+//! racing an in-flight fusion window, blocked `pop_wait_batch` waiters,
+//! and fused-vs-unfused value equivalence across every explored
+//! schedule. See DESIGN.md §16.
 
 use std::time::Instant;
 
