@@ -66,6 +66,7 @@ impl SpaceAModel {
                 precision: p,
                 policy: psim_sparse::partition::DistPolicy::RoundRobin,
                 compress: true,
+                scheme: psim_sparse::PartitionScheme::Row1D,
             },
         );
         let loads = part.bank_nnz();

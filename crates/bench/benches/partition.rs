@@ -18,6 +18,7 @@ fn bench_partition(c: &mut Criterion) {
                 row_bytes: 1024,
                 precision: Precision::Fp64,
                 policy,
+                scheme: psim_sparse::PartitionScheme::default(),
                 compress: true,
             };
             group.bench_with_input(

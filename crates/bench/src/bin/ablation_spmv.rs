@@ -9,10 +9,11 @@
 //!    runs natively at INT8.
 
 use psim_bench::{fmt_x, human_row, tsv_row, Args};
-use psim_kernels::{PimDevice, SpmvPim};
+use psim_kernels::{layout_grid, PimDevice, SpmvPim};
 use psim_sparse::partition::DistPolicy;
 use psim_sparse::suite::{by_name, with_tag, Tag};
 use psim_sparse::{gen, Precision};
+use psim_tune::Autotuner;
 
 fn main() {
     let args = Args::parse();
@@ -156,5 +157,63 @@ fn main() {
                 i.run.external_bytes.to_string(),
             ],
         );
+    }
+
+    // --- 4. layout zoo ---------------------------------------------------
+    // Partition scheme × storage format across the fixed ablation grid,
+    // against the autotuner's per-matrix pick (DESIGN.md §17). The gate
+    // for this sweep is `ablation_autotune`; this table is the
+    // paper-device view.
+    println!("\n[layout ablation: the fixed grid vs the autotuner]");
+    human_row(
+        &args,
+        &[
+            "matrix".into(),
+            "layout".into(),
+            "cycles".into(),
+            "time".into(),
+            "imbalance".into(),
+        ],
+    );
+    let device = PimDevice::psync_1x();
+    let tuner = Autotuner::new(&device);
+    for name in ["bcsstk32", "Stanford", "crankseg_2"] {
+        let spec = by_name(name).expect("known matrix");
+        if !args.selects(spec) {
+            continue;
+        }
+        let a = spec.generate(args.scale);
+        let x = gen::dense_vector(a.ncols(), 9);
+        let decision = tuner.decide(&a, Precision::Fp64);
+        let tuned = decision.choice;
+        let mut rows: Vec<(String, _)> =
+            layout_grid().into_iter().map(|l| (l.label(), l)).collect();
+        rows.push((format!("tuned:{}", decision.label), tuned));
+        for (label, layout) in rows {
+            let r = SpmvPim::new(device.clone(), Precision::Fp64)
+                .with_layout(layout)
+                .run(&a, &x)
+                .expect("layout run");
+            human_row(
+                &args,
+                &[
+                    name.to_string(),
+                    label.clone(),
+                    r.run.dram_cycles.to_string(),
+                    format!("{:.3e}", r.run.total_s()),
+                    format!("{:.2}", r.stats.imbalance()),
+                ],
+            );
+            tsv_row(
+                "ablation-layout",
+                &[
+                    name.to_string(),
+                    label,
+                    r.run.dram_cycles.to_string(),
+                    r.run.total_s().to_string(),
+                    r.stats.imbalance().to_string(),
+                ],
+            );
+        }
     }
 }

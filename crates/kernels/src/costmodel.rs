@@ -24,9 +24,9 @@
 //! its bound.
 
 use crate::device::{triple_pairs, PimDevice};
-use psim_sparse::partition::{BankPartition, DistPolicy, PartitionConfig};
+use psim_sparse::partition::{BankPartition, DistPolicy, PartitionConfig, PartitionScheme};
 use psim_sparse::triangular::UnitTriangular;
-use psim_sparse::{BlockPlan, BlockStep, Coo, Csc, LevelSchedule, Precision};
+use psim_sparse::{BlockPlan, BlockStep, Coo, Csc, Layout, LevelSchedule, Precision};
 
 /// Estimated cost of one kernel invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -258,6 +258,49 @@ impl CostModel {
         policy: DistPolicy,
         compress: bool,
     ) -> CostEstimate {
+        self.batched_walk(a, 1, precision, policy, compress, PartitionScheme::Row1D)
+    }
+
+    /// SpMV from an explicit [`Layout`]: the format's execution stream
+    /// (blocked formats pay their fill as extra entries), the layout's
+    /// scheme and placement. This is the tuner's per-candidate score —
+    /// the per-layout terms enter exactly as they do in the kernels: the
+    /// expanded stream changes `max_nnz` per bank, the scheme changes the
+    /// cut, the policy changes placement.
+    #[must_use]
+    pub fn spmv_layout(&self, a: &Coo, precision: Precision, layout: Layout) -> CostEstimate {
+        let expanded = layout.format.expand(a);
+        let a = expanded.as_ref().unwrap_or(a);
+        self.batched_walk(a, 1, precision, layout.policy, true, layout.scheme)
+    }
+
+    /// SpMM from an explicit [`Layout`] over `width` fused vectors.
+    #[must_use]
+    pub fn spmm_layout(
+        &self,
+        a: &Coo,
+        width: usize,
+        precision: Precision,
+        layout: Layout,
+    ) -> CostEstimate {
+        assert!(width >= 1, "spmm width must be at least 1");
+        let expanded = layout.format.expand(a);
+        let a = expanded.as_ref().unwrap_or(a);
+        self.batched_walk(a, width, precision, layout.policy, true, layout.scheme)
+    }
+
+    /// The shared batched-stream walk: partition exactly as the kernels
+    /// do, then cost each wave by its slowest cube, with each bank stream
+    /// block-diagonally expanded `width` times (width 1 = plain SpMV).
+    fn batched_walk(
+        &self,
+        a: &Coo,
+        width: usize,
+        precision: Precision,
+        policy: DistPolicy,
+        compress: bool,
+        scheme: PartitionScheme,
+    ) -> CostEstimate {
         let nbanks = self.banks_per_cube * self.cubes;
         let part = BankPartition::build(
             a,
@@ -267,6 +310,7 @@ impl CostModel {
                 precision,
                 policy,
                 compress,
+                scheme,
             },
         );
         // Per-bank nnz queues; wave w takes each bank's w-th submatrix.
@@ -289,7 +333,7 @@ impl CostModel {
                 if max_nnz == 0 {
                     continue;
                 }
-                let rounds = Self::batched_rounds(max_nnz, lanes);
+                let rounds = Self::batched_rounds(width * max_nnz, lanes);
                 // Cubes run in parallel within a wave.
                 wave_cycles = wave_cycles.max(self.phase_cycles(&BATCHED_SPARSE, rounds));
             }
@@ -321,44 +365,14 @@ impl CostModel {
         compress: bool,
     ) -> CostEstimate {
         assert!(width >= 1, "spmm width must be at least 1");
-        let nbanks = self.banks_per_cube * self.cubes;
-        let part = BankPartition::build(
+        self.batched_walk(
             a,
-            PartitionConfig {
-                num_banks: nbanks,
-                row_bytes: self.row_bytes,
-                precision,
-                policy,
-                compress,
-            },
-        );
-        let mut per_bank: Vec<Vec<usize>> = vec![Vec::new(); nbanks];
-        for s in part.submatrices() {
-            per_bank[s.bank].push(s.nnz());
-        }
-        let waves = per_bank.iter().map(Vec::len).max().unwrap_or(0);
-        let lanes = precision.lanes();
-
-        let mut est = CostEstimate::default();
-        for wave in 0..waves {
-            let mut wave_cycles = 0u64;
-            for cube in 0..self.cubes {
-                let lo = cube * self.banks_per_cube;
-                let max_nnz = (0..self.banks_per_cube)
-                    .filter_map(|b| per_bank[lo + b].get(wave).copied())
-                    .max()
-                    .unwrap_or(0);
-                if max_nnz == 0 {
-                    continue;
-                }
-                let rounds = Self::batched_rounds(width * max_nnz, lanes);
-                wave_cycles = wave_cycles.max(self.phase_cycles(&BATCHED_SPARSE, rounds));
-            }
-            if wave_cycles > 0 {
-                est.add_phase(wave_cycles);
-            }
-        }
-        est
+            width,
+            precision,
+            policy,
+            compress,
+            PartitionScheme::Row1D,
+        )
     }
 
     /// SpTRSV `T x = b`: walk the same block plan and level schedule as

@@ -16,8 +16,9 @@ use crate::device::{KernelRun, PimDevice};
 use crate::spmv::SpmvPim;
 use crate::sptrsv::SptrsvPim;
 use psim_sparse::dense;
+use psim_sparse::partition::{DistPolicy, PartitionScheme};
 use psim_sparse::triangular::{unit_triangular_from, Triangle};
-use psim_sparse::{gen, Coo, Precision};
+use psim_sparse::{adversarial, gen, Coo, Layout, MatrixFormat, Precision};
 use psyncpim_core::CoreError;
 
 /// One differential comparison: a kernel on one generated input.
@@ -100,12 +101,15 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Generate the `i`-th random square matrix of a sweep.
+/// Generate the `i`-th random square matrix of a sweep: the four
+/// benchmark families plus the four adversarial shapes
+/// ([`psim_sparse::adversarial`]), so every sweep of ≥ 8 cases crosses
+/// all kernels with the partitioner's worst inputs too.
 fn gen_matrix(i: usize, rng: &mut u64) -> (String, Coo) {
     let n = 40 + (splitmix(rng) % 161) as usize; // 40..=200
     let deg = 2 + (splitmix(rng) % 5) as usize; // 2..=6
     let salt = splitmix(rng);
-    match i % 4 {
+    match i % 8 {
         0 => (format!("rmat(n={n},deg={deg})"), gen::rmat(n, deg, salt)),
         1 => {
             let bw = 2 + (splitmix(rng) % 8) as usize;
@@ -118,9 +122,22 @@ fn gen_matrix(i: usize, rng: &mut u64) -> (String, Coo) {
             format!("web_hubs(n={n},nnz={})", n * deg),
             gen::web_hubs(n, n * deg, salt),
         ),
-        _ => (
+        3 => (
             format!("layered_dag(n={n},deg={deg})"),
             gen::layered_dag(n, deg, 4, salt),
+        ),
+        4 => (
+            format!("adv_hub_rows(n={n})"),
+            adversarial::power_law_hubs(n, n * deg, 3, salt),
+        ),
+        5 => (format!("adv_arrow(n={n})"), adversarial::arrow(n, n, salt)),
+        6 => (
+            format!("adv_dense_blocks(n={n})"),
+            adversarial::near_dense_blocks(n, 8, 4, salt),
+        ),
+        _ => (
+            format!("adv_empty_extremes(n={n})"),
+            adversarial::empty_extremes(n, salt),
         ),
     }
 }
@@ -227,6 +244,103 @@ pub fn run_oracle(device: &PimDevice, cases: usize, seed: u64) -> Result<OracleR
     Ok(report)
 }
 
+/// The fixed layout grid the layout oracle and the autotuner ablation
+/// sweep: one representative per format family crossed with every
+/// partition scheme kind and both placement policies.
+#[must_use]
+pub fn layout_grid() -> Vec<Layout> {
+    vec![
+        Layout::baseline(), // coo/1d/rr — the paper's configuration
+        Layout {
+            format: MatrixFormat::Csr,
+            scheme: PartitionScheme::Row1D,
+            policy: DistPolicy::LeastLoaded,
+        },
+        Layout {
+            format: MatrixFormat::Coo,
+            scheme: PartitionScheme::Grid2D { col_blocks: 2 },
+            policy: DistPolicy::RoundRobin,
+        },
+        Layout {
+            format: MatrixFormat::Coo,
+            scheme: PartitionScheme::Balanced2D { col_blocks: 4 },
+            policy: DistPolicy::LeastLoaded,
+        },
+        Layout {
+            format: MatrixFormat::Bcsr { block: 4 },
+            scheme: PartitionScheme::Row1D,
+            policy: DistPolicy::RoundRobin,
+        },
+        Layout {
+            format: MatrixFormat::Bcoo { block: 8 },
+            scheme: PartitionScheme::Balanced2D { col_blocks: 2 },
+            policy: DistPolicy::RoundRobin,
+        },
+    ]
+}
+
+/// Differential sweep over every layout × adversarial shape combination:
+/// SpMV against the CPU reference and a width-2 SpMM against its own
+/// solo runs (bit-exact — the fusion contract holds per layout), with
+/// validation forced on so the protocol checker rides along.
+///
+/// # Errors
+///
+/// Returns the first simulator error; mismatches land in the report.
+pub fn run_layout_oracle(
+    device: &PimDevice,
+    n: usize,
+    seed: u64,
+) -> Result<OracleReport, CoreError> {
+    let device = {
+        let mut d = device.clone();
+        d.validate = true;
+        d
+    };
+    let mut rng = seed ^ 0x1A10_0AC1E;
+    let mut report = OracleReport::default();
+    for (name, a) in adversarial::suite(n, splitmix(&mut rng)) {
+        let want_x = gen::dense_vector(a.ncols(), splitmix(&mut rng));
+        let want = a.spmv(&want_x);
+        for layout in layout_grid() {
+            let tag = format!("{name} {}", layout.label());
+            let spmv = SpmvPim::new(device.clone(), Precision::Fp64).with_layout(layout);
+            let r = spmv.run(&a, &want_x)?;
+            report
+                .cases
+                .push(diff("SpMV", &tag, &a, &r.y, &want, 1e-9, &r.run));
+
+            let xs: Vec<Vec<f64>> = (0..2)
+                .map(|_| gen::dense_vector(a.ncols(), splitmix(&mut rng)))
+                .collect();
+            let spmm =
+                crate::spmm::SpmmPim::new(device.clone(), Precision::Fp64).with_layout(layout);
+            let r = spmm.run(&a, &xs)?;
+            let mut max_err = 0.0f64;
+            let mut exact = true;
+            for (v, x) in xs.iter().enumerate() {
+                let solo = spmm.as_spmv().run(&a, x)?;
+                for (g, s) in r.ys[v].iter().zip(&solo.y) {
+                    max_err = max_err.max((g - s).abs());
+                    exact &= g.to_bits() == s.to_bits();
+                }
+            }
+            let audit = audit_run(&r.run);
+            report.cases.push(OracleCase {
+                kernel: "SpMM",
+                matrix: format!("{tag} w=2"),
+                n: a.nrows(),
+                nnz: a.nnz(),
+                max_err,
+                tolerance: 0.0,
+                pass: exact && audit.is_empty(),
+                audit,
+            });
+        }
+    }
+    Ok(report)
+}
+
 fn diff(
     kernel: &'static str,
     matrix: &str,
@@ -261,8 +375,18 @@ mod tests {
 
     #[test]
     fn oracle_sweep_passes_on_tiny_device() {
-        let report = run_oracle(&PimDevice::tiny(2), 4, 0xC0FFEE).expect("simulator ok");
-        assert_eq!(report.cases.len(), 20); // 5 kernels × 4 cases
+        // 8 cases covers every generator family once, adversarial
+        // shapes included.
+        let report = run_oracle(&PimDevice::tiny(2), 8, 0xC0FFEE).expect("simulator ok");
+        assert_eq!(report.cases.len(), 40); // 5 kernels × 8 cases
+        assert!(report.all_pass(), "{:?}", report.failures());
+    }
+
+    #[test]
+    fn layout_oracle_passes_every_layout_times_shape() {
+        let report = run_layout_oracle(&PimDevice::tiny(2), 48, 0xBEEF).expect("simulator ok");
+        // 4 adversarial shapes × 6 layouts × (SpMV + SpMM).
+        assert_eq!(report.cases.len(), 48);
         assert!(report.all_pass(), "{:?}", report.failures());
     }
 

@@ -28,9 +28,9 @@ use crate::device::{
 use crate::programs;
 use crate::spmv::SpmvPim;
 use psim_sparse::partition::{
-    BankPartition, DistPolicy, PartitionConfig, PartitionStats, SubMatrix,
+    BankPartition, DistPolicy, PartitionConfig, PartitionScheme, PartitionStats, SubMatrix,
 };
-use psim_sparse::{Coo, Precision};
+use psim_sparse::{Coo, Layout, MatrixFormat, Precision};
 use psyncpim_core::isa::{assemble, BinaryOp};
 use psyncpim_core::memory::Binding;
 use psyncpim_core::CoreError;
@@ -57,6 +57,10 @@ pub struct SpmmPim {
     pub acc: BinaryOp,
     /// Matrix compression (paper Figure 6).
     pub compress: bool,
+    /// Storage format the matrix executes from (see [`SpmvPim::format`]).
+    pub format: MatrixFormat,
+    /// Partition scheme (see [`SpmvPim::scheme`]).
+    pub scheme: PartitionScheme,
 }
 
 /// Result of a distributed SpMM.
@@ -85,6 +89,8 @@ impl SpmmPim {
             mul: BinaryOp::Mul,
             acc: BinaryOp::Add,
             compress: true,
+            format: MatrixFormat::Coo,
+            scheme: PartitionScheme::Row1D,
         }
     }
 
@@ -103,7 +109,18 @@ impl SpmmPim {
             mul,
             acc,
             compress: true,
+            format: MatrixFormat::Coo,
+            scheme: PartitionScheme::Row1D,
         }
+    }
+
+    /// Adopt a tuned [`Layout`] (format, scheme, policy) wholesale.
+    #[must_use]
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.format = layout.format;
+        self.scheme = layout.scheme;
+        self.policy = layout.policy;
+        self
     }
 
     /// The equivalent single-vector runner (shared partition/semiring
@@ -117,6 +134,8 @@ impl SpmmPim {
             mul: self.mul,
             acc: self.acc,
             compress: self.compress,
+            format: self.format,
+            scheme: self.scheme,
         }
     }
 
@@ -139,6 +158,12 @@ impl SpmmPim {
         for x in xs {
             assert_eq!(x.len(), a.ncols(), "spmm operand length mismatch");
         }
+        assert!(
+            !self.format.is_blocked() || (self.mul == BinaryOp::Mul && self.acc == BinaryOp::Add),
+            "blocked formats require the arithmetic (Mul, Add) semiring"
+        );
+        let expanded = self.format.expand(a);
+        let a = expanded.as_ref().unwrap_or(a);
         let nbanks = self.device.total_banks();
         let part = BankPartition::build(
             a,
@@ -148,6 +173,7 @@ impl SpmmPim {
                 precision: self.precision,
                 policy: self.policy,
                 compress: self.compress,
+                scheme: self.scheme,
             },
         );
         let stats = part.stats();

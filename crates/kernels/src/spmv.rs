@@ -14,9 +14,9 @@ use crate::device::{
 };
 use crate::programs;
 use psim_sparse::partition::{
-    BankPartition, DistPolicy, PartitionConfig, PartitionStats, SubMatrix,
+    BankPartition, DistPolicy, PartitionConfig, PartitionScheme, PartitionStats, SubMatrix,
 };
-use psim_sparse::{Coo, Precision};
+use psim_sparse::{Coo, Layout, MatrixFormat, Precision};
 use psyncpim_core::isa::{assemble, BinaryOp};
 use psyncpim_core::memory::Binding;
 use psyncpim_core::CoreError;
@@ -40,6 +40,13 @@ pub struct SpmvPim {
     pub acc: BinaryOp,
     /// Matrix compression (paper Figure 6); disable only for the ablation.
     pub compress: bool,
+    /// Storage format the matrix executes from. Element formats (COO/CSR)
+    /// stream the true non-zeros; blocked formats (BCSR/BCOO) stream
+    /// their tiles with fill zeros — sound only for the arithmetic
+    /// semiring, which [`SpmvPim::run`] asserts.
+    pub format: MatrixFormat,
+    /// Partition scheme (1D row strips or a 2D column-blocked variant).
+    pub scheme: PartitionScheme,
 }
 
 /// Result of a distributed SpMV.
@@ -66,6 +73,8 @@ impl SpmvPim {
             mul: BinaryOp::Mul,
             acc: BinaryOp::Add,
             compress: true,
+            format: MatrixFormat::Coo,
+            scheme: PartitionScheme::Row1D,
         }
     }
 
@@ -85,6 +94,27 @@ impl SpmvPim {
             mul,
             acc,
             compress: true,
+            format: MatrixFormat::Coo,
+            scheme: PartitionScheme::Row1D,
+        }
+    }
+
+    /// Adopt a tuned [`Layout`] (format, scheme, policy) wholesale.
+    #[must_use]
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.format = layout.format;
+        self.scheme = layout.scheme;
+        self.policy = layout.policy;
+        self
+    }
+
+    /// The layout this runner executes from.
+    #[must_use]
+    pub fn layout(&self) -> Layout {
+        Layout {
+            format: self.format,
+            scheme: self.scheme,
+            policy: self.policy,
         }
     }
 
@@ -99,6 +129,15 @@ impl SpmvPim {
     /// Panics if `x.len() != a.ncols()`.
     pub fn run(&self, a: &Coo, x: &[f64]) -> Result<SpmvResult, CoreError> {
         assert_eq!(x.len(), a.ncols(), "spmv operand length mismatch");
+        // Blocked fill zeros are inert only when 0·x is the accumulator
+        // identity — the arithmetic semiring. Min/Max accumulation would
+        // absorb the fill, so refuse rather than corrupt.
+        assert!(
+            !self.format.is_blocked() || (self.mul == BinaryOp::Mul && self.acc == BinaryOp::Add),
+            "blocked formats require the arithmetic (Mul, Add) semiring"
+        );
+        let expanded = self.format.expand(a);
+        let a = expanded.as_ref().unwrap_or(a);
         let nbanks = self.device.total_banks();
         let part = BankPartition::build(
             a,
@@ -108,6 +147,7 @@ impl SpmvPim {
                 precision: self.precision,
                 policy: self.policy,
                 compress: self.compress,
+                scheme: self.scheme,
             },
         );
         let stats = part.stats();

@@ -17,7 +17,9 @@
 //! * [`kernels`] — every Table III kernel in PIM assembly with host
 //!   orchestration,
 //! * [`baselines`] — calibrated GPU/SpaceA/SpGEMM-accelerator models,
-//! * [`apps`] — the seven Table II applications over a device abstraction.
+//! * [`apps`] — the seven Table II applications over a device abstraction,
+//! * [`tune`] — the per-matrix format & partitioning autotuner
+//!   (DESIGN.md §17).
 //!
 //! # Quickstart
 //!
@@ -40,4 +42,5 @@ pub use psim_baselines as baselines;
 pub use psim_dram as dram;
 pub use psim_kernels as kernels;
 pub use psim_sparse as sparse;
+pub use psim_tune as tune;
 pub use psyncpim_core as core;

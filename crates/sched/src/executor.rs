@@ -34,12 +34,16 @@
 //! byte-identical to a serial one, which the determinism tests check via
 //! [`SimStats`] JSON and job values.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
+use psim_conc::Mutex;
 use psim_kernels::blas1::Blas1Pim;
 use psim_kernels::{CostModel, KernelRun, PimDevice, SpmmPim, SpmvPim, SptrsvPim, MAX_SPMM_WIDTH};
+use psim_sparse::{Coo, Layout, MatrixFormat, Precision};
+use psim_tune::Autotuner;
+use psyncpim_core::isa::BinaryOp;
 use psyncpim_core::CoreError;
 
 use crate::job::{Job, JobClass, JobId, JobKind, JobValue};
@@ -126,6 +130,16 @@ pub struct ExecutorConfig {
     /// into a single SpMM pass. `1` (the constructors' default) disables
     /// fusion; values above [`MAX_SPMM_WIDTH`] are clamped.
     pub fusion: usize,
+    /// Autotune each SpMV/SpMM matrix's execution layout (storage format,
+    /// partition scheme, placement policy) with [`psim_tune::Autotuner`]
+    /// at its first job, memoized by matrix identity so store-resident
+    /// operands are analyzed once. Off by default: the baseline layout
+    /// keeps results and schedules bit-identical to the pre-tuner
+    /// executor. Every layout computes the same product — tuned results
+    /// agree with the baseline to floating-point summation order (the
+    /// differential oracle bounds the drift at 1e-9) — so tuning changes
+    /// cycle accounting and placement, never what a job means.
+    pub autotune: bool,
 }
 
 impl ExecutorConfig {
@@ -140,6 +154,7 @@ impl ExecutorConfig {
             trace: false,
             cost_tier: CostTier::default(),
             fusion: 1,
+            autotune: false,
         }
     }
 
@@ -154,6 +169,7 @@ impl ExecutorConfig {
             trace: false,
             cost_tier: CostTier::default(),
             fusion: 1,
+            autotune: false,
         }
     }
 
@@ -168,6 +184,13 @@ impl ExecutorConfig {
     #[must_use]
     pub fn with_fusion(mut self, width: usize) -> Self {
         self.fusion = width;
+        self
+    }
+
+    /// Same configuration with per-matrix layout autotuning switched on.
+    #[must_use]
+    pub fn with_autotune(mut self) -> Self {
+        self.autotune = true;
         self
     }
 }
@@ -233,6 +256,12 @@ impl BatchReport {
 pub struct ShardExecutor {
     cfg: ExecutorConfig,
     shard_device: PimDevice,
+    /// Tuned-layout memo, keyed by matrix identity (`Arc` pointer — the
+    /// same key fusion uses): a [`MatrixStore`](crate::MatrixStore)-
+    /// resident matrix is analyzed once, at its first job, and every
+    /// later job against the same handle reuses the decision. Shared
+    /// across clones so a service front-end and its workers agree.
+    tuned: Arc<Mutex<HashMap<usize, Layout>>>,
 }
 
 impl ShardExecutor {
@@ -252,7 +281,11 @@ impl ShardExecutor {
             })?;
         shard_device.validate = cfg.validate;
         shard_device.trace = cfg.trace;
-        Ok(ShardExecutor { cfg, shard_device })
+        Ok(ShardExecutor {
+            cfg,
+            shard_device,
+            tuned: Arc::new(Mutex::labeled("sched.tune", HashMap::new())),
+        })
     }
 
     /// The configuration.
@@ -265,6 +298,43 @@ impl ShardExecutor {
     #[must_use]
     pub fn shard_device(&self) -> &PimDevice {
         &self.shard_device
+    }
+
+    /// The layout this executor runs matrix `a` from.
+    ///
+    /// With autotuning off this is the baseline layout — identical to the
+    /// kernels' own defaults, so existing configurations stay bit-exact.
+    /// With it on, the first job naming `a` pays one O(nnz)
+    /// [`Autotuner::decide`] pass against the shard device and the choice
+    /// is memoized by `Arc` identity. Non-arithmetic semirings keep the
+    /// tuned scheme and policy but fall back to the element format:
+    /// blocked zero-fill is only sound under `(Mul, Add)`.
+    #[must_use]
+    pub fn tuned_layout(
+        &self,
+        a: &Arc<Coo>,
+        precision: Precision,
+        mul: BinaryOp,
+        acc: BinaryOp,
+    ) -> Layout {
+        if !self.cfg.autotune {
+            return Layout::baseline();
+        }
+        let key = Arc::as_ptr(a) as usize;
+        let cached = self.tuned.lock().get(&key).copied();
+        let mut layout = cached.unwrap_or_else(|| {
+            // Decide outside the lock (the pass walks all of `a`), then
+            // keep whichever decision reached the memo first — decide()
+            // is deterministic, so racers agree anyway.
+            let choice = Autotuner::new(&self.shard_device)
+                .decide(a, precision)
+                .choice;
+            *self.tuned.lock().entry(key).or_insert(choice)
+        });
+        if !(mul == BinaryOp::Mul && acc == BinaryOp::Add) {
+            layout.format = MatrixFormat::Coo;
+        }
+        layout
     }
 
     /// The placement cost of one job under the configured [`CostTier`].
@@ -281,7 +351,14 @@ impl ShardExecutor {
                 let model = CostModel::new(&self.shard_device);
                 let p = job.spec.precision;
                 let cycles = match &job.spec.kind {
-                    JobKind::Spmv { a, .. } => model.spmv(a, p).cycles,
+                    JobKind::Spmv { a, mul, acc, .. } => {
+                        if self.cfg.autotune {
+                            let layout = self.tuned_layout(a, p, *mul, *acc);
+                            model.spmv_layout(a, p, layout).cycles
+                        } else {
+                            model.spmv(a, p).cycles
+                        }
+                    }
                     JobKind::Sptrsv { t, .. } => model.sptrsv(t, p).cycles,
                     JobKind::Axpy { x, .. } => model.axpy(x.len(), p).cycles,
                     JobKind::Scal { x, .. } => model.scal(x.len(), p).cycles,
@@ -385,14 +462,18 @@ impl ShardExecutor {
                 .sum::<u64>()
                 .max(1),
             CostTier::Analytical => {
-                let JobKind::Spmv { a, .. } = &group.jobs[0].spec.kind else {
+                let JobKind::Spmv { a, mul, acc, .. } = &group.jobs[0].spec.kind else {
                     unreachable!("fused groups are SpMV by construction")
                 };
+                let p = group.jobs[0].spec.precision;
                 let model = CostModel::new(&self.shard_device);
-                model
-                    .spmm(a, group.jobs.len(), group.jobs[0].spec.precision)
-                    .cycles
-                    .max(1)
+                let est = if self.cfg.autotune {
+                    let layout = self.tuned_layout(a, p, *mul, *acc);
+                    model.spmm_layout(a, group.jobs.len(), p, layout)
+                } else {
+                    model.spmm(a, group.jobs.len(), p)
+                };
+                est.cycles.max(1)
             }
         }
     }
@@ -423,12 +504,14 @@ impl ShardExecutor {
                     x.clone()
                 })
                 .collect();
+            let layout = self.tuned_layout(a, leader.spec.precision, *mul, *acc);
             let spmm = SpmmPim::with_semiring(
                 self.shard_device.clone(),
                 leader.spec.precision,
                 *mul,
                 *acc,
-            );
+            )
+            .with_layout(layout);
             let r = spmm.run(a, &xs).map_err(|e| fail(e.to_string()))?;
             (r.ys.into_iter().map(JobValue::Vector).collect(), r.run)
         };
@@ -448,7 +531,10 @@ impl ShardExecutor {
         let blas = || Blas1Pim::new(self.shard_device.clone(), precision);
         match &job.spec.kind {
             JobKind::Spmv { a, x, mul, acc } => {
-                let r = SpmvPim::with_semiring(dev, precision, *mul, *acc).run(a, x)?;
+                let layout = self.tuned_layout(a, precision, *mul, *acc);
+                let r = SpmvPim::with_semiring(dev, precision, *mul, *acc)
+                    .with_layout(layout)
+                    .run(a, x)?;
                 Ok((JobValue::Vector(r.y), r.run))
             }
             JobKind::Sptrsv { t, b } => {
@@ -1042,6 +1128,169 @@ mod tests {
         assert!((d - want_d).abs() < 1e-6 * want_d);
         assert!(report.stats.sim.makespan_s > 0.0);
         assert!(report.stats.host.walltime_s > 0.0);
+    }
+
+    /// Tuned and untuned runs compute the same product; layouts reorder
+    /// floating-point accumulation, so compare to the oracle tolerance.
+    fn assert_values_close(base: &[JobValue], tuned: &[JobValue]) {
+        assert_eq!(base.len(), tuned.len());
+        for (b, t) in base.iter().zip(tuned) {
+            match (b, t) {
+                (JobValue::Vector(b), JobValue::Vector(t)) => {
+                    for (bv, tv) in b.iter().zip(t) {
+                        assert!((bv - tv).abs() <= 1e-9 * bv.abs().max(1.0), "{bv} vs {tv}");
+                    }
+                }
+                (JobValue::Scalar(b), JobValue::Scalar(t)) => {
+                    assert!((b - t).abs() <= 1e-9 * b.abs().max(1.0));
+                }
+                _ => panic!("value kinds diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn autotuned_executor_preserves_values_and_memoizes() {
+        // Adversarial shapes that exercise non-baseline tuner choices:
+        // hub rows (balancing rules) and near-dense blocks (blocked
+        // candidates). The tuned executor must return the same values as
+        // the untuned one — layouts change the schedule, not the
+        // product — and tune each Arc-identical matrix only once.
+        let hubs = Arc::new(psim_sparse::adversarial::power_law_hubs(96, 800, 3, 5));
+        let blocks = Arc::new(psim_sparse::adversarial::near_dense_blocks(64, 8, 4, 5));
+        let run = |autotune: bool| {
+            let queue = JobQueue::bounded(16);
+            for a in [&hubs, &blocks] {
+                let x: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + i as f64).collect();
+                for _ in 0..2 {
+                    queue
+                        .submit(JobSpec::batch(
+                            "t0",
+                            JobKind::spmv(Arc::clone(a), x.clone()),
+                        ))
+                        .unwrap();
+                }
+            }
+            let mut cfg =
+                ExecutorConfig::sharded(PimDevice::tiny(2), 2).with_cost_tier(CostTier::Analytical);
+            if autotune {
+                cfg = cfg.with_autotune();
+            }
+            let exec = ShardExecutor::new(cfg).unwrap();
+            let report = exec.drain_and_run(&queue).unwrap();
+            let values: Vec<JobValue> = report.jobs.iter().map(|j| j.value.clone()).collect();
+            (exec, values)
+        };
+        let (exec_off, base) = run(false);
+        let (exec_on, tuned) = run(true);
+        assert_values_close(&base, &tuned);
+        assert_eq!(exec_off.tuned.lock().len(), 0, "off: no decisions made");
+        assert_eq!(
+            exec_on.tuned.lock().len(),
+            2,
+            "one memoized decision per distinct matrix handle"
+        );
+        // The tuner actually moved off the baseline for the skewed matrix.
+        let l = exec_on.tuned_layout(&hubs, Precision::Fp64, BinaryOp::Mul, BinaryOp::Add);
+        assert_ne!(
+            l,
+            Layout::baseline(),
+            "hub rows must tune away from baseline"
+        );
+        // And with tuning off, every matrix reports the baseline layout.
+        let l = exec_off.tuned_layout(&hubs, Precision::Fp64, BinaryOp::Mul, BinaryOp::Add);
+        assert_eq!(l, Layout::baseline());
+    }
+
+    #[test]
+    fn autotune_forces_element_format_for_exotic_semirings() {
+        // Tropical (min-plus) SpMV: blocked zero-fill would corrupt the
+        // result (an explicit 0 is not the semiring identity), so the
+        // tuned layout must fall back to an element format while keeping
+        // the tuned scheme/policy. Seed the memo with a blocked decision
+        // directly — whether the tuner *would* pick blocked for this
+        // matrix is a cost question; the safety demotion must hold for
+        // any memoized layout.
+        let a = Arc::new(psim_sparse::adversarial::near_dense_blocks(64, 8, 4, 11));
+        let x: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+        let tropical = |a: &Arc<Coo>, x: &[f64]| JobKind::Spmv {
+            a: Arc::clone(a),
+            x: x.to_vec(),
+            mul: BinaryOp::Add,
+            acc: BinaryOp::Min,
+        };
+        let blocked = Layout {
+            format: MatrixFormat::Bcsr { block: 4 },
+            scheme: psim_sparse::PartitionScheme::Balanced2D { col_blocks: 2 },
+            policy: psim_sparse::DistPolicy::LeastLoaded,
+        };
+        let run = |autotune: bool| {
+            let queue = JobQueue::bounded(4);
+            queue
+                .submit(JobSpec::batch("t0", tropical(&a, &x)))
+                .unwrap();
+            let mut cfg = ExecutorConfig::serial(PimDevice::tiny(2));
+            if autotune {
+                cfg = cfg.with_autotune();
+            }
+            let exec = ShardExecutor::new(cfg).unwrap();
+            if autotune {
+                exec.tuned.lock().insert(Arc::as_ptr(&a) as usize, blocked);
+            }
+            let report = exec.drain_and_run(&queue).unwrap();
+            (exec, report.jobs[0].value.clone())
+        };
+        let (_, base) = run(false);
+        let (exec, tuned) = run(true);
+        // min-accumulation is order-insensitive and per-entry Add is
+        // exact, so the demoted layout's values match bit-for-bit.
+        assert_eq!(base, tuned, "semiring values must survive tuning");
+        let l = exec.tuned_layout(&a, Precision::Fp64, BinaryOp::Add, BinaryOp::Min);
+        assert!(
+            !l.format.is_blocked(),
+            "non-arithmetic semirings must not execute from a zero-filled blocked stream: {}",
+            l.label()
+        );
+        assert_eq!(l.scheme, blocked.scheme, "the tuned scheme survives");
+        assert_eq!(l.policy, blocked.policy, "the tuned policy survives");
+        // The arithmetic view of the same memo entry stays blocked.
+        let arith = exec.tuned_layout(&a, Precision::Fp64, BinaryOp::Mul, BinaryOp::Add);
+        assert_eq!(arith, blocked);
+    }
+
+    #[test]
+    fn autotuned_fusion_stays_bit_identical_to_solo_jobs() {
+        // Fusion under a tuned layout: the fused SpMM pass adopts the
+        // same layout as solo SpMV jobs, so per-vector results stay
+        // bit-identical whether the batch fuses or not.
+        let a = Arc::new(psim_sparse::adversarial::power_law_hubs(80, 600, 2, 9));
+        let xs: Vec<Vec<f64>> = (0..3)
+            .map(|v| (0..80).map(|i| 1.0 + (i * (v + 1)) as f64).collect())
+            .collect();
+        let run = |fusion: usize| {
+            let queue = JobQueue::bounded(8);
+            for x in &xs {
+                queue
+                    .submit(JobSpec::batch(
+                        "t0",
+                        JobKind::spmv(Arc::clone(&a), x.clone()),
+                    ))
+                    .unwrap();
+            }
+            let cfg = ExecutorConfig::serial(PimDevice::tiny(2))
+                .with_fusion(fusion)
+                .with_autotune();
+            let exec = ShardExecutor::new(cfg).unwrap();
+            let report = exec.drain_and_run(&queue).unwrap();
+            report
+                .jobs
+                .iter()
+                .map(|j| j.value.clone())
+                .collect::<Vec<_>>()
+        };
+        let solo = run(1);
+        let fused = run(3);
+        assert_eq!(solo, fused, "fused tuned results must match solo tuned");
     }
 
     #[test]

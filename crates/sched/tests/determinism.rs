@@ -31,6 +31,7 @@ fn run_with_fusion(specs: &[JobSpec], shards: usize, threads: usize, fusion: usi
         trace: true,
         cost_tier: psim_sched::CostTier::default(),
         fusion,
+        autotune: false,
     })
     .unwrap();
     exec.drain_and_run(&queue).unwrap()

@@ -1,0 +1,579 @@
+//! Blocked storage formats: BCSR and BCOO with a configurable square
+//! block size.
+//!
+//! SparseP (PAPERS.md) shows blocked formats winning on PIM for matrices
+//! with dense local structure (FEM stencils, multibody blocks): one block
+//! coordinate amortizes index metadata over `block²` values, and the
+//! zero-filled blocks stream through the PU lanes without per-element
+//! index divergence. The price is *fill* — explicitly stored zeros — so
+//! blocked only pays when [`Bcsr::fill_ratio`] is high.
+//!
+//! Both formats store the same blocks; they differ in metadata:
+//!
+//! * [`Bcsr`] — block-row pointers plus one block-column id per block
+//!   (CSR lifted to block granularity);
+//! * [`Bcoo`] — an explicit `(block_row, block_col)` coordinate pair per
+//!   block (COO lifted to block granularity).
+//!
+//! Conversions are lossless round-trips: `Coo ↔ Bcsr ↔ Bcoo`, with
+//! [`Bcsr::to_coo`] dropping fill zeros so a round trip reproduces the
+//! coalesced original. [`Bcsr::to_coo_filled`] keeps the fill explicit —
+//! that is the entry stream a PIM kernel executes from (valid for the
+//! arithmetic semiring only, where `0·x` is the accumulator identity).
+
+use crate::{Coo, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Block compressed sparse row: square `block × block` tiles, block-row
+/// pointers, one block-column id per stored tile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bcsr {
+    nrows: usize,
+    ncols: usize,
+    block: usize,
+    /// `block_row_ptr[i]..block_row_ptr[i+1]` indexes block row `i`'s
+    /// tiles in `block_cols` / `vals`.
+    block_row_ptr: Vec<usize>,
+    /// Block-column id of each stored tile.
+    block_cols: Vec<u32>,
+    /// Tile values, row-major within each `block × block` tile
+    /// (out-of-bounds positions of edge tiles stay 0 and are never
+    /// emitted).
+    vals: Vec<f64>,
+}
+
+impl Bcsr {
+    /// Build from COO with square tiles of size `block`, accumulating
+    /// duplicate entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`.
+    #[must_use]
+    pub fn from_coo(a: &Coo, block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        let bm = a.nrows().div_ceil(block);
+        // Deterministic tile order: sort entry indices by (brow, bcol).
+        let mut keyed: Vec<(u32, u32, u32, u32, f64)> = a
+            .iter()
+            .map(|e| {
+                (
+                    e.row / block as u32,
+                    e.col / block as u32,
+                    e.row,
+                    e.col,
+                    e.val,
+                )
+            })
+            .collect();
+        keyed.sort_by_key(|&(br, bc, r, c, _)| (br, bc, r, c));
+
+        let mut block_row_ptr = vec![0usize; bm + 1];
+        let mut block_cols: Vec<u32> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        let mut last_tile: Option<(u32, u32)> = None;
+        for &(br, bc, r, c, v) in &keyed {
+            // The sort groups same-tile entries contiguously; a new tile
+            // starts whenever the (brow, bcol) pair changes.
+            if last_tile != Some((br, bc)) {
+                last_tile = Some((br, bc));
+                block_cols.push(bc);
+                vals.resize(vals.len() + block * block, 0.0);
+            }
+            // Record the running end of block row `br` (fixed up below).
+            block_row_ptr[br as usize + 1] = block_cols.len();
+            let (lr, lc) = (r as usize % block, c as usize % block);
+            let base = (block_cols.len() - 1) * block * block;
+            vals[base + lr * block + lc] += v;
+        }
+        // Prefix-max so empty block rows inherit the previous end.
+        for i in 1..=bm {
+            block_row_ptr[i] = block_row_ptr[i].max(block_row_ptr[i - 1]);
+        }
+        Bcsr {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            block,
+            block_row_ptr,
+            block_cols,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Tile edge length.
+    #[must_use]
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Stored tiles.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.block_cols.len()
+    }
+
+    /// True non-zeros (fill excluded).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.vals.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// In-bounds stored slots, fill included — what the PIM stream
+    /// executes. Edge tiles are clipped to the matrix shape.
+    #[must_use]
+    pub fn stored(&self) -> usize {
+        let mut total = 0usize;
+        for br in 0..self.block_row_ptr.len() - 1 {
+            let h = self.tile_height(br);
+            for i in self.block_row_ptr[br]..self.block_row_ptr[br + 1] {
+                total += h * self.tile_width(self.block_cols[i] as usize);
+            }
+        }
+        total
+    }
+
+    /// Fraction of stored (in-bounds) slots holding a true non-zero —
+    /// the tuner's block-fill signal. 1.0 for an empty matrix.
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        let stored = self.stored();
+        if stored == 0 {
+            return 1.0;
+        }
+        self.nnz() as f64 / stored as f64
+    }
+
+    /// Storage footprint: padded tile values plus block metadata (8-byte
+    /// row pointers, 4-byte block-column ids).
+    #[must_use]
+    pub fn storage_bytes(&self, precision: Precision) -> usize {
+        self.vals.len() * precision.bytes()
+            + self.block_cols.len() * 4
+            + self.block_row_ptr.len() * 8
+    }
+
+    fn tile_height(&self, br: usize) -> usize {
+        (self.nrows - br * self.block).min(self.block)
+    }
+
+    fn tile_width(&self, bc: usize) -> usize {
+        (self.ncols - bc * self.block).min(self.block)
+    }
+
+    /// Back to COO, dropping fill zeros: round-trips the coalesced
+    /// original.
+    #[must_use]
+    pub fn to_coo(&self) -> Coo {
+        self.emit(false)
+    }
+
+    /// Back to COO with the fill explicit (every in-bounds stored slot,
+    /// zeros included), in block-row-major order — the execution stream
+    /// of a blocked PIM kernel.
+    #[must_use]
+    pub fn to_coo_filled(&self) -> Coo {
+        self.emit(true)
+    }
+
+    fn emit(&self, keep_zeros: bool) -> Coo {
+        let mut m = Coo::new(self.nrows, self.ncols);
+        for br in 0..self.block_row_ptr.len() - 1 {
+            let h = self.tile_height(br);
+            for i in self.block_row_ptr[br]..self.block_row_ptr[br + 1] {
+                let bc = self.block_cols[i] as usize;
+                let w = self.tile_width(bc);
+                let base = i * self.block * self.block;
+                for lr in 0..h {
+                    for lc in 0..w {
+                        let v = self.vals[base + lr * self.block + lc];
+                        if keep_zeros || v != 0.0 {
+                            m.push(
+                                (br * self.block + lr) as u32,
+                                (bc * self.block + lc) as u32,
+                                v,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Reference SpMV straight off the tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    #[must_use]
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "bcsr spmv length mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for br in 0..self.block_row_ptr.len() - 1 {
+            let h = self.tile_height(br);
+            for i in self.block_row_ptr[br]..self.block_row_ptr[br + 1] {
+                let bc = self.block_cols[i] as usize;
+                let w = self.tile_width(bc);
+                let base = i * self.block * self.block;
+                for lr in 0..h {
+                    let mut acc = 0.0;
+                    for lc in 0..w {
+                        acc += self.vals[base + lr * self.block + lc] * x[bc * self.block + lc];
+                    }
+                    y[br * self.block + lr] += acc;
+                }
+            }
+        }
+        y
+    }
+}
+
+impl From<&Coo> for Bcsr {
+    /// [`Bcsr::from_coo`] with the default block size 4.
+    fn from(a: &Coo) -> Self {
+        Bcsr::from_coo(a, 4)
+    }
+}
+
+/// Block coordinate format: the same square tiles as [`Bcsr`], addressed
+/// by explicit `(block_row, block_col)` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bcoo {
+    nrows: usize,
+    ncols: usize,
+    block: usize,
+    /// `(block_row, block_col)` of each stored tile, sorted
+    /// block-row-major.
+    coords: Vec<(u32, u32)>,
+    /// Tile values, row-major within each tile.
+    vals: Vec<f64>,
+}
+
+impl Bcoo {
+    /// Build from COO with square tiles of size `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`.
+    #[must_use]
+    pub fn from_coo(a: &Coo, block: usize) -> Self {
+        Bcoo::from(&Bcsr::from_coo(a, block))
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Tile edge length.
+    #[must_use]
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Stored tiles.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True non-zeros (fill excluded).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.vals.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// Fraction of stored in-bounds slots holding a true non-zero.
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        Bcsr::from(self).fill_ratio()
+    }
+
+    /// Storage footprint: padded tile values plus one 8-byte coordinate
+    /// pair per tile (no row-pointer array).
+    #[must_use]
+    pub fn storage_bytes(&self, precision: Precision) -> usize {
+        self.vals.len() * precision.bytes() + self.coords.len() * 8
+    }
+
+    /// Back to COO, dropping fill zeros.
+    #[must_use]
+    pub fn to_coo(&self) -> Coo {
+        Bcsr::from(self).to_coo()
+    }
+
+    /// Back to COO with the fill explicit (the blocked execution stream).
+    #[must_use]
+    pub fn to_coo_filled(&self) -> Coo {
+        Bcsr::from(self).to_coo_filled()
+    }
+
+    /// Reference SpMV straight off the tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    #[must_use]
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "bcoo spmv length mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for (i, &(br, bc)) in self.coords.iter().enumerate() {
+            let (br, bc) = (br as usize, bc as usize);
+            let h = (self.nrows - br * self.block).min(self.block);
+            let w = (self.ncols - bc * self.block).min(self.block);
+            let base = i * self.block * self.block;
+            for lr in 0..h {
+                let mut acc = 0.0;
+                for lc in 0..w {
+                    acc += self.vals[base + lr * self.block + lc] * x[bc * self.block + lc];
+                }
+                y[br * self.block + lr] += acc;
+            }
+        }
+        y
+    }
+}
+
+impl From<&Bcsr> for Bcoo {
+    fn from(b: &Bcsr) -> Self {
+        let mut coords = Vec::with_capacity(b.block_cols.len());
+        for br in 0..b.block_row_ptr.len() - 1 {
+            for i in b.block_row_ptr[br]..b.block_row_ptr[br + 1] {
+                coords.push((br as u32, b.block_cols[i]));
+            }
+        }
+        Bcoo {
+            nrows: b.nrows,
+            ncols: b.ncols,
+            block: b.block,
+            coords,
+            vals: b.vals.clone(),
+        }
+    }
+}
+
+impl From<&Bcoo> for Bcsr {
+    fn from(b: &Bcoo) -> Self {
+        let bm = b.nrows.div_ceil(b.block);
+        let mut order: Vec<usize> = (0..b.coords.len()).collect();
+        order.sort_by_key(|&i| b.coords[i]);
+        let mut block_row_ptr = vec![0usize; bm + 1];
+        let mut block_cols = Vec::with_capacity(b.coords.len());
+        let mut vals = Vec::with_capacity(b.vals.len());
+        let tile = b.block * b.block;
+        for &i in &order {
+            let (br, bc) = b.coords[i];
+            block_cols.push(bc);
+            vals.extend_from_slice(&b.vals[i * tile..(i + 1) * tile]);
+            block_row_ptr[br as usize + 1] = block_cols.len();
+        }
+        for i in 1..=bm {
+            block_row_ptr[i] = block_row_ptr[i].max(block_row_ptr[i - 1]);
+        }
+        Bcsr {
+            nrows: b.nrows,
+            ncols: b.ncols,
+            block: b.block,
+            block_row_ptr,
+            block_cols,
+            vals,
+        }
+    }
+}
+
+/// Cheap O(nnz) block-fill estimate without materializing tiles: the
+/// fraction of in-bounds slots of all touched `block × block` tiles that
+/// hold a true non-zero. The tuner's primary blocked-format signal.
+///
+/// # Panics
+///
+/// Panics if `block == 0`.
+#[must_use]
+pub fn block_fill_ratio(a: &Coo, block: usize) -> f64 {
+    assert!(block > 0, "block size must be positive");
+    if a.nnz() == 0 {
+        return 1.0;
+    }
+    let mut tiles: Vec<(u32, u32)> = a
+        .iter()
+        .map(|e| (e.row / block as u32, e.col / block as u32))
+        .collect();
+    tiles.sort_unstable();
+    tiles.dedup();
+    let capacity: usize = tiles
+        .iter()
+        .map(|&(br, bc)| {
+            let h = (a.nrows() - br as usize * block).min(block);
+            let w = (a.ncols() - bc as usize * block).min(block);
+            h * w
+        })
+        .sum();
+    // Duplicate COO entries collapse into one slot; count distinct.
+    let mut positions: Vec<(u32, u32)> = a.iter().map(|e| (e.row, e.col)).collect();
+    positions.sort_unstable();
+    positions.dedup();
+    positions.len() as f64 / capacity.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, Csr};
+
+    fn sorted_entries(a: &Coo) -> Vec<(u32, u32, u64)> {
+        let mut v: Vec<(u32, u32, u64)> =
+            a.iter().map(|e| (e.row, e.col, e.val.to_bits())).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn coo_bcsr_round_trip_is_lossless() {
+        for (a, block) in [
+            (gen::rmat(100, 4, 1), 4usize),
+            (gen::banded_fem(97, 6, 4, 2), 3),
+            (gen::block_diag_fem(64, 8, 0.6, 3), 8),
+            (Coo::new(10, 10), 4),
+        ] {
+            let mut want = a.clone();
+            want.coalesce();
+            let b = Bcsr::from_coo(&a, block);
+            let mut back = b.to_coo();
+            back.coalesce();
+            assert_eq!(
+                sorted_entries(&back),
+                sorted_entries(&want),
+                "block {block}"
+            );
+            assert_eq!(b.nnz(), want.iter().filter(|e| e.val != 0.0).count());
+        }
+    }
+
+    #[test]
+    fn csr_bcsr_coo_round_trip() {
+        // The satellite's CSR↔BCSR↔COO chain: CSR → COO → BCSR → COO →
+        // CSR reproduces the matrix.
+        let a = gen::rmat(80, 5, 7);
+        let csr = Csr::from(&a);
+        let coo = Coo::from(&csr);
+        let b = Bcsr::from_coo(&coo, 4);
+        let back = Csr::from(&b.to_coo());
+        let x = gen::dense_vector(80, 1);
+        let (y1, y2) = (csr.spmv(&x), back.spmv(&x));
+        for (g, w) in y1.iter().zip(&y2) {
+            assert!((g - w).abs() < 1e-12);
+        }
+        assert_eq!(csr.nnz(), back.nnz());
+    }
+
+    #[test]
+    fn bcsr_bcoo_round_trip_is_exact() {
+        let a = gen::web_hubs(90, 700, 5);
+        let b = Bcsr::from_coo(&a, 4);
+        let c = Bcoo::from(&b);
+        assert_eq!(Bcsr::from(&c), b);
+        assert_eq!(c.num_blocks(), b.num_blocks());
+        assert_eq!(c.nnz(), b.nnz());
+        // And via the Coo constructor.
+        assert_eq!(Bcoo::from_coo(&a, 4), c);
+    }
+
+    #[test]
+    fn blocked_spmv_matches_coo_reference() {
+        let a = gen::banded_fem(130, 5, 4, 9);
+        let x = gen::dense_vector(130, 2);
+        let want = a.spmv(&x);
+        let b = Bcsr::from_coo(&a, 4);
+        let c = Bcoo::from(&b);
+        for (name, got) in [("bcsr", b.spmv(&x)), ("bcoo", c.spmv(&x))] {
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() < 1e-9, "{name} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn filled_stream_keeps_explicit_zeros_in_bounds() {
+        // Edge tiles of a non-multiple dimension must clip to the shape.
+        let a = gen::rmat(50, 3, 4); // 50 % 4 != 0
+        let b = Bcsr::from_coo(&a, 4);
+        let filled = b.to_coo_filled();
+        assert_eq!(filled.nnz(), b.stored());
+        for e in filled.iter() {
+            assert!((e.row as usize) < 50 && (e.col as usize) < 50);
+        }
+        // The filled stream computes the same product (zeros are inert
+        // under the arithmetic semiring).
+        let x = gen::dense_vector(50, 3);
+        let want = a.spmv(&x);
+        for (g, w) in filled.spmv(&x).iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fill_ratio_tracks_block_structure() {
+        // A dense-blocked matrix fills its tiles; a scattered one doesn't.
+        let dense = gen::block_diag_fem(64, 4, 0.9, 1);
+        let scatter = gen::rmat(64, 2, 1);
+        let fd = Bcsr::from_coo(&dense, 4).fill_ratio();
+        let fs = Bcsr::from_coo(&scatter, 4).fill_ratio();
+        assert!(fd > fs, "dense {fd:.2} vs scatter {fs:.2}");
+        // The cheap estimator agrees with the materialized tiles.
+        for (a, block) in [(&dense, 4usize), (&scatter, 4), (&scatter, 8)] {
+            let cheap = block_fill_ratio(a, block);
+            let full = Bcsr::from_coo(a, block).fill_ratio();
+            assert!(
+                (cheap - full).abs() < 1e-12,
+                "block {block}: {cheap} vs {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn metadata_footprints_differ_between_bcsr_and_bcoo() {
+        let a = gen::banded_fem(256, 4, 3, 8);
+        let b = Bcsr::from_coo(&a, 4);
+        let c = Bcoo::from(&b);
+        let (sb, sc) = (
+            b.storage_bytes(Precision::Fp64),
+            c.storage_bytes(Precision::Fp64),
+        );
+        assert_ne!(sb, sc, "formats must expose a real storage trade-off");
+        // Blocked beats element COO on a well-filled banded matrix at
+        // INT8 (small values, metadata dominates).
+        let coo_bytes = a.storage_bytes(Precision::Int8);
+        assert!(b.storage_bytes(Precision::Int8) < coo_bytes);
+    }
+
+    #[test]
+    fn duplicate_entries_accumulate() {
+        let mut a = Coo::new(8, 8);
+        a.push(1, 1, 2.0);
+        a.push(1, 1, 3.0);
+        let b = Bcsr::from_coo(&a, 4);
+        assert_eq!(b.num_blocks(), 1);
+        let back = b.to_coo();
+        assert_eq!(back.nnz(), 1);
+        assert_eq!(back.entries()[0].val, 5.0);
+    }
+}

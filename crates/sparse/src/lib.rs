@@ -25,8 +25,10 @@
 //! assert_eq!(y.len(), csr.nrows());
 //! ```
 
+pub mod adversarial;
 pub mod bitmap;
 pub mod blockdecomp;
+pub mod blocked;
 pub mod coo;
 pub mod csc;
 pub mod csr;
@@ -34,6 +36,7 @@ pub mod dense;
 pub mod error;
 pub mod gen;
 pub mod ildu;
+pub mod layout;
 pub mod level;
 pub mod mmio;
 pub mod partition;
@@ -44,13 +47,15 @@ pub mod triangular;
 
 pub use bitmap::BitmapMatrix;
 pub use blockdecomp::{BlockPlan, BlockStep};
+pub use blocked::{Bcoo, Bcsr};
 pub use coo::{Coo, Entry};
 pub use csc::Csc;
 pub use csr::Csr;
 pub use dense::SparseVec;
 pub use error::SparseError;
+pub use layout::{Layout, MatrixFormat};
 pub use level::LevelSchedule;
-pub use partition::{BankPartition, PartitionConfig, PartitionStats};
+pub use partition::{BankPartition, DistPolicy, PartitionConfig, PartitionScheme, PartitionStats};
 pub use precision::Precision;
 pub use stats::MatrixStats;
 pub use triangular::Triangle;

@@ -8,19 +8,144 @@
 //! needed input-vector slices over the external bus and accumulates partial
 //! outputs, so compression directly reduces the external traffic that the
 //! paper identifies as the SpMV bottleneck.
+//!
+//! Beyond the paper's fixed 1D row split, a [`PartitionScheme`] can first
+//! cut the column range into blocks (SparseP's 2D variants): equally-wide
+//! blocks ([`PartitionScheme::Grid2D`]) bound each bank's input-slice span,
+//! while nnz-balanced variable-width blocks
+//! ([`PartitionScheme::Balanced2D`]) even out column skew (hub columns)
+//! before the per-strip compression and column cut run unchanged inside
+//! each block.
 
 use crate::{Coo, Entry, Precision};
 use serde::{Deserialize, Serialize};
 
 /// How submatrices are placed onto banks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DistPolicy {
     /// Cyclic assignment in submatrix order (the paper's base policy: it
     /// favors low replication over evenness — see the `bcsstk32` discussion
     /// in §VII-B).
+    #[default]
     RoundRobin,
     /// Greedy assignment to the currently least-loaded bank (an ablation).
     LeastLoaded,
+}
+
+/// How the matrix is cut into submatrices before placement.
+///
+/// All schemes share the row-strip outer cut (a strip's output must fit
+/// one DRAM row) and the per-cell compression + column cut; they differ in
+/// whether and how the *column* range is pre-blocked. Every scheme
+/// therefore emits plain [`SubMatrix`] values and runs through the same
+/// wave machinery and stream programs — the layout changes the cut, never
+/// the kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionScheme {
+    /// The paper's 1D scheme: row strips, compressed columns chunked by
+    /// row capacity. Column blocks = the whole column range.
+    #[default]
+    Row1D,
+    /// 2D grid with `col_blocks` equally-wide column blocks (SparseP's
+    /// equally-wide variant): bounds each cell's input-vector span, so
+    /// banks gather from a localized slice of `x`.
+    Grid2D {
+        /// Number of equal-width column blocks (clamped to ≥ 1).
+        col_blocks: usize,
+    },
+    /// 2D grid with `col_blocks` variable-width column blocks balancing
+    /// non-zeros per block (SparseP's variable-sized variant): hub-heavy
+    /// columns get narrow blocks, sparse ranges get wide ones.
+    Balanced2D {
+        /// Number of nnz-balanced column blocks (clamped to ≥ 1).
+        col_blocks: usize,
+    },
+}
+
+impl PartitionScheme {
+    /// Number of column blocks this scheme cuts (the 2D "shard count").
+    #[must_use]
+    pub fn col_blocks(&self) -> usize {
+        match *self {
+            PartitionScheme::Row1D => 1,
+            PartitionScheme::Grid2D { col_blocks } | PartitionScheme::Balanced2D { col_blocks } => {
+                col_blocks.max(1)
+            }
+        }
+    }
+
+    /// Short label for reports (`1d`, `grid2d(k)`, `bal2d(k)`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            PartitionScheme::Row1D => "1d".to_string(),
+            PartitionScheme::Grid2D { col_blocks } => format!("grid2d({col_blocks})"),
+            PartitionScheme::Balanced2D { col_blocks } => format!("bal2d({col_blocks})"),
+        }
+    }
+
+    /// The half-open global column ranges this scheme cuts `a` into, in
+    /// ascending order, covering `0..ncols` exactly. `Row1D` is the single
+    /// full range; `Grid2D` cuts equal widths; `Balanced2D` places the
+    /// boundaries so each block carries ≈ `nnz / col_blocks` non-zeros.
+    #[must_use]
+    pub fn column_bounds(&self, a: &Coo) -> Vec<(u32, u32)> {
+        let ncols = a.ncols();
+        if ncols == 0 {
+            return vec![(0, 0)];
+        }
+        let k = self.col_blocks().min(ncols).max(1);
+        match *self {
+            PartitionScheme::Row1D => vec![(0, ncols as u32)],
+            PartitionScheme::Grid2D { .. } => {
+                let width = ncols.div_ceil(k);
+                (0..k)
+                    .map(|b| ((b * width) as u32, ((b + 1) * width).min(ncols) as u32))
+                    .filter(|(lo, hi)| lo < hi)
+                    .collect()
+            }
+            PartitionScheme::Balanced2D { .. } => {
+                let counts = a.col_counts();
+                let total: usize = counts.iter().sum();
+                if total == 0 {
+                    return vec![(0, ncols as u32)];
+                }
+                // Greedy prefix cut: close a block once it holds its fair
+                // share of the remaining nnz, leaving one column per
+                // remaining block so every block is non-empty in columns.
+                let mut bounds = Vec::with_capacity(k);
+                let mut lo = 0usize;
+                let mut carried = 0usize;
+                let mut remaining = total;
+                for b in 0..k {
+                    let blocks_left = k - b;
+                    let target = remaining.div_ceil(blocks_left);
+                    let mut hi = lo;
+                    let mut acc = 0usize;
+                    while hi < ncols {
+                        // Keep at least one column per remaining block.
+                        if ncols - (hi + 1) < blocks_left - 1 {
+                            break;
+                        }
+                        acc += counts[hi];
+                        hi += 1;
+                        if acc >= target && b + 1 < k {
+                            break;
+                        }
+                    }
+                    if b + 1 == k {
+                        hi = ncols;
+                    }
+                    bounds.push((lo as u32, hi as u32));
+                    carried += acc;
+                    remaining = total - carried;
+                    lo = hi;
+                }
+                bounds.retain(|(l, h)| l < h);
+                bounds
+            }
+        }
+    }
 }
 
 /// Partitioning parameters.
@@ -39,6 +164,8 @@ pub struct PartitionConfig {
     /// before the column cut. Disabling it reproduces the naive
     /// distribution the paper compares against (ablation).
     pub compress: bool,
+    /// Partitioning scheme (1D row split or a 2D column-blocked variant).
+    pub scheme: PartitionScheme,
 }
 
 impl Default for PartitionConfig {
@@ -49,6 +176,7 @@ impl Default for PartitionConfig {
             precision: Precision::Fp64,
             policy: DistPolicy::RoundRobin,
             compress: true,
+            scheme: PartitionScheme::Row1D,
         }
     }
 }
@@ -120,9 +248,15 @@ pub struct PartitionStats {
 
 impl PartitionStats {
     /// Load imbalance: `max_bank_nnz / avg_bank_nnz` (1.0 = perfect).
+    ///
+    /// An empty partition (no used banks — e.g. every submatrix landed
+    /// empty after a 2D cut) has no meaningful ratio; it reports 1.0
+    /// instead of dividing by zero. The negated comparison also catches a
+    /// NaN average, so a corrupted stats value can never propagate NaN
+    /// into placement decisions.
     #[must_use]
     pub fn imbalance(&self) -> f64 {
-        if self.avg_bank_nnz == 0.0 {
+        if self.avg_bank_nnz.is_nan() || self.avg_bank_nnz <= 0.0 {
             return 1.0;
         }
         self.max_bank_nnz as f64 / self.avg_bank_nnz
@@ -139,11 +273,14 @@ pub struct BankPartition {
 }
 
 impl BankPartition {
-    /// Partition `a` according to `config` (row-strip, compress, col-cut,
-    /// place).
+    /// Partition `a` according to `config` (row-strip, column-block by the
+    /// scheme, compress, col-cut, place). With [`PartitionScheme::Row1D`]
+    /// the single full-width column block reproduces the paper's 1D cut
+    /// exactly.
     #[must_use]
     pub fn build(a: &Coo, config: PartitionConfig) -> Self {
         let max_dim = config.max_dim();
+        let col_bounds = config.scheme.column_bounds(a);
         let mut subs: Vec<SubMatrix> = Vec::new();
 
         // Row-major order so strips are contiguous entry runs.
@@ -163,17 +300,25 @@ impl BankPartition {
             let strip = &entries[strip_start_idx..idx];
             strip_start_idx = idx;
 
-            if !strip.is_empty() {
-                // Matrix compression: keep only columns with a non-zero.
-                // Without it, every strip spans the full column range
-                // (the naive distribution of Figure 6's left side).
+            for &(block_lo, block_hi) in &col_bounds {
+                if strip.is_empty() {
+                    continue;
+                }
+                // Matrix compression: keep only columns with a non-zero in
+                // this (strip × column block) cell. Without it, every cell
+                // spans its block's full column range (the naive
+                // distribution of Figure 6's left side).
                 let cols: Vec<u32> = if config.compress {
-                    let mut c: Vec<u32> = strip.iter().map(|e| e.col).collect();
+                    let mut c: Vec<u32> = strip
+                        .iter()
+                        .map(|e| e.col)
+                        .filter(|&c| c >= block_lo && c < block_hi)
+                        .collect();
                     c.sort_unstable();
                     c.dedup();
                     c
                 } else {
-                    (0..a.ncols() as u32).collect()
+                    (block_lo..block_hi).collect()
                 };
                 // Cut the *compacted* column list into row-sized chunks.
                 for chunk in cols.chunks(max_dim) {
@@ -345,6 +490,7 @@ mod tests {
             precision,
             policy: DistPolicy::RoundRobin,
             compress: true,
+            scheme: PartitionScheme::Row1D,
         }
     }
 
@@ -467,5 +613,124 @@ mod tests {
     #[test]
     fn stats_imbalance_on_empty_is_one() {
         assert_eq!(PartitionStats::default().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn stats_imbalance_guards_nan_and_zero_averages() {
+        // Regression: an empty-bank partition reports avg_bank_nnz 0.0 —
+        // and a corrupted average (NaN from a 0/0 elsewhere) must not
+        // propagate. Both degenerate cases pin imbalance at 1.0.
+        let mut s = PartitionStats {
+            max_bank_nnz: 7,
+            avg_bank_nnz: 0.0,
+            ..PartitionStats::default()
+        };
+        assert_eq!(s.imbalance(), 1.0);
+        s.avg_bank_nnz = f64::NAN;
+        assert_eq!(s.imbalance(), 1.0);
+        s.avg_bank_nnz = -1.0;
+        assert_eq!(s.imbalance(), 1.0);
+        s.avg_bank_nnz = 3.5;
+        assert!((s.imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row1d_default_scheme_is_unchanged() {
+        // The scheme extension must not perturb the paper's 1D cut: a
+        // Row1D build is bit-identical to the pre-scheme behaviour
+        // (single full-width column block).
+        let a = gen::rmat(300, 5, 1);
+        let p = BankPartition::build(&a, cfg(8, 256, Precision::Fp64));
+        assert_eq!(
+            PartitionScheme::Row1D.column_bounds(&a),
+            vec![(0, a.ncols() as u32)]
+        );
+        assert_eq!(p.total_nnz(), a.nnz());
+    }
+
+    #[test]
+    fn column_bounds_cover_and_partition_the_range() {
+        let a = gen::web_hubs(257, 2000, 3); // non-power-of-two, skewed
+        for scheme in [
+            PartitionScheme::Grid2D { col_blocks: 4 },
+            PartitionScheme::Grid2D { col_blocks: 7 },
+            PartitionScheme::Balanced2D { col_blocks: 4 },
+            PartitionScheme::Balanced2D { col_blocks: 7 },
+        ] {
+            let bounds = scheme.column_bounds(&a);
+            assert_eq!(bounds.len(), scheme.col_blocks(), "{}", scheme.label());
+            assert_eq!(bounds[0].0, 0);
+            assert_eq!(bounds.last().unwrap().1 as usize, a.ncols());
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "blocks must tile: {}", scheme.label());
+                assert!(w[0].0 < w[0].1);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced2d_evens_column_skew() {
+        // Hub columns concentrate nnz at low indices; equal-width blocks
+        // leave the first block carrying most of the matrix while the
+        // nnz-balanced cut keeps every block near the fair share.
+        let a = gen::web_hubs(512, 6000, 1);
+        let spread = |scheme: PartitionScheme| {
+            let bounds = scheme.column_bounds(&a);
+            let counts = a.col_counts();
+            let loads: Vec<usize> = bounds
+                .iter()
+                .map(|&(lo, hi)| (lo as usize..hi as usize).map(|c| counts[c]).sum())
+                .collect();
+            *loads.iter().max().unwrap() as f64 / *loads.iter().min().unwrap().max(&1) as f64
+        };
+        let grid = spread(PartitionScheme::Grid2D { col_blocks: 4 });
+        let bal = spread(PartitionScheme::Balanced2D { col_blocks: 4 });
+        assert!(bal < grid, "balanced {bal:.2} must beat grid {grid:.2}");
+        assert!(bal < 2.0, "balanced spread {bal:.2}");
+    }
+
+    #[test]
+    fn two_d_schemes_conserve_nnz_and_match_reference() {
+        let a = gen::rmat(300, 5, 9);
+        let x = gen::dense_vector(300, 4);
+        let want = a.spmv(&x);
+        for scheme in [
+            PartitionScheme::Grid2D { col_blocks: 3 },
+            PartitionScheme::Balanced2D { col_blocks: 5 },
+        ] {
+            let mut c = cfg(8, 256, Precision::Fp64);
+            c.scheme = scheme;
+            let p = BankPartition::build(&a, c);
+            assert_eq!(p.total_nnz(), a.nnz(), "{}", scheme.label());
+            let got = p.spmv(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9, "{}", scheme.label());
+            }
+            let max_dim = c.max_dim();
+            for s in p.submatrices() {
+                assert!(s.output_len() <= max_dim);
+                assert!(s.input_len() <= max_dim);
+            }
+        }
+    }
+
+    #[test]
+    fn two_d_without_compression_spans_block_ranges_only() {
+        // Naive (uncompressed) 2D cells span their column block, not the
+        // whole matrix — the 2D cut itself is a coarse compression.
+        let a = gen::rmat(128, 4, 2);
+        let mut c = cfg(8, 1024, Precision::Fp64);
+        c.compress = false;
+        c.scheme = PartitionScheme::Grid2D { col_blocks: 4 };
+        let p = BankPartition::build(&a, c);
+        let width = a.ncols().div_ceil(4);
+        for s in p.submatrices() {
+            assert!(s.cols.len() <= width);
+        }
+        let x = gen::dense_vector(128, 7);
+        let want = a.spmv(&x);
+        for (g, w) in p.spmv(&x).iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
     }
 }

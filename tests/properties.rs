@@ -6,7 +6,8 @@ use psyncpim::core::isa::{
 };
 use psyncpim::dram::{Channel, CmdKind, HbmConfig, Scope};
 use psyncpim::kernels::{PimDevice, SpmvPim};
-use psyncpim::sparse::partition::{BankPartition, DistPolicy, PartitionConfig};
+use psyncpim::sparse::blocked::{Bcoo, Bcsr};
+use psyncpim::sparse::partition::{BankPartition, DistPolicy, PartitionConfig, PartitionScheme};
 use psyncpim::sparse::triangular::{unit_triangular_from, Triangle, UnitTriangular};
 use psyncpim::sparse::{mmio, BlockPlan, Coo, Csc, Csr, Entry, LevelSchedule, Precision};
 
@@ -142,6 +143,17 @@ fn arb_coo(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Coo> {
     })
 }
 
+/// Every partition scheme the layout zoo executes from.
+fn arb_scheme() -> impl Strategy<Value = PartitionScheme> {
+    prop::sample::select(vec![
+        PartitionScheme::Row1D,
+        PartitionScheme::Grid2D { col_blocks: 2 },
+        PartitionScheme::Grid2D { col_blocks: 3 },
+        PartitionScheme::Balanced2D { col_blocks: 2 },
+        PartitionScheme::Balanced2D { col_blocks: 4 },
+    ])
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -186,11 +198,105 @@ proptest! {
             precision: Precision::Fp64,
             policy: DistPolicy::RoundRobin,
             compress: true,
+            scheme: PartitionScheme::Row1D,
         });
         prop_assert_eq!(part.total_nnz(), a.nnz());
         let x = vec![1.0; a.ncols()];
         let got = part.spmv(&x);
         let want = a.spmv(&x);
+        for i in 0..want.len() {
+            prop_assert!((got[i] - want[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn every_partition_scheme_conserves_entries_and_bounds(
+        a in arb_coo(96, 300),
+        scheme in arb_scheme(),
+        policy in prop::sample::select(vec![DistPolicy::RoundRobin, DistPolicy::LeastLoaded]),
+    ) {
+        let banks = 8usize;
+        let part = BankPartition::build(&a, PartitionConfig {
+            num_banks: banks,
+            row_bytes: 256,
+            precision: Precision::Fp64,
+            policy,
+            compress: true,
+            scheme,
+        });
+        // No entry duplicated or dropped: the partition's entry multiset,
+        // mapped back to global coordinates, is exactly the matrix's.
+        prop_assert_eq!(part.total_nnz(), a.nnz());
+        let mut reassembled: Vec<(u32, u32, u64)> = part
+            .submatrices()
+            .iter()
+            .flat_map(|s| s.entries.iter().map(move |e| (
+                e.row + s.row_lo as u32,
+                s.cols[e.col as usize],
+                e.val.to_bits(),
+            )))
+            .collect();
+        reassembled.sort_unstable();
+        let mut original: Vec<(u32, u32, u64)> = a
+            .entries()
+            .iter()
+            .map(|e| (e.row, e.col, e.val.to_bits()))
+            .collect();
+        original.sort_unstable();
+        prop_assert_eq!(reassembled, original);
+        // Every submatrix stays inside the matrix and its own strip.
+        for s in part.submatrices() {
+            prop_assert!(s.bank < banks);
+            prop_assert!(s.row_lo < s.row_hi && s.row_hi <= a.nrows());
+            prop_assert!(s.cols.windows(2).all(|w| w[0] < w[1]), "cols sorted+unique");
+            prop_assert!(s.cols.iter().all(|&c| (c as usize) < a.ncols()));
+            for e in &s.entries {
+                prop_assert!((e.row as usize) < s.row_hi - s.row_lo);
+                prop_assert!((e.col as usize) < s.cols.len());
+            }
+        }
+        // And the partition still computes the same product.
+        let x = psyncpim::sparse::gen::dense_vector(a.ncols(), 17);
+        let got = part.spmv(&x);
+        let want = a.spmv(&x);
+        for i in 0..want.len() {
+            prop_assert!((got[i] - want[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn blocked_formats_roundtrip_through_csr_and_coo(
+        a in arb_coo(64, 200),
+        block in prop::sample::select(vec![2usize, 4, 8]),
+    ) {
+        // Blocked storage is lossless for non-zero entries in either
+        // direction, including via CSR: COO → CSR → COO → BCSR → COO and
+        // BCSR ↔ BCOO land on the same entry set.
+        let mut nonzero: Vec<(u32, u32, u64)> = a
+            .entries()
+            .iter()
+            .filter(|e| e.val != 0.0)
+            .map(|e| (e.row, e.col, e.val.to_bits()))
+            .collect();
+        nonzero.sort_unstable();
+        let via_csr = Coo::from(&Csr::from(&a));
+        let bcsr = Bcsr::from_coo(&via_csr, block);
+        let bcoo = Bcoo::from(&bcsr);
+        let back = Bcsr::from(&bcoo);
+        for round in [bcsr.to_coo(), bcoo.to_coo(), back.to_coo()] {
+            let mut got: Vec<(u32, u32, u64)> = round
+                .entries()
+                .iter()
+                .map(|e| (e.row, e.col, e.val.to_bits()))
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &nonzero);
+        }
+        prop_assert_eq!(bcsr.stored(), back.stored());
+        // The blocked spmv agrees with the element-format reference.
+        let x = psyncpim::sparse::gen::dense_vector(a.ncols(), 23);
+        let want = a.spmv(&x);
+        let got = bcsr.spmv(&x);
         for i in 0..want.len() {
             prop_assert!((got[i] - want[i]).abs() < 1e-9);
         }
